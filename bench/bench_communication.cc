@@ -1,0 +1,68 @@
+// Experiment E4 — communication cost vs threshold per strategy. The
+// length-based scheme stores each record once (replication 1.0) and its
+// probe fan-out shrinks as the threshold rises; prefix-based replication
+// grows with prefix length (lower thresholds), broadcast always pays k
+// messages per record.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 20000;
+constexpr int kJoiners = 8;
+
+void RunComm(benchmark::State& state, DistributionStrategy strategy) {
+  const int64_t threshold = state.range(0);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, kRecords);
+  DistributedJoinOptions options = BaseJoinOptions(threshold, kJoiners);
+  options.strategy = strategy;
+  if (strategy == DistributionStrategy::kLengthBased) {
+    options.length_partition = PlanLengthPartition(
+        stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  }
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  ReportJoinResult(state, result);
+  state.counters["msgs_per_record"] =
+      static_cast<double>(result.dispatch_messages) / static_cast<double>(kRecords);
+  state.counters["bytes_per_record"] =
+      static_cast<double>(result.dispatch_bytes) / static_cast<double>(kRecords);
+  state.counters["remote_bytes_per_record"] =
+      static_cast<double>(result.remote_bytes) / static_cast<double>(kRecords);
+}
+
+void BM_LengthComm(benchmark::State& state) {
+  RunComm(state, DistributionStrategy::kLengthBased);
+}
+void BM_PrefixComm(benchmark::State& state) {
+  RunComm(state, DistributionStrategy::kPrefixBased);
+}
+void BM_BroadcastComm(benchmark::State& state) {
+  RunComm(state, DistributionStrategy::kBroadcast);
+}
+void BM_ReplicatedComm(benchmark::State& state) {
+  RunComm(state, DistributionStrategy::kReplicated);
+}
+
+BENCHMARK(BM_LengthComm)
+    ->Arg(600)->Arg(700)->Arg(800)->Arg(900)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_PrefixComm)
+    ->Arg(600)->Arg(700)->Arg(800)->Arg(900)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_BroadcastComm)
+    ->Arg(600)->Arg(700)->Arg(800)->Arg(900)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_ReplicatedComm)
+    ->Arg(600)->Arg(700)->Arg(800)->Arg(900)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

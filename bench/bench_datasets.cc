@@ -1,0 +1,65 @@
+// Experiment E1 — dataset statistics (the paper's "Table 1").
+//
+// Prints one row per dataset preset: records, vocabulary, avg/min/max
+// length, head-token mass. Also times corpus generation + statistics as a
+// benchmark so regressions in the generator show up.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "text/corpus.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 100000;
+
+void BM_DatasetStats(benchmark::State& state) {
+  const auto preset = static_cast<DatasetPreset>(state.range(0));
+  const auto& stream = CachedStream(preset, kRecords);
+  CorpusStats stats;
+  for (auto _ : state) {
+    stats = ComputeCorpusStats(stream);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetLabel(DatasetPresetName(preset));
+  state.counters["records"] = static_cast<double>(stats.num_records);
+  state.counters["vocab"] = static_cast<double>(stats.vocabulary_size);
+  state.counters["avg_len"] = stats.avg_length;
+  state.counters["min_len"] = static_cast<double>(stats.min_length);
+  state.counters["max_len"] = static_cast<double>(stats.max_length);
+  state.counters["top1pct_mass"] = stats.top1pct_token_mass;
+}
+
+BENCHMARK(BM_DatasetStats)
+    ->DenseRange(0, 3, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace dssj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  std::printf("E1 (Table 1): dataset statistics, %zu synthetic records per preset\n",
+              dssj::bench::kRecords);
+  std::printf("%-8s %10s %10s %8s %8s %8s %12s\n", "dataset", "records", "vocab", "avg|r|",
+              "min|r|", "max|r|", "top1%mass");
+  for (int p = 0; p <= 3; ++p) {
+    const auto preset = static_cast<dssj::DatasetPreset>(p);
+    const auto& stream = dssj::bench::CachedStream(preset, dssj::bench::kRecords);
+    const dssj::CorpusStats s = dssj::ComputeCorpusStats(stream);
+    std::printf("%-8s %10llu %10llu %8.1f %8llu %8llu %11.3f\n",
+                dssj::DatasetPresetName(preset),
+                static_cast<unsigned long long>(s.num_records),
+                static_cast<unsigned long long>(s.vocabulary_size), s.avg_length,
+                static_cast<unsigned long long>(s.min_length),
+                static_cast<unsigned long long>(s.max_length), s.top1pct_token_mass);
+  }
+  std::printf("\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Experiment E13 — similarity-function sweep (papers in this lineage
+// tabulate Jaccard/Cosine/Dice side by side). Same stream, same permille
+// threshold: cosine's looser length bound admits far more candidates than
+// Jaccard's, dice sits between; throughput follows selectivity.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/record_joiner.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 30000;
+
+void RunFunction(benchmark::State& state, SimilarityFunction fn) {
+  const int64_t threshold = state.range(0);
+  const auto& stream = CachedDupStream(0.4, kRecords);
+  const SimilaritySpec sim(fn, threshold);
+  uint64_t sink = 0;
+  std::unique_ptr<RecordJoiner> joiner;
+  for (auto _ : state) {
+    joiner = std::make_unique<RecordJoiner>(sim, WindowSpec::ByCount(20000));
+    for (const RecordPtr& r : stream) {
+      joiner->Process(r, true, true, [&sink](const ResultPair&) { ++sink; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetLabel(SimilarityFunctionName(fn));
+  state.SetItemsProcessed(static_cast<int64_t>(kRecords) * state.iterations());
+  state.counters["results"] = static_cast<double>(joiner->stats().results);
+  state.counters["candidates"] = static_cast<double>(joiner->stats().candidates);
+  state.counters["postings_scanned"] =
+      static_cast<double>(joiner->stats().postings_scanned);
+  state.counters["rec_per_s"] = benchmark::Counter(
+      static_cast<double>(kRecords) * state.iterations(), benchmark::Counter::kIsRate);
+}
+
+void BM_Jaccard(benchmark::State& state) {
+  RunFunction(state, SimilarityFunction::kJaccard);
+}
+void BM_Cosine(benchmark::State& state) { RunFunction(state, SimilarityFunction::kCosine); }
+void BM_Dice(benchmark::State& state) { RunFunction(state, SimilarityFunction::kDice); }
+
+BENCHMARK(BM_Jaccard)->Arg(700)->Arg(800)->Arg(900)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cosine)->Arg(700)->Arg(800)->Arg(900)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dice)->Arg(700)->Arg(800)->Arg(900)->Unit(benchmark::kMillisecond);
+
+// The distributed run for one representative threshold per function.
+void RunDistFunction(benchmark::State& state, SimilarityFunction fn) {
+  const auto& stream = CachedDupStream(0.4, 20000);
+  DistributedJoinOptions options = BaseJoinOptions(800, 8);
+  options.sim = SimilaritySpec(fn, 800);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.length_partition =
+      PlanLengthPartition(stream, options.sim, 8, PartitionMethod::kLoadAwareGreedy);
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  state.SetLabel(SimilarityFunctionName(fn));
+  ReportJoinResult(state, result);
+}
+
+void BM_DistJaccard(benchmark::State& state) {
+  RunDistFunction(state, SimilarityFunction::kJaccard);
+}
+void BM_DistCosine(benchmark::State& state) {
+  RunDistFunction(state, SimilarityFunction::kCosine);
+}
+void BM_DistDice(benchmark::State& state) {
+  RunDistFunction(state, SimilarityFunction::kDice);
+}
+
+BENCHMARK(BM_DistJaccard)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_DistCosine)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_DistDice)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

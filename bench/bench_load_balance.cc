@@ -1,0 +1,98 @@
+// Experiment E5 — quality of the length partitioning schemes. For each
+// method we report (a) the cost model's predicted bottleneck/mean imbalance
+// and (b) the *measured* busy-time imbalance of an actual run. Load-aware
+// partitioning should sit near 1.0; uniform splits collapse under skewed
+// length distributions.
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/partition.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 30000;
+constexpr int kJoiners = 8;
+
+PartitionMethod MethodFor(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return PartitionMethod::kLoadAwareGreedy;
+    case 1:
+      return PartitionMethod::kLoadAwareDP;
+    case 2:
+      return PartitionMethod::kLoadAwareFull;
+    case 3:
+      return PartitionMethod::kUniform;
+    default:
+      return PartitionMethod::kEqualFrequency;
+  }
+}
+
+void BM_PartitionQuality(benchmark::State& state) {
+  const PartitionMethod method = MethodFor(state.range(0));
+  // ENRON-like lengths are the stress case: long tail up to 1500 tokens.
+  const auto& stream = CachedStream(DatasetPreset::kEnron, kRecords);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+
+  LengthPartition partition;
+  for (auto _ : state) {
+    partition = PlanLengthPartition(stream, sim, kJoiners, method);
+    benchmark::DoNotOptimize(partition);
+  }
+  state.SetLabel(PartitionMethodName(method));
+
+  // Model-predicted imbalance.
+  LengthHistogram histogram;
+  histogram.AddRecords(stream);
+  const auto load = ComputePerLengthLoad(histogram, sim);
+  const double bottleneck = BottleneckLoad(partition, load);
+  const double mean = MeanLoad(partition, load);
+  state.counters["predicted_imbalance"] = mean > 0 ? bottleneck / mean : 0.0;
+
+  // Measured imbalance of a real run under this partition.
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.length_partition = partition;
+  options.window = WindowSpec::ByCount(15000);
+  const DistributedJoinResult result = RunDistributedJoin(stream, options);
+  uint64_t sum = 0, worst = 0;
+  for (uint64_t b : result.joiner_busy_micros) {
+    sum += b;
+    worst = std::max(worst, b);
+  }
+  state.counters["measured_imbalance"] =
+      sum > 0 ? static_cast<double>(worst) * kJoiners / static_cast<double>(sum) : 0.0;
+  state.counters["rec_per_s_scaled"] = result.scaled_throughput_rps;
+}
+
+BENCHMARK(BM_PartitionQuality)
+    ->DenseRange(0, 4, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+// Planning cost itself (the paper argues the planner is cheap): time to
+// build the load model + partition from a sample, per sample size.
+void BM_PlannerCost(benchmark::State& state) {
+  const size_t sample_size = static_cast<size_t>(state.range(0));
+  const auto& stream = CachedStream(DatasetPreset::kEnron, kRecords);
+  const std::vector<RecordPtr> sample(stream.begin(),
+                                      stream.begin() + std::min(sample_size, stream.size()));
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  for (auto _ : state) {
+    auto partition =
+        PlanLengthPartition(sample, sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+    benchmark::DoNotOptimize(partition);
+  }
+}
+
+BENCHMARK(BM_PlannerCost)->Arg(1000)->Arg(10000)->Arg(30000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// Experiment E12 (extension) — adaptive repartitioning under drift. A
+// static length partition is planned from the stream's head; the workload
+// then drifts (record lengths grow 3×). We compare, chunk by chunk,
+//   static   — keep the initial partition forever;
+//   adaptive — ask the RepartitionAdvisor before each chunk and adopt its
+//              plan when recommended (applied at chunk boundaries, standing
+//              in for window-aligned state migration).
+// Reported per chunk: measured joiner busy imbalance and the advisor's
+// migration cost when it fires.
+
+#include <algorithm>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/repartition.h"
+#include "workload/drift.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kChunk = 10000;
+constexpr int kChunks = 5;
+constexpr int kJoiners = 8;
+
+std::vector<RecordPtr> DriftStream() {
+  DriftOptions options;
+  options.base = PresetOptions(DatasetPreset::kTweet);
+  options.base.seed = 1234;
+  options.end_length_mean = options.base.length.mean * 3.0;
+  options.drift_records = kChunk * kChunks;
+  return DriftingGenerator(options).Generate(kChunk * kChunks);
+}
+
+double MeasuredImbalance(const DistributedJoinResult& result) {
+  uint64_t sum = 0, worst = 0;
+  for (uint64_t b : result.joiner_busy_micros) {
+    sum += b;
+    worst = std::max(worst, b);
+  }
+  return sum > 0 ? static_cast<double>(worst) * kJoiners / static_cast<double>(sum) : 0.0;
+}
+
+void RunDriftBench(benchmark::State& state, bool adaptive) {
+  static const std::vector<RecordPtr> stream = DriftStream();
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+
+  double final_imbalance = 0.0;
+  double worst_imbalance = 0.0;
+  uint64_t replans = 0;
+  double moved_fraction_total = 0.0;
+
+  for (auto _ : state) {
+    std::vector<RecordPtr> head(stream.begin(), stream.begin() + kChunk);
+    LengthPartition partition =
+        PlanLengthPartition(head, sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+    // Chunk boundaries are window boundaries here, so migrations are cheap;
+    // relax the default veto accordingly.
+    RepartitionPolicy policy;
+    policy.min_improvement = 1.1;
+    policy.max_move_fraction = 1.0;
+    RepartitionAdvisor advisor(sim, kJoiners, policy, /*half_life_records=*/5000);
+    replans = 0;
+    moved_fraction_total = 0.0;
+    worst_imbalance = 0.0;
+
+    for (int chunk = 0; chunk < kChunks; ++chunk) {
+      const std::vector<RecordPtr> slice(stream.begin() + chunk * kChunk,
+                                         stream.begin() + (chunk + 1) * kChunk);
+      if (adaptive && chunk > 0) {
+        LengthHistogram stored;
+        stored.AddRecords(slice);  // window ≈ current chunk
+        const MigrationPlan plan = advisor.Evaluate(partition, stored);
+        if (plan.recommended) {
+          partition = plan.new_partition;
+          ++replans;
+          moved_fraction_total += plan.move_fraction;
+        }
+      }
+      for (const RecordPtr& r : slice) advisor.ObserveLength(r->size());
+
+      DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+      options.strategy = DistributionStrategy::kLengthBased;
+      options.length_partition = partition;
+      options.window = WindowSpec::ByCount(kChunk);
+      const DistributedJoinResult result = RunDistributedJoin(slice, options);
+      final_imbalance = MeasuredImbalance(result);
+      worst_imbalance = std::max(worst_imbalance, final_imbalance);
+    }
+  }
+  state.counters["final_imbalance"] = final_imbalance;
+  state.counters["worst_imbalance"] = worst_imbalance;
+  state.counters["replans"] = static_cast<double>(replans);
+  state.counters["moved_fraction_total"] = moved_fraction_total;
+}
+
+void BM_StaticPartitionUnderDrift(benchmark::State& state) { RunDriftBench(state, false); }
+void BM_AdaptivePartitionUnderDrift(benchmark::State& state) { RunDriftBench(state, true); }
+
+// Live epoch-based adaptation (AdaptiveLengthRouter): one continuous run
+// over the whole drifting stream; the dispatcher replans on the fly, no
+// state moves, probes temporarily fan out over live epochs.
+void BM_LiveAdaptiveUnderDrift(benchmark::State& state) {
+  static const std::vector<RecordPtr> stream = DriftStream();
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByTime(static_cast<int64_t>(kChunk) * 1000);
+  options.adaptive = true;
+  options.adaptive_options.replan_interval = kChunk / 2;
+  options.adaptive_options.half_life_records = kChunk / 2;
+  options.adaptive_options.policy.min_improvement = 1.1;
+  const std::vector<RecordPtr> head(stream.begin(), stream.begin() + kChunk);
+  options.length_partition =
+      PlanLengthPartition(head, sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  ReportJoinResult(state, result);
+  state.counters["replans"] = static_cast<double>(result.router_replans);
+  state.counters["live_epochs"] = static_cast<double>(result.router_live_epochs);
+  uint64_t sum = 0, worst = 0;
+  for (uint64_t b : result.joiner_busy_micros) {
+    sum += b;
+    worst = std::max(worst, b);
+  }
+  state.counters["overall_imbalance"] =
+      sum > 0 ? static_cast<double>(worst) * kJoiners / static_cast<double>(sum) : 0.0;
+}
+
+// Same continuous run without adaptation, for comparison.
+void BM_LiveStaticUnderDrift(benchmark::State& state) {
+  static const std::vector<RecordPtr> stream = DriftStream();
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByTime(static_cast<int64_t>(kChunk) * 1000);
+  const std::vector<RecordPtr> head(stream.begin(), stream.begin() + kChunk);
+  options.length_partition =
+      PlanLengthPartition(head, sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  ReportJoinResult(state, result);
+  uint64_t sum = 0, worst = 0;
+  for (uint64_t b : result.joiner_busy_micros) {
+    sum += b;
+    worst = std::max(worst, b);
+  }
+  state.counters["overall_imbalance"] =
+      sum > 0 ? static_cast<double>(worst) * kJoiners / static_cast<double>(sum) : 0.0;
+}
+
+BENCHMARK(BM_StaticPartitionUnderDrift)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_AdaptivePartitionUnderDrift)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_LiveStaticUnderDrift)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_LiveAdaptiveUnderDrift)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

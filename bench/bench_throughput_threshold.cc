@@ -1,0 +1,91 @@
+// Experiment E2 — throughput vs similarity threshold, per distribution
+// strategy, on two workload shapes (the paper's headline figure:
+// length-based distribution beats prefix-based and broadcast by up to an
+// order of magnitude).
+//
+//  * TWEET: short records — dispatch overhead matters, prefixes are short.
+//  * ENRON: long records — prefix-based replicates to almost every worker
+//    (long prefixes) and length-based dominates.
+//
+// rec_per_s_scaled models a cluster (records / busiest-task time); on this
+// single-core host wall clock merely sums all tasks (see EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr int kJoiners = 8;
+
+size_t RecordsFor(DatasetPreset preset) {
+  return preset == DatasetPreset::kEnron ? 20000 : 40000;
+}
+
+void RunStrategy(benchmark::State& state, DistributionStrategy strategy,
+                 DatasetPreset preset) {
+  const int64_t threshold = state.range(0);
+  const size_t n = RecordsFor(preset);
+  const auto& stream = CachedStream(preset, n);
+  DistributedJoinOptions options = BaseJoinOptions(threshold, kJoiners);
+  options.strategy = strategy;
+  options.window = WindowSpec::ByCount(n / 2);
+  if (strategy == DistributionStrategy::kLengthBased) {
+    options.length_partition = PlanLengthPartition(
+        stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  }
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) *
+                          static_cast<int64_t>(state.iterations()));
+  ReportJoinResult(state, result);
+}
+
+void BM_Length_Tweet(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kLengthBased, DatasetPreset::kTweet);
+}
+void BM_Prefix_Tweet(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kPrefixBased, DatasetPreset::kTweet);
+}
+void BM_Broadcast_Tweet(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kBroadcast, DatasetPreset::kTweet);
+}
+void BM_Replicated_Tweet(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kReplicated, DatasetPreset::kTweet);
+}
+void BM_Length_Enron(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kLengthBased, DatasetPreset::kEnron);
+}
+void BM_Prefix_Enron(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kPrefixBased, DatasetPreset::kEnron);
+}
+void BM_Broadcast_Enron(benchmark::State& state) {
+  RunStrategy(state, DistributionStrategy::kBroadcast, DatasetPreset::kEnron);
+}
+
+#define DSSJ_THRESHOLDS ->Arg(600)->Arg(700)->Arg(800)->Arg(900)->Arg(950)
+
+BENCHMARK(BM_Length_Tweet) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Prefix_Tweet) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Broadcast_Tweet) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Replicated_Tweet) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Length_Enron) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Prefix_Enron) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_Broadcast_Enron) DSSJ_THRESHOLDS
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+#undef DSSJ_THRESHOLDS
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

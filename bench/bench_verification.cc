@@ -1,0 +1,80 @@
+// Experiment E7 — batch verification via token diffs vs individual
+// (reconstruct-and-merge) verification inside the bundle joiner. Sharing
+// the pivot verification across members wins more as bundles grow (higher
+// duplicate density, looser diff cap).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/bundle_joiner.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 30000;
+
+void RunVerification(benchmark::State& state, bool batch_verify) {
+  const double dup_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const auto& stream = CachedDupStream(dup_fraction, kRecords);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  BundleJoinerOptions options;
+  options.batch_verify = batch_verify;
+  uint64_t sink = 0;
+  std::unique_ptr<BundleJoiner> joiner;
+  for (auto _ : state) {
+    joiner = std::make_unique<BundleJoiner>(sim, WindowSpec::ByCount(20000), options);
+    for (const RecordPtr& r : stream) {
+      joiner->Process(r, true, true, [&sink](const ResultPair&) { ++sink; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  const JoinerStats& s = joiner->stats();
+  state.SetItemsProcessed(static_cast<int64_t>(kRecords) * state.iterations());
+  state.counters["merge_steps"] = static_cast<double>(s.verify.merge_steps);
+  state.counters["results"] = static_cast<double>(s.results);
+  state.counters["batch_accepts"] = static_cast<double>(s.batch_accepts);
+  state.counters["batch_rejects"] = static_cast<double>(s.batch_rejects);
+  state.counters["diff_resolutions"] = static_cast<double>(s.member_diff_resolutions);
+  state.counters["avg_bundle_size"] =
+      joiner->BundleCount() > 0 ? static_cast<double>(joiner->StoredCount()) /
+                                      static_cast<double>(joiner->BundleCount())
+                                : 0.0;
+}
+
+void BM_BatchVerification(benchmark::State& state) { RunVerification(state, true); }
+void BM_IndividualVerification(benchmark::State& state) { RunVerification(state, false); }
+
+BENCHMARK(BM_BatchVerification)->Arg(20)->Arg(40)->Arg(60)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndividualVerification)->Arg(20)->Arg(40)->Arg(60)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+// The diff cap controls how aggressive bundling is: sweep max_diff at a
+// fixed duplicate density.
+void BM_MaxDiffSweep(benchmark::State& state) {
+  const auto& stream = CachedDupStream(0.6, kRecords);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  BundleJoinerOptions options;
+  options.max_diff = static_cast<size_t>(state.range(0));
+  uint64_t sink = 0;
+  std::unique_ptr<BundleJoiner> joiner;
+  for (auto _ : state) {
+    joiner = std::make_unique<BundleJoiner>(sim, WindowSpec::ByCount(20000), options);
+    for (const RecordPtr& r : stream) {
+      joiner->Process(r, true, true, [&sink](const ResultPair&) { ++sink; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["avg_bundle_size"] =
+      joiner->BundleCount() > 0 ? static_cast<double>(joiner->StoredCount()) /
+                                      static_cast<double>(joiner->BundleCount())
+                                : 0.0;
+  state.counters["merge_steps"] = static_cast<double>(joiner->stats().verify.merge_steps);
+}
+
+BENCHMARK(BM_MaxDiffSweep)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Experiment E8 — effect of the sliding-window size. Larger windows keep
+// more stored records, so probes scan more postings and memory grows; the
+// paper's figure shows throughput degrading gracefully with window size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/record_joiner.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 60000;
+
+void BM_CountWindowSweep(benchmark::State& state) {
+  const size_t window_size = static_cast<size_t>(state.range(0));
+  const auto& stream = CachedDupStream(0.3, kRecords);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  uint64_t sink = 0;
+  std::unique_ptr<RecordJoiner> joiner;
+  for (auto _ : state) {
+    joiner = std::make_unique<RecordJoiner>(sim, WindowSpec::ByCount(window_size));
+    for (const RecordPtr& r : stream) {
+      joiner->Process(r, true, true, [&sink](const ResultPair&) { ++sink; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(kRecords) * state.iterations());
+  state.counters["rec_per_s"] = benchmark::Counter(
+      static_cast<double>(kRecords) * state.iterations(), benchmark::Counter::kIsRate);
+  state.counters["results"] = static_cast<double>(joiner->stats().results);
+  state.counters["postings_scanned"] =
+      static_cast<double>(joiner->stats().postings_scanned);
+  state.counters["evictions"] = static_cast<double>(joiner->stats().evictions);
+  state.counters["memory_MB"] = static_cast<double>(joiner->MemoryBytes()) / 1e6;
+}
+
+BENCHMARK(BM_CountWindowSweep)
+    ->Arg(2500)->Arg(5000)->Arg(10000)->Arg(20000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+// Time-based windows with the same semantics, swept by span (in stream
+// steps of 1ms).
+void BM_TimeWindowSweep(benchmark::State& state) {
+  const int64_t span_us = state.range(0) * 1000;
+  const auto& stream = CachedDupStream(0.3, kRecords);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  uint64_t sink = 0;
+  std::unique_ptr<RecordJoiner> joiner;
+  for (auto _ : state) {
+    joiner = std::make_unique<RecordJoiner>(sim, WindowSpec::ByTime(span_us));
+    for (const RecordPtr& r : stream) {
+      joiner->Process(r, true, true, [&sink](const ResultPair&) { ++sink; });
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["results"] = static_cast<double>(joiner->stats().results);
+  state.counters["stored_at_end"] = static_cast<double>(joiner->StoredCount());
+  state.counters["memory_MB"] = static_cast<double>(joiner->MemoryBytes()) / 1e6;
+}
+
+BENCHMARK(BM_TimeWindowSweep)
+    ->Arg(2500)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+// Distributed variant: window size under the full length-based topology.
+void BM_DistributedWindowSweep(benchmark::State& state) {
+  const size_t window_size = static_cast<size_t>(state.range(0));
+  const auto& stream = CachedDupStream(0.3, 30000);
+  DistributedJoinOptions options = BaseJoinOptions(800, 8);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(window_size);
+  options.length_partition =
+      PlanLengthPartition(stream, options.sim, 8, PartitionMethod::kLoadAwareGreedy);
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  ReportJoinResult(state, result);
+}
+
+BENCHMARK(BM_DistributedWindowSweep)
+    ->Arg(2500)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Data integration between two live sources — the abstract's motivating
+// application for stream similarity joins. Two "product catalogs" emit
+// records concurrently; the TwoStreamJoiner reports cross-catalog matches
+// (never same-catalog pairs) as they arrive, each side bounded by its own
+// sliding window.
+//
+//   ./build/examples/catalog_matching [records_per_side]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+#include "core/two_stream_joiner.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  const size_t per_side = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 30000;
+
+  // Catalog A and catalog B: overlapping token universe (same products,
+  // different descriptions) — generate B by mutating A-style records.
+  dssj::WorkloadOptions options = dssj::PresetOptions(dssj::DatasetPreset::kDblp);
+  options.seed = 97;
+  options.duplicate_fraction = 0.45;  // many cross-listed products
+  options.mutation_rate = 0.10;
+  dssj::WorkloadGenerator source(options);
+
+  const dssj::SimilaritySpec sim(dssj::SimilarityFunction::kJaccard, 700);
+  dssj::TwoStreamJoiner joiner(sim, dssj::WindowSpec::ByCount(20000),
+                               dssj::WindowSpec::ByCount(20000));
+
+  uint64_t matches = 0;
+  dssj::Rng side_picker(5);
+  dssj::Stopwatch stopwatch;
+  for (size_t i = 0; i < 2 * per_side; ++i) {
+    const auto side = side_picker.Bernoulli(0.5) ? dssj::TwoStreamJoiner::Side::kR
+                                                 : dssj::TwoStreamJoiner::Side::kS;
+    joiner.Process(side, source.Next(),
+                   [&matches](const dssj::TwoStreamJoiner::RsPair&) { ++matches; });
+  }
+  const double seconds = stopwatch.ElapsedSeconds();
+
+  std::printf("=== cross-catalog matching (%s) ===\n", sim.ToString().c_str());
+  std::printf("records            %zu (interleaved from two catalogs)\n", 2 * per_side);
+  std::printf("cross matches      %llu\n", static_cast<unsigned long long>(matches));
+  std::printf("throughput         %.0f rec/s\n",
+              static_cast<double>(2 * per_side) / seconds);
+  std::printf("catalog A stored   %zu (probes=%llu, candidates=%llu)\n",
+              joiner.StoredCount(dssj::TwoStreamJoiner::Side::kR),
+              static_cast<unsigned long long>(joiner.stats(dssj::TwoStreamJoiner::Side::kR).probes),
+              static_cast<unsigned long long>(
+                  joiner.stats(dssj::TwoStreamJoiner::Side::kR).candidates));
+  std::printf("catalog B stored   %zu\n",
+              joiner.StoredCount(dssj::TwoStreamJoiner::Side::kS));
+  std::printf("index memory       %.1f MB\n",
+              static_cast<double>(joiner.MemoryBytes()) / 1e6);
+  return 0;
+}

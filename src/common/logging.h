@@ -1,0 +1,118 @@
+#ifndef DSSJ_COMMON_LOGGING_H_
+#define DSSJ_COMMON_LOGGING_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace dssj {
+
+/// Log severities in increasing order. kFatal aborts the process after the
+/// message is flushed.
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is actually printed (default kInfo).
+/// Thread-safe. Messages below the level are still evaluated but discarded;
+/// use DLOG/DCHECK for zero-cost-when-off logging.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (with timestamp, severity, file and
+/// line) on destruction. Not for direct use; see the LOG/CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Helper that swallows the ostream produced by a disabled DLOG so the
+/// expression still type-checks.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed expression into void so CHECK can be used inside the
+/// ternary operator (classic glog "voidify" idiom; avoids dangling-else).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+// Severity aliases so call sites read LOG(INFO) in the glog tradition.
+inline constexpr LogSeverity kSeverity_DEBUG = LogSeverity::kDebug;
+inline constexpr LogSeverity kSeverity_INFO = LogSeverity::kInfo;
+inline constexpr LogSeverity kSeverity_WARNING = LogSeverity::kWarning;
+inline constexpr LogSeverity kSeverity_ERROR = LogSeverity::kError;
+inline constexpr LogSeverity kSeverity_FATAL = LogSeverity::kFatal;
+
+}  // namespace internal_logging
+}  // namespace dssj
+
+#define DSSJ_LOG_INTERNAL(severity) \
+  ::dssj::internal_logging::LogMessage(severity, __FILE__, __LINE__).stream()
+
+/// Usage: LOG(INFO) << "joined " << n << " pairs";
+#define LOG(severity) DSSJ_LOG_INTERNAL(::dssj::internal_logging::kSeverity_##severity)
+
+/// Aborts with a message when `cond` is false. Active in all build modes:
+/// these guard library invariants, not user input (user input errors are
+/// reported via Status).
+#define CHECK(cond)                                    \
+  (cond) ? (void)0                                     \
+         : ::dssj::internal_logging::Voidify() &       \
+               DSSJ_LOG_INTERNAL(::dssj::LogSeverity::kFatal) << "CHECK failed: " #cond " "
+
+#define DSSJ_CHECK_OP(name, op, a, b)                                                   \
+  ((a)op(b)) ? (void)0                                                                  \
+             : ::dssj::internal_logging::Voidify() &                                    \
+                   DSSJ_LOG_INTERNAL(::dssj::LogSeverity::kFatal)                       \
+                       << "CHECK_" #name " failed: " #a " " #op " " #b " (" << (a)      \
+                       << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) DSSJ_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) DSSJ_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) DSSJ_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) DSSJ_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) DSSJ_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) DSSJ_CHECK_OP(GE, >=, a, b)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  while (false) CHECK(cond)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_GE(a, b) \
+  while (false) CHECK_GE(a, b)
+#define DCHECK_GT(a, b) \
+  while (false) CHECK_GT(a, b)
+#define DLOG(severity) ::dssj::internal_logging::NullStream()
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DLOG(severity) LOG(severity)
+#endif
+
+#endif  // DSSJ_COMMON_LOGGING_H_

@@ -1,0 +1,126 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dssj {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  DCHECK_GT(n, 0u);
+  // Lemire's unbiased bounded generation.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t floor = (-n) % n;
+    while (l < floor) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DCHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Exponential(double lambda) {
+  DCHECK_GT(lambda, 0.0);
+  double u = UniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double skew) : n_(n), skew_(skew) {
+  CHECK_GE(n, 1u);
+  CHECK_GE(skew, 0.0);
+  // Rejection-inversion per W. Hormann & G. Derflinger, adapted to ranks
+  // 1..n then shifted to 0-based. For skew == 0 we sample uniformly.
+  if (skew_ > 0.0) {
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -skew_));
+  } else {
+    h_x1_ = h_n_ = s_ = 0.0;
+  }
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of 1/x^skew: log for skew == 1, power otherwise.
+  if (skew_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - skew_) - 1.0) / (1.0 - skew_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (skew_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - skew_), 1.0 / (1.0 - skew_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (skew_ == 0.0 || n_ == 1) return rng.Uniform(n_);
+  while (true) {
+    const double u = h_n_ + rng.UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > static_cast<double>(n_)) kd = static_cast<double>(n_);
+    const uint64_t k = static_cast<uint64_t>(kd);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -skew_)) {
+      return k - 1;  // shift to 0-based rank
+    }
+  }
+}
+
+}  // namespace dssj

@@ -1,0 +1,91 @@
+#ifndef DSSJ_COMMON_RANDOM_H_
+#define DSSJ_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dssj {
+
+/// Fast, seedable, reproducible PRNG (xoshiro256**). Satisfies the
+/// UniformRandomBitGenerator concept so it can drive <random> distributions,
+/// but the library prefers the exact helpers below for bit-reproducibility
+/// across standard library implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64, per the xoshiro
+  /// authors' recommendation. Equal seeds give equal sequences everywhere.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 random bits.
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's multiply-shift
+  /// rejection method (unbiased).
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard-normal variate (Box-Muller, one value per call).
+  double Gaussian();
+
+  /// Exponential variate with rate lambda (> 0); mean 1/lambda.
+  double Exponential(double lambda);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf (zeta) distribution over {0, 1, ..., n-1} with exponent `skew`:
+/// P(k) ∝ 1 / (k+1)^skew. skew = 0 is uniform. Sampling is O(1) amortized
+/// via Gray/Jacobson rejection-inversion, so huge token universes (tens of
+/// millions) need no precomputed table.
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1 and skew >= 0.
+  ZipfDistribution(uint64_t n, double skew);
+
+  /// Draws a rank in [0, n). Rank 0 is the most frequent item.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double skew_;
+  // Precomputed constants of the rejection-inversion sampler.
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_COMMON_RANDOM_H_

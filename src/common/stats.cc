@@ -1,0 +1,147 @@
+#include "common/stats.h"
+
+#include <ctime>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+int64_t ThreadCpuNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t n = count_ + other.count_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketsLog2;
+  const int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  const int bucket = (msb - kSubBucketsLog2 + 1) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const int exp = bucket / kSubBuckets - 1 + kSubBucketsLog2;
+  const int sub = bucket % kSubBuckets;
+  const uint64_t base = 1ULL << exp;
+  const uint64_t step = base >> kSubBucketsLog2;
+  return base + static_cast<uint64_t>(sub + 1) * step - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur && !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur && !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  uint64_t om = other.min_.load(std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (om < cur && !min_.compare_exchange_weak(cur, om, std::memory_order_relaxed)) {
+  }
+  om = other.max_.load(std::memory_order_relaxed);
+  cur = max_.load(std::memory_order_relaxed);
+  while (om > cur && !max_.compare_exchange_weak(cur, om, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(n);
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ULL ? 0 : m;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  const uint64_t rank = std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return std::min(BucketUpperBound(i), max());
+  }
+  return max();
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " p50=" << p50() << " p95=" << p95()
+     << " p99=" << p99() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace dssj

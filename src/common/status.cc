@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dssj {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal_status {
+
+void DieBecauseStatus(const Status& status) {
+  std::fprintf(stderr, "FATAL: StatusOr accessed with error: %s\n", status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace dssj

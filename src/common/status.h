@@ -1,0 +1,134 @@
+#ifndef DSSJ_COMMON_STATUS_H_
+#define DSSJ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dssj {
+
+/// Error codes used across the library. Modeled after absl::StatusCode but
+/// restricted to the cases this codebase actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...). Never returns null.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result. The library does not use
+/// exceptions; fallible operations return `Status` (or `StatusOr<T>`), and
+/// programming errors abort via CHECK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a human-readable `message`.
+  /// `message` is ignored for kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// a non-OK StatusOr aborts the process (there are no exceptions to throw).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or a non-OK status keeps call sites
+  /// terse (`return MakeThing();` / `return Status::InvalidArgument(...)`),
+  /// matching absl::StatusOr.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    AbortIfOkWithoutValue();
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(value_);
+  }
+
+ private:
+  void AbortIfNotOk() const;
+  void AbortIfOkWithoutValue() const;
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal_status {
+/// Aborts the process with `status` printed to stderr. Out-of-line so that
+/// StatusOr does not need to include logging.h.
+[[noreturn]] void DieBecauseStatus(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfNotOk() const {
+  if (!status_.ok()) internal_status::DieBecauseStatus(status_);
+}
+
+template <typename T>
+void StatusOr<T>::AbortIfOkWithoutValue() const {
+  if (status_.ok()) {
+    internal_status::DieBecauseStatus(
+        Status::Internal("StatusOr constructed from OK status without a value"));
+  }
+}
+
+/// Propagates a non-OK status to the caller.
+#define DSSJ_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::dssj::Status dssj_return_if_error_s = (expr); \
+    if (!dssj_return_if_error_s.ok()) return dssj_return_if_error_s; \
+  } while (false)
+
+}  // namespace dssj
+
+#endif  // DSSJ_COMMON_STATUS_H_

@@ -1,0 +1,72 @@
+#include "core/adaptive_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+AdaptiveLengthRouter::AdaptiveLengthRouter(const SimilaritySpec& sim, LengthPartition initial,
+                                           AdaptiveRouterOptions options)
+    : sim_(sim),
+      num_partitions_(initial.num_partitions()),
+      options_(options),
+      advisor_(sim, initial.num_partitions(), options.policy, options.half_life_records) {
+  CHECK_GE(num_partitions_, 1);
+  CHECK_GE(options_.max_epochs, 1u);
+  CHECK_GE(options_.replan_interval, 1u);
+  epochs_.push_back(Epoch{std::move(initial), 0});
+  probe_mask_.assign(static_cast<size_t>(num_partitions_), false);
+}
+
+void AdaptiveLengthRouter::MaybeRetire(int64_t now) {
+  if (options_.window_span_micros <= 0) return;
+  // The oldest epoch retires once every record stored under it (all with
+  // timestamp <= closed_at) has expired from the joiners' time windows.
+  while (epochs_.size() > 1 && epochs_.front().closed_at < now - options_.window_span_micros) {
+    epochs_.pop_front();
+  }
+}
+
+void AdaptiveLengthRouter::MaybeReplan(const Record& r) {
+  if (++since_replan_ < options_.replan_interval) return;
+  since_replan_ = 0;
+  if (epochs_.size() >= options_.max_epochs) return;  // fan-out budget exhausted
+  // The joiners' stored contents are approximately the recent stream; use
+  // the decayed histogram as the migration-free cost proxy (no records
+  // move under epoch-based adaptation — move_fraction gates nothing here,
+  // but improvement still must clear the policy bar).
+  const LengthHistogram recent = advisor_.RecentHistogram();
+  MigrationPlan plan = advisor_.Evaluate(epochs_.back().partition, recent);
+  if (plan.improvement_factor < options_.policy.min_improvement) return;
+  epochs_.back().closed_at = r.timestamp;
+  epochs_.push_back(Epoch{std::move(plan.new_partition), 0});
+  ++replans_;
+}
+
+void AdaptiveLengthRouter::Route(const Record& r, std::vector<RouteTarget>& out) {
+  out.clear();
+  const size_t l = r.size();
+  advisor_.ObserveLength(l);
+  MaybeRetire(r.timestamp);
+  MaybeReplan(r);
+  if (l == 0 || sim_.PrefixLength(l) == 0) return;
+
+  const int owner = epochs_.back().partition.PartitionOf(l);
+  const size_t lo = sim_.LengthLowerBound(l);
+  const size_t hi = sim_.LengthUpperBound(l);
+
+  std::fill(probe_mask_.begin(), probe_mask_.end(), false);
+  for (const Epoch& epoch : epochs_) {
+    const auto [first, last] = epoch.partition.PartitionsCovering(lo, hi);
+    for (int p = first; p <= last; ++p) probe_mask_[static_cast<size_t>(p)] = true;
+  }
+  DCHECK(probe_mask_[static_cast<size_t>(owner)]);
+  for (int p = 0; p < num_partitions_; ++p) {
+    if (probe_mask_[static_cast<size_t>(p)]) {
+      out.push_back(RouteTarget{p, /*store=*/p == owner, /*probe=*/true});
+    }
+  }
+}
+
+}  // namespace dssj

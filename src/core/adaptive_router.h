@@ -1,0 +1,78 @@
+#ifndef DSSJ_CORE_ADAPTIVE_ROUTER_H_
+#define DSSJ_CORE_ADAPTIVE_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/repartition.h"
+#include "core/router.h"
+
+namespace dssj {
+
+/// Configuration of the adaptive length router.
+struct AdaptiveRouterOptions {
+  /// Records between advisor evaluations.
+  uint64_t replan_interval = 20000;
+  /// Decay horizon of the drift monitor.
+  uint64_t half_life_records = 20000;
+  /// When to accept a replan.
+  RepartitionPolicy policy;
+  /// With a time window of this span (stream-time µs), an epoch retires
+  /// once every record stored under it has expired. 0 (count/unbounded
+  /// windows) means epochs never retire and replanning stops at
+  /// max_epochs.
+  int64_t window_span_micros = 0;
+  /// Hard cap on live epochs (probe fan-out grows with the epoch count).
+  size_t max_epochs = 8;
+};
+
+/// Length-based router that *adapts to drift without state migration*.
+/// Replans create a new partition **epoch**: records arriving afterwards
+/// are stored under the new partition, while records stored under earlier
+/// epochs stay where they are. A probe fans out over the union of every
+/// live epoch's covering partitions, so no pair is missed; once a time
+/// window guarantees an old epoch's records have all expired, the epoch
+/// retires and the fan-out shrinks back. This preserves the length-based
+/// scheme's no-replication property (each record is still stored exactly
+/// once) at the temporary cost of a wider probe fan-out after a replan.
+///
+/// Requires a single dispatcher (epochs are router-local state; parallel
+/// dispatchers would diverge) — enforced by the join topology facade.
+class AdaptiveLengthRouter : public Router {
+ public:
+  AdaptiveLengthRouter(const SimilaritySpec& sim, LengthPartition initial,
+                       AdaptiveRouterOptions options = {});
+
+  void Route(const Record& r, std::vector<RouteTarget>& out) override;
+  int num_partitions() const override { return num_partitions_; }
+
+  /// Introspection.
+  uint64_t replans() const { return replans_; }
+  size_t live_epochs() const { return epochs_.size(); }
+  const LengthPartition& current_partition() const { return epochs_.back().partition; }
+
+ private:
+  struct Epoch {
+    LengthPartition partition;
+    /// Stream time when this epoch stopped receiving stores (close time);
+    /// meaningful for all but the last epoch.
+    int64_t closed_at = 0;
+  };
+
+  void MaybeRetire(int64_t now);
+  void MaybeReplan(const Record& r);
+
+  SimilaritySpec sim_;
+  int num_partitions_;
+  AdaptiveRouterOptions options_;
+  std::deque<Epoch> epochs_;
+  RepartitionAdvisor advisor_;
+  uint64_t since_replan_ = 0;
+  uint64_t replans_ = 0;
+  std::vector<bool> probe_mask_;  // scratch
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_ADAPTIVE_ROUTER_H_

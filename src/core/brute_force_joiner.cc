@@ -1,0 +1,47 @@
+#include "core/brute_force_joiner.h"
+
+namespace dssj {
+
+void BruteForceJoiner::Evict(int64_t now) {
+  if (window_.kind == WindowSpec::Kind::kTime) {
+    while (!store_.empty() && window_.ExpiredByTime(store_.front()->timestamp, now)) {
+      store_.pop_front();
+      ++stats_.evictions;
+    }
+  }
+}
+
+void BruteForceJoiner::Process(const RecordPtr& r, bool store, bool probe,
+                               const ResultCallback& cb) {
+  if (r->size() == 0) return;
+  Evict(r->timestamp);
+  if (probe) {
+    ++stats_.probes;
+    for (const RecordPtr& s : store_) {
+      const size_t alpha = sim_.MinOverlap(r->size(), s->size());
+      if (alpha > std::min(r->size(), s->size())) continue;
+      ++stats_.candidates;
+      const size_t o = VerifyOverlap(r->tokens, s->tokens, alpha, &stats_.verify);
+      if (o >= alpha) {
+        ++stats_.results;
+        cb(ResultPair{r->id, r->seq, s->id, s->seq});
+      }
+    }
+  }
+  if (store) {
+    while (window_.OverCount(store_.size())) {
+      store_.pop_front();
+      ++stats_.evictions;
+    }
+    store_.push_back(r);
+    ++stats_.stores;
+  }
+}
+
+size_t BruteForceJoiner::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const RecordPtr& s : store_) bytes += sizeof(Record) + s->tokens.size() * sizeof(TokenId);
+  return bytes;
+}
+
+}  // namespace dssj

@@ -1,0 +1,38 @@
+#ifndef DSSJ_CORE_BRUTE_FORCE_JOINER_H_
+#define DSSJ_CORE_BRUTE_FORCE_JOINER_H_
+
+#include <deque>
+
+#include "core/local_joiner.h"
+#include "core/similarity.h"
+#include "core/window.h"
+
+namespace dssj {
+
+/// Reference joiner: verifies the probe against every stored record. No
+/// filtering beyond the (free) length bound. The correctness oracle for
+/// every other joiner and every distribution strategy; also a usable
+/// baseline for tiny windows.
+class BruteForceJoiner : public LocalJoiner {
+ public:
+  BruteForceJoiner(const SimilaritySpec& sim, const WindowSpec& window)
+      : sim_(sim), window_(window) {}
+
+  void Process(const RecordPtr& r, bool store, bool probe, const ResultCallback& cb) override;
+
+  size_t StoredCount() const override { return store_.size(); }
+  size_t MemoryBytes() const override;
+  const JoinerStats& stats() const override { return stats_; }
+
+ private:
+  void Evict(int64_t now);
+
+  SimilaritySpec sim_;
+  WindowSpec window_;
+  std::deque<RecordPtr> store_;
+  JoinerStats stats_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_BRUTE_FORCE_JOINER_H_

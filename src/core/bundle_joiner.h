@@ -1,0 +1,118 @@
+#ifndef DSSJ_CORE_BUNDLE_JOINER_H_
+#define DSSJ_CORE_BUNDLE_JOINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/local_joiner.h"
+#include "core/similarity.h"
+#include "core/window.h"
+
+namespace dssj {
+
+/// Configuration of the bundle-based joiner.
+struct BundleJoinerOptions {
+  /// Similarity (permille, same function family as the join) a record must
+  /// have to the bundle pivot to be admitted as a member. 0 means "use the
+  /// join threshold" — i.e., bundle the probe with its own join partners,
+  /// which is exactly the paper's "join results guide index construction".
+  /// For Overlap joins (whose threshold is absolute) admission falls back
+  /// to Jaccard >= 0.8.
+  int64_t admission_permille = 0;
+
+  /// Members may differ from the pivot by at most this many tokens
+  /// (|m ∖ p| + |p ∖ m|); keeps diff-based verification profitable.
+  size_t max_diff = 64;
+
+  /// When false, members are resolved by reconstructing their token array
+  /// and running a full merge verification — the "individual verification"
+  /// baseline of the batch-verification experiment (E7).
+  bool batch_verify = true;
+};
+
+/// Bundle-based streaming joiner. Stored records that are similar to each
+/// other are grouped into *bundles*: a pivot token array plus per-member
+/// token diffs. The inverted index posts bundles (not records), shrinking
+/// posting lists on duplicate-rich streams; a probe verifies the pivot once
+/// and resolves every member from the pivot overlap and the small diffs
+/// (batch verification). Produces exactly the same result set as
+/// BruteForceJoiner / RecordJoiner.
+class BundleJoiner : public LocalJoiner {
+ public:
+  BundleJoiner(const SimilaritySpec& sim, const WindowSpec& window,
+               BundleJoinerOptions options = {});
+
+  void Process(const RecordPtr& r, bool store, bool probe, const ResultCallback& cb) override;
+
+  size_t StoredCount() const override { return alive_members_; }
+  size_t MemoryBytes() const override;
+  const JoinerStats& stats() const override { return stats_; }
+
+  /// Number of live bundles (for instrumentation; average bundle size is
+  /// StoredCount() / BundleCount()).
+  size_t BundleCount() const { return bundles_.size(); }
+
+ private:
+  struct Member {
+    uint64_t id = 0;
+    uint64_t seq = 0;
+    int64_t timestamp = 0;
+    uint32_t size = 0;                ///< |m|
+    std::vector<TokenId> added;       ///< m ∖ pivot, ascending
+    std::vector<TokenId> removed;     ///< pivot ∖ m, ascending
+  };
+
+  struct Bundle {
+    std::vector<TokenId> pivot;       ///< founding record's tokens
+    std::map<uint32_t, Member> members;  ///< uid -> member, insertion order
+    uint32_t next_uid = 0;
+    std::vector<TokenId> indexed;     ///< tokens posted for this bundle, ascending
+    uint32_t min_size = 0;            ///< over members ever added
+    uint32_t max_size = 0;
+    uint32_t max_added = 0;           ///< max |added| over members ever added
+    uint64_t probe_stamp = 0;         ///< dedups candidate generation per probe
+  };
+
+  struct OrderEntry {
+    uint64_t bundle_id;
+    uint32_t uid;
+    int64_t timestamp;
+  };
+
+  /// Best admission target found while probing.
+  struct AdmissionCandidate {
+    uint64_t bundle_id = 0;
+    size_t pivot_overlap = 0;
+    double score = -1.0;
+  };
+
+  void Evict(int64_t now);
+  void EvictOldest();
+  void Probe(const Record& r, const ResultCallback& cb, AdmissionCandidate* admission);
+  void ProbeBundle(const Record& r, uint64_t bundle_id, Bundle& bundle,
+                   const ResultCallback& cb, AdmissionCandidate* admission);
+  void Store(const RecordPtr& r, const AdmissionCandidate& admission);
+  void AddMemberTokensToIndex(uint64_t bundle_id, Bundle& bundle, const Record& member);
+  std::vector<TokenId> ReconstructMember(const Bundle& bundle, const Member& m) const;
+
+  SimilaritySpec sim_;
+  SimilaritySpec admission_sim_;
+  WindowSpec window_;
+  BundleJoinerOptions options_;
+
+  std::unordered_map<uint64_t, Bundle> bundles_;
+  std::unordered_map<TokenId, std::vector<uint64_t>> index_;
+  std::deque<OrderEntry> store_order_;
+  uint64_t next_bundle_id_ = 0;
+  uint64_t probe_stamp_ = 0;
+  size_t alive_members_ = 0;
+
+  JoinerStats stats_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_BUNDLE_JOINER_H_

@@ -1,0 +1,414 @@
+#include "core/join_topology.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/brute_force_joiner.h"
+#include "stream/topology.h"
+
+namespace dssj {
+namespace {
+
+constexpr int64_t kFlagStore = 1;
+constexpr int64_t kFlagProbe = 2;
+
+const char* kSourceName = "source";
+const char* kDispatcherName = "dispatcher";
+const char* kJoinerName = "joiner";
+const char* kSinkName = "sink";
+
+/// State shared between the driver and the bolts of one run.
+struct SharedState {
+  explicit SharedState(int num_joiners)
+      : joiner_stats(num_joiners), joiner_stored(num_joiners, 0) {}
+
+  std::atomic<uint64_t> result_count{0};
+  Histogram latency;
+
+  std::mutex pairs_mu;
+  std::vector<ResultPair> pairs;
+
+  // Written once per joiner task at Finish (disjoint slots).
+  std::vector<JoinerStats> joiner_stats;
+  std::vector<size_t> joiner_stored;
+
+  // Written by the (single) adaptive dispatcher at Finish.
+  std::atomic<uint64_t> router_replans{0};
+  std::atomic<uint64_t> router_live_epochs{0};
+};
+
+/// Replays a pre-built record vector as a stream, optionally paced to an
+/// arrival rate. Tuple layout: [record payload, emit-time micros].
+class RecordStreamSpout : public stream::Spout {
+ public:
+  RecordStreamSpout(std::shared_ptr<const std::vector<RecordPtr>> input, double rate_per_sec)
+      : input_(std::move(input)), rate_(rate_per_sec) {}
+
+  void Open(const stream::TaskContext& /*ctx*/) override { start_us_ = NowMicros(); }
+
+  bool NextTuple(stream::OutputCollector& out) override {
+    if (pos_ >= input_->size()) return false;
+    if (rate_ > 0.0) {
+      const int64_t target_us =
+          start_us_ + static_cast<int64_t>(static_cast<double>(pos_) * 1e6 / rate_);
+      int64_t now = NowMicros();
+      while (now < target_us) {
+        if (target_us - now > 200) {
+          std::this_thread::sleep_for(std::chrono::microseconds(target_us - now - 100));
+        }
+        now = NowMicros();
+      }
+    }
+    const RecordPtr& r = (*input_)[pos_++];
+    stream::Tuple t = stream::MakeTuple(std::shared_ptr<const void>(r),
+                                        static_cast<int64_t>(NowMicros()));
+    t.set_payload_bytes(r->SerializedBytes());
+    out.Emit(std::move(t));
+    return true;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<RecordPtr>> input_;
+  double rate_;
+  size_t pos_ = 0;
+  int64_t start_us_ = 0;
+};
+
+/// Routes each record to joiner partitions per the configured strategy.
+class DispatcherBolt : public stream::Bolt {
+ public:
+  DispatcherBolt(const DistributedJoinOptions* options, std::shared_ptr<SharedState> shared)
+      : options_(options), shared_(std::move(shared)) {}
+
+  void Prepare(const stream::TaskContext& /*ctx*/) override { router_ = MakeRouter(*options_); }
+
+  void Finish(stream::OutputCollector& /*out*/) override {
+    if (const auto* adaptive = dynamic_cast<const AdaptiveLengthRouter*>(router_.get())) {
+      shared_->router_replans.store(adaptive->replans(), std::memory_order_relaxed);
+      shared_->router_live_epochs.store(adaptive->live_epochs(), std::memory_order_relaxed);
+    }
+  }
+
+  void Execute(stream::Tuple tuple, stream::OutputCollector& out) override {
+    const auto record = tuple.Ptr<Record>(0);
+    const int64_t emit_us = tuple.Int(1);
+    router_->Route(*record, targets_);
+    for (const RouteTarget& target : targets_) {
+      int64_t flags = 0;
+      if (target.store) flags |= kFlagStore;
+      if (target.probe) flags |= kFlagProbe;
+      stream::Tuple t = stream::MakeTuple(std::shared_ptr<const void>(record), flags, emit_us);
+      t.set_payload_bytes(record->SerializedBytes());
+      out.EmitDirect(kJoinerName, target.partition, std::move(t));
+    }
+  }
+
+ private:
+  const DistributedJoinOptions* options_;
+  std::shared_ptr<SharedState> shared_;
+  std::unique_ptr<Router> router_;
+  std::vector<RouteTarget> targets_;
+};
+
+/// Runs one local joiner partition; applies the seq-order emission rule and
+/// reports latency + stats through SharedState.
+class JoinerBolt : public stream::Bolt {
+ public:
+  JoinerBolt(const DistributedJoinOptions* options, std::shared_ptr<SharedState> shared)
+      : options_(options), shared_(std::move(shared)) {}
+
+  void Prepare(const stream::TaskContext& ctx) override {
+    partition_ = ctx.task_index;
+    joiner_ = MakeLocalJoiner(*options_, partition_);
+  }
+
+  void Execute(stream::Tuple tuple, stream::OutputCollector& out) override {
+    const auto record = tuple.Ptr<Record>(0);
+    const int64_t flags = tuple.Int(1);
+    const int64_t emit_us = tuple.Int(2);
+    const bool store = (flags & kFlagStore) != 0;
+    const bool probe = (flags & kFlagProbe) != 0;
+    joiner_->Process(record, store, probe, [&](const ResultPair& pair) {
+      // Exactly-once rule: only the probe that arrives after its partner
+      // reports the pair (see DESIGN.md §4).
+      if (pair.partner_seq >= pair.probe_seq) return;
+      shared_->result_count.fetch_add(1, std::memory_order_relaxed);
+      if (options_->collect_results) {
+        out.Emit(stream::MakeTuple(
+            static_cast<int64_t>(pair.probe_id), static_cast<int64_t>(pair.probe_seq),
+            static_cast<int64_t>(pair.partner_id), static_cast<int64_t>(pair.partner_seq)));
+      }
+    });
+    if (probe) {
+      shared_->latency.Add(static_cast<uint64_t>(std::max<int64_t>(0, NowMicros() - emit_us)));
+    }
+  }
+
+  void Finish(stream::OutputCollector& /*out*/) override {
+    shared_->joiner_stats[partition_] = joiner_->stats();
+    shared_->joiner_stored[partition_] = joiner_->StoredCount();
+  }
+
+ private:
+  const DistributedJoinOptions* options_;
+  std::shared_ptr<SharedState> shared_;
+  int partition_ = 0;
+  std::unique_ptr<LocalJoiner> joiner_;
+};
+
+/// Accumulates collected result pairs (parallelism 1).
+class SinkBolt : public stream::Bolt {
+ public:
+  explicit SinkBolt(std::shared_ptr<SharedState> shared) : shared_(std::move(shared)) {}
+
+  void Execute(stream::Tuple tuple, stream::OutputCollector& /*out*/) override {
+    ResultPair pair{static_cast<uint64_t>(tuple.Int(0)), static_cast<uint64_t>(tuple.Int(1)),
+                    static_cast<uint64_t>(tuple.Int(2)), static_cast<uint64_t>(tuple.Int(3))};
+    std::lock_guard<std::mutex> lock(shared_->pairs_mu);
+    shared_->pairs.push_back(pair);
+  }
+
+ private:
+  std::shared_ptr<SharedState> shared_;
+};
+
+LatencySummary SummarizeLatency(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.mean_us = h.mean();
+  s.p50_us = h.p50();
+  s.p95_us = h.p95();
+  s.p99_us = h.p99();
+  s.max_us = h.max();
+  return s;
+}
+
+}  // namespace
+
+const char* DistributionStrategyName(DistributionStrategy s) {
+  switch (s) {
+    case DistributionStrategy::kLengthBased:
+      return "length";
+    case DistributionStrategy::kPrefixBased:
+      return "prefix";
+    case DistributionStrategy::kBroadcast:
+      return "broadcast";
+    case DistributionStrategy::kReplicated:
+      return "replicated";
+  }
+  return "unknown";
+}
+
+const char* LocalAlgorithmName(LocalAlgorithm a) {
+  switch (a) {
+    case LocalAlgorithm::kRecord:
+      return "record";
+    case LocalAlgorithm::kBundle:
+      return "bundle";
+    case LocalAlgorithm::kBruteForce:
+      return "bruteforce";
+  }
+  return "unknown";
+}
+
+const char* PartitionMethodName(PartitionMethod m) {
+  switch (m) {
+    case PartitionMethod::kLoadAwareGreedy:
+      return "load-aware-greedy";
+    case PartitionMethod::kLoadAwareDP:
+      return "load-aware-dp";
+    case PartitionMethod::kLoadAwareFull:
+      return "load-aware-full";
+    case PartitionMethod::kUniform:
+      return "uniform";
+    case PartitionMethod::kEqualFrequency:
+      return "equal-frequency";
+  }
+  return "unknown";
+}
+
+LengthPartition PlanLengthPartition(const std::vector<RecordPtr>& sample,
+                                    const SimilaritySpec& sim, int k, PartitionMethod method) {
+  LengthHistogram histogram;
+  histogram.AddRecords(sample);
+  if (histogram.TotalRecords() == 0) return PartitionUniform(1, 256, k);
+  switch (method) {
+    case PartitionMethod::kLoadAwareGreedy:
+      return PartitionLoadAwareGreedy(ComputePerLengthLoad(histogram, sim), k);
+    case PartitionMethod::kLoadAwareDP:
+      return PartitionLoadAwareDP(ComputePerLengthLoad(histogram, sim), k);
+    case PartitionMethod::kLoadAwareFull:
+      return PartitionByCostModelGreedy(JoinCostModel(histogram, sim), k);
+    case PartitionMethod::kUniform: {
+      size_t min_l = histogram.MaxLength();
+      for (size_t l = 0; l <= histogram.MaxLength(); ++l) {
+        if (histogram.CountAt(l) > 0) {
+          min_l = l;
+          break;
+        }
+      }
+      return PartitionUniform(min_l, histogram.MaxLength(), k);
+    }
+    case PartitionMethod::kEqualFrequency:
+      return PartitionEqualFrequency(histogram, k);
+  }
+  return PartitionUniform(1, 256, k);
+}
+
+std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options) {
+  switch (options.strategy) {
+    case DistributionStrategy::kLengthBased: {
+      LengthPartition partition = options.length_partition;
+      if (partition.bounds().empty()) {
+        partition = PartitionUniform(1, 256, options.num_joiners);
+      }
+      CHECK_EQ(partition.num_partitions(), options.num_joiners)
+          << "length partition size must match num_joiners";
+      if (options.adaptive) {
+        CHECK_EQ(options.num_dispatchers, 1)
+            << "adaptive routing keeps epoch state per dispatcher; use one dispatcher";
+        AdaptiveRouterOptions adaptive = options.adaptive_options;
+        if (options.window.kind == WindowSpec::Kind::kTime) {
+          adaptive.window_span_micros = options.window.span_micros;
+        }
+        return std::make_unique<AdaptiveLengthRouter>(options.sim, std::move(partition),
+                                                      adaptive);
+      }
+      return std::make_unique<LengthRouter>(options.sim, std::move(partition));
+    }
+    case DistributionStrategy::kPrefixBased:
+      return std::make_unique<PrefixRouter>(options.sim, options.num_joiners);
+    case DistributionStrategy::kBroadcast:
+      return std::make_unique<BroadcastRouter>(options.num_joiners);
+    case DistributionStrategy::kReplicated:
+      return std::make_unique<ReplicatedRouter>(options.num_joiners);
+  }
+  LOG(FATAL) << "unknown strategy";
+  return nullptr;
+}
+
+std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& options,
+                                             int partition) {
+  const bool prefix_strategy = options.strategy == DistributionStrategy::kPrefixBased;
+  switch (options.local) {
+    case LocalAlgorithm::kRecord: {
+      RecordJoinerOptions ro;
+      ro.positional_filter = options.positional_filter;
+      if (prefix_strategy) {
+        ro.token_filter =
+            PrefixRouter(options.sim, options.num_joiners).TokenFilterFor(partition);
+        ro.dedup_by_min_prefix_token = true;
+      }
+      return std::make_unique<RecordJoiner>(options.sim, options.window, std::move(ro));
+    }
+    case LocalAlgorithm::kBundle:
+      CHECK(!prefix_strategy)
+          << "bundle joiner is not defined for the prefix distribution strategy";
+      return std::make_unique<BundleJoiner>(options.sim, options.window, options.bundle);
+    case LocalAlgorithm::kBruteForce:
+      CHECK(!prefix_strategy)
+          << "brute-force joiner cannot apply the prefix dedup rule";
+      return std::make_unique<BruteForceJoiner>(options.sim, options.window);
+  }
+  LOG(FATAL) << "unknown local algorithm";
+  return nullptr;
+}
+
+DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
+                                         const DistributedJoinOptions& options) {
+  CHECK_GE(options.num_joiners, 1);
+  CHECK_GE(options.num_dispatchers, 1);
+  const int workers = options.num_workers > 0 ? options.num_workers : options.num_joiners;
+
+  auto shared = std::make_shared<SharedState>(options.num_joiners);
+  auto input_copy = std::make_shared<const std::vector<RecordPtr>>(input);
+
+  stream::TopologyBuilder builder;
+  builder.SetNumWorkers(workers)
+      .SetQueueCapacity(options.queue_capacity)
+      .SetRemoteByteCostNanos(options.remote_byte_cost_ns);
+  builder.SetSpout(
+      kSourceName,
+      [input_copy, &options] {
+        return std::make_unique<RecordStreamSpout>(input_copy, options.arrival_rate_per_sec);
+      },
+      1);
+  builder
+      .SetBolt(
+          kDispatcherName,
+          [&options, shared] { return std::make_unique<DispatcherBolt>(&options, shared); },
+          options.num_dispatchers)
+      .ShuffleGrouping(kSourceName);
+  builder
+      .SetBolt(
+          kJoinerName,
+          [&options, shared] { return std::make_unique<JoinerBolt>(&options, shared); },
+          options.num_joiners)
+      .DirectGrouping(kDispatcherName);
+  if (options.collect_results) {
+    builder.SetBolt(kSinkName, [shared] { return std::make_unique<SinkBolt>(shared); }, 1)
+        .GlobalGrouping(kJoinerName);
+  }
+
+  std::unique_ptr<stream::Topology> topology = builder.Build();
+  topology->Run();
+
+  DistributedJoinResult result;
+  result.input_records = input.size();
+  result.elapsed_seconds = topology->ElapsedSeconds();
+  result.throughput_rps = result.elapsed_seconds > 0.0
+                              ? static_cast<double>(input.size()) / result.elapsed_seconds
+                              : 0.0;
+  result.result_count = shared->result_count.load(std::memory_order_relaxed);
+  if (options.collect_results) result.pairs = std::move(shared->pairs);
+
+  const stream::ComponentAggregate dispatch =
+      stream::Aggregate(topology->TasksOf(kDispatcherName));
+  result.dispatch_messages = dispatch.total_messages;
+  result.dispatch_bytes = dispatch.total_bytes;
+  const stream::ComponentAggregate all = stream::Aggregate(topology->AllTasks());
+  result.remote_messages = all.remote_messages;
+  result.remote_bytes = all.remote_bytes;
+
+  result.joiner_stats = shared->joiner_stats;
+  result.joiner_busy_micros.reserve(options.num_joiners);
+  for (const stream::TaskStats& t : topology->TasksOf(kJoinerName)) {
+    result.joiner_busy_micros.push_back(t.metrics->busy_nanos.Get() / 1000);
+  }
+  // Critical path over the system's tasks. The source is the experiment
+  // harness (its CPU includes pacing), so it is excluded.
+  uint64_t bottleneck_ns = 0;
+  for (const stream::TaskStats& t : topology->AllTasks()) {
+    if (t.component == kSourceName) continue;
+    bottleneck_ns = std::max(bottleneck_ns, t.metrics->busy_nanos.Get());
+  }
+  result.bottleneck_busy_micros = bottleneck_ns / 1000;
+  result.scaled_throughput_rps =
+      bottleneck_ns > 0
+          ? static_cast<double>(input.size()) / (static_cast<double>(bottleneck_ns) / 1e9)
+          : 0.0;
+  uint64_t stores = 0;
+  for (const JoinerStats& s : result.joiner_stats) stores += s.stores;
+  result.total_stores = stores;
+  result.replication_factor =
+      input.empty() ? 0.0 : static_cast<double>(stores) / static_cast<double>(input.size());
+  result.latency = SummarizeLatency(shared->latency);
+  result.router_replans = shared->router_replans.load(std::memory_order_relaxed);
+  result.router_live_epochs = shared->router_live_epochs.load(std::memory_order_relaxed);
+  return result;
+}
+
+std::vector<ResultPair> SingleNodeJoin(const std::vector<RecordPtr>& input,
+                                       LocalJoiner& joiner) {
+  std::vector<ResultPair> pairs;
+  for (const RecordPtr& r : input) {
+    joiner.Process(r, /*store=*/true, /*probe=*/true,
+                   [&pairs](const ResultPair& p) { pairs.push_back(p); });
+  }
+  return pairs;
+}
+
+}  // namespace dssj

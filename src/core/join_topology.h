@@ -1,0 +1,166 @@
+#ifndef DSSJ_CORE_JOIN_TOPOLOGY_H_
+#define DSSJ_CORE_JOIN_TOPOLOGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_router.h"
+#include "core/bundle_joiner.h"
+#include "core/local_joiner.h"
+#include "core/partition.h"
+#include "core/record_joiner.h"
+#include "core/router.h"
+#include "core/similarity.h"
+#include "core/window.h"
+#include "text/record.h"
+
+namespace dssj {
+
+/// Which distribution strategy the dispatcher tier uses (DESIGN.md §1).
+/// kReplicated is the store-everywhere/probe-local mirror of kBroadcast.
+enum class DistributionStrategy { kLengthBased, kPrefixBased, kBroadcast, kReplicated };
+const char* DistributionStrategyName(DistributionStrategy s);
+
+/// Which local join algorithm each joiner partition runs.
+enum class LocalAlgorithm { kRecord, kBundle, kBruteForce };
+const char* LocalAlgorithmName(LocalAlgorithm a);
+
+/// How to derive the length partition for the length-based strategy.
+/// kLoadAwareFull uses the JoinCostModel (pair work + probe-visit
+/// overhead); the plain kLoadAware variants balance pair work only.
+enum class PartitionMethod {
+  kLoadAwareGreedy,
+  kLoadAwareDP,
+  kLoadAwareFull,
+  kUniform,
+  kEqualFrequency,
+};
+const char* PartitionMethodName(PartitionMethod m);
+
+/// Computes a k-way length partition from a sample of the stream using
+/// `method` (the load-aware variants minimize the estimated bottleneck join
+/// cost, see ComputePerLengthLoad).
+LengthPartition PlanLengthPartition(const std::vector<RecordPtr>& sample,
+                                    const SimilaritySpec& sim, int k, PartitionMethod method);
+
+/// Full configuration of a distributed streaming join run.
+struct DistributedJoinOptions {
+  SimilaritySpec sim{SimilarityFunction::kJaccard, 800};
+  WindowSpec window = WindowSpec::Unbounded();
+
+  DistributionStrategy strategy = DistributionStrategy::kLengthBased;
+  LocalAlgorithm local = LocalAlgorithm::kRecord;
+
+  int num_joiners = 4;
+  /// Dispatcher parallelism. With 1 dispatcher the emission rule yields
+  /// exactly-once results; with more, cross-dispatcher races can drop (but
+  /// never duplicate) pairs — measured in experiment E10.
+  int num_dispatchers = 1;
+
+  /// Length partition for kLengthBased (from PlanLengthPartition). Ignored
+  /// by the other strategies. Empty = uniform fallback over [1, 256].
+  LengthPartition length_partition;
+
+  /// Epoch-based adaptive routing for kLengthBased (see
+  /// AdaptiveLengthRouter): the dispatcher monitors drift and replans
+  /// without state migration. Requires num_dispatchers == 1. The router's
+  /// window span is taken from `window` when it is a time window.
+  bool adaptive = false;
+  AdaptiveRouterOptions adaptive_options;
+
+  /// Local-algorithm tuning.
+  BundleJoinerOptions bundle;
+  bool positional_filter = true;
+
+  /// Collect every result pair (tests, small runs) or only count them
+  /// (throughput benches).
+  bool collect_results = true;
+
+  /// Per-task inbound queue capacity (backpressure bound).
+  size_t queue_capacity = 4096;
+
+  /// Simulated workers for communication accounting; 0 = num_joiners.
+  int num_workers = 0;
+
+  /// Source pacing in records/second; 0 = replay as fast as possible.
+  double arrival_rate_per_sec = 0.0;
+
+  /// Simulated ser/deser CPU cost per byte crossing workers (charged to
+  /// both endpoints' busy time; affects scaled_throughput_rps, not wall
+  /// clock). 0 = inter-worker messages cost nothing beyond the Execute
+  /// work, as within one process. Storm-like stacks sit around 1-5 ns/byte.
+  double remote_byte_cost_ns = 0.0;
+};
+
+/// Latency percentiles of per-record end-to-end processing (source emit →
+/// joiner finished probing), microseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+};
+
+/// Everything a run produces: results (or their count), timing, and the
+/// communication/load metrics the paper's evaluation reports.
+struct DistributedJoinResult {
+  std::vector<ResultPair> pairs;  ///< filled iff options.collect_results
+  uint64_t result_count = 0;
+
+  uint64_t input_records = 0;
+  double elapsed_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< input_records / elapsed (wall clock)
+
+  /// Cluster-model throughput: input_records divided by the busiest task's
+  /// processing time (the pipeline's critical path if every task had its
+  /// own core). On a single-core host this — not wall clock — carries the
+  /// paper's scalability shape; see EXPERIMENTS.md.
+  double scaled_throughput_rps = 0.0;
+  uint64_t bottleneck_busy_micros = 0;  ///< max busy time over all tasks
+
+  /// Dispatch communication (dispatcher tier → joiner tier).
+  uint64_t dispatch_messages = 0;
+  uint64_t dispatch_bytes = 0;
+  /// Subset of the above crossing simulated workers.
+  uint64_t remote_messages = 0;
+  uint64_t remote_bytes = 0;
+
+  /// Σ stores across joiners / input records: 1.0 means no replication.
+  double replication_factor = 0.0;
+  uint64_t total_stores = 0;
+
+  LatencySummary latency;
+
+  /// Per-joiner-partition detail (index = partition).
+  std::vector<JoinerStats> joiner_stats;
+  std::vector<uint64_t> joiner_busy_micros;
+
+  /// Adaptive routing introspection (0 unless options.adaptive).
+  uint64_t router_replans = 0;
+  uint64_t router_live_epochs = 0;
+};
+
+/// Runs the distributed streaming join over `input` (replayed in order as a
+/// stream) and blocks until completion.
+DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
+                                         const DistributedJoinOptions& options);
+
+/// Single-threaded reference: feeds `input` through one local joiner
+/// (store+probe) and returns all pairs. Oracle for the distributed runs.
+std::vector<ResultPair> SingleNodeJoin(const std::vector<RecordPtr>& input,
+                                       LocalJoiner& joiner);
+
+/// Constructs the configured local joiner (used by the joiner bolts and by
+/// examples/tests that want a standalone joiner).
+std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& options,
+                                             int partition);
+
+/// Constructs the configured router (one per dispatcher task).
+std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options);
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_JOIN_TOPOLOGY_H_

@@ -1,0 +1,86 @@
+#ifndef DSSJ_CORE_LOCAL_JOINER_H_
+#define DSSJ_CORE_LOCAL_JOINER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/verify.h"
+#include "text/record.h"
+
+namespace dssj {
+
+/// One emitted join result: the probing record and a previously stored
+/// partner. Sequence numbers let distributed callers apply the
+/// exactly-once rule (emit iff partner_seq < probe_seq).
+struct ResultPair {
+  uint64_t probe_id = 0;
+  uint64_t probe_seq = 0;
+  uint64_t partner_id = 0;
+  uint64_t partner_seq = 0;
+
+  friend bool operator==(const ResultPair& a, const ResultPair& b) = default;
+};
+
+using ResultCallback = std::function<void(const ResultPair&)>;
+
+/// Instrumentation shared by all joiner implementations; benches read these
+/// to attribute filtering vs verification cost. Fields irrelevant to an
+/// implementation stay zero.
+struct JoinerStats {
+  uint64_t probes = 0;
+  uint64_t stores = 0;
+  uint64_t evictions = 0;
+  uint64_t results = 0;
+
+  // Filtering.
+  uint64_t postings_scanned = 0;
+  uint64_t dead_postings_purged = 0;
+  uint64_t candidates = 0;         ///< distinct candidates reaching verification
+  uint64_t length_filtered = 0;    ///< pruned by the partner-length bound
+  uint64_t position_filtered = 0;  ///< pruned by the positional filter
+  uint64_t suffix_filtered = 0;    ///< pruned by the suffix filter (if on)
+
+  // Verification.
+  VerifyCounters verify;
+
+  // Bundle-specific.
+  uint64_t bundles_created = 0;
+  uint64_t members_added = 0;
+  uint64_t bundle_candidates = 0;       ///< candidate bundles probed
+  uint64_t batch_accepts = 0;           ///< members accepted by the lower bound
+  uint64_t batch_rejects = 0;           ///< members rejected by the upper bound
+  uint64_t member_diff_resolutions = 0; ///< members resolved via diff merge
+};
+
+/// A single-partition streaming set-similarity joiner: maintains a sliding
+/// window of stored records and, for each probing record, reports every
+/// stored record satisfying the similarity predicate.
+///
+/// Implementations are deliberately single-threaded (the distributed layer
+/// provides parallelism by running one joiner per task); callers must
+/// serialize Process calls.
+class LocalJoiner {
+ public:
+  virtual ~LocalJoiner() = default;
+
+  /// Handles one record. When `probe` is set, invokes `cb` once per stored
+  /// record matching `r` (all matches — callers apply any cross-partition
+  /// dedup rule). When `store` is set, `r` joins the window afterwards, so
+  /// a record never matches itself. Eviction (by `r`'s timestamp for time
+  /// windows) happens before probing. Empty records neither match nor
+  /// store.
+  virtual void Process(const RecordPtr& r, bool store, bool probe,
+                       const ResultCallback& cb) = 0;
+
+  /// Records currently stored in the window.
+  virtual size_t StoredCount() const = 0;
+
+  /// Approximate resident bytes of window + index state.
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual const JoinerStats& stats() const = 0;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_LOCAL_JOINER_H_

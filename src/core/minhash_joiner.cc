@@ -1,0 +1,121 @@
+#include "core/minhash_joiner.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/verify.h"
+
+namespace dssj {
+
+MinHashJoiner::MinHashJoiner(const SimilaritySpec& sim, const WindowSpec& window,
+                             MinHashJoinerOptions options)
+    : sim_(sim), window_(window), options_(options) {
+  CHECK_GE(options_.bands, 1);
+  CHECK_GE(options_.rows, 1);
+  buckets_.resize(static_cast<size_t>(options_.bands));
+}
+
+std::vector<uint64_t> MinHashJoiner::BandKeys(const Record& r) const {
+  // MinHash via per-function mixing of token ids: h_i(tok) =
+  // Mix64(tok ^ seed_i); the signature entry is the minimum over tokens.
+  std::vector<uint64_t> keys(static_cast<size_t>(options_.bands));
+  uint64_t fn_seed = options_.seed;
+  for (int band = 0; band < options_.bands; ++band) {
+    uint64_t band_key = 0x9E3779B97F4A7C15ULL;
+    for (int row = 0; row < options_.rows; ++row) {
+      fn_seed = Mix64(fn_seed + 0xA24BAED4963EE407ULL);
+      uint64_t min_hash = ~0ULL;
+      for (const TokenId tok : r.tokens) {
+        min_hash = std::min(min_hash, Mix64(tok ^ fn_seed));
+      }
+      band_key = HashCombine(band_key, min_hash);
+    }
+    keys[static_cast<size_t>(band)] = band_key;
+  }
+  return keys;
+}
+
+void MinHashJoiner::EvictOldest() {
+  store_.pop_front();
+  ++base_;
+  ++stats_.evictions;
+}
+
+void MinHashJoiner::Evict(int64_t now) {
+  if (window_.kind != WindowSpec::Kind::kTime) return;
+  while (!store_.empty() && window_.ExpiredByTime(store_.front().record->timestamp, now)) {
+    EvictOldest();
+  }
+}
+
+void MinHashJoiner::Process(const RecordPtr& r, bool store, bool probe,
+                            const ResultCallback& cb) {
+  if (r->size() == 0) return;
+  Evict(r->timestamp);
+  const std::vector<uint64_t> keys = BandKeys(*r);
+
+  if (probe) {
+    ++stats_.probes;
+    ++probe_stamp_;
+    const size_t lo = sim_.LengthLowerBound(r->size());
+    const size_t hi = sim_.LengthUpperBound(r->size());
+    for (int band = 0; band < options_.bands; ++band) {
+      auto& band_buckets = buckets_[static_cast<size_t>(band)];
+      auto it = band_buckets.find(keys[static_cast<size_t>(band)]);
+      if (it == band_buckets.end()) continue;
+      std::vector<uint64_t>& list = it->second;
+      size_t write = 0;
+      for (size_t read = 0; read < list.size(); ++read) {
+        const uint64_t lid = list[read];
+        if (!Alive(lid)) {
+          ++stats_.dead_postings_purged;
+          continue;
+        }
+        list[write++] = lid;
+        ++stats_.postings_scanned;
+        auto [seen_it, inserted] = last_seen_.try_emplace(lid, probe_stamp_);
+        if (!inserted && seen_it->second == probe_stamp_) continue;  // already probed
+        seen_it->second = probe_stamp_;
+        const RecordPtr& s = store_[static_cast<size_t>(lid - base_)].record;
+        if (s->size() < lo || s->size() > hi) {
+          ++stats_.length_filtered;
+          continue;
+        }
+        ++stats_.candidates;
+        const size_t alpha = sim_.MinOverlap(r->size(), s->size());
+        const size_t o = VerifyOverlap(r->tokens, s->tokens, alpha, &stats_.verify);
+        if (o >= alpha) {
+          ++stats_.results;
+          cb(ResultPair{r->id, r->seq, s->id, s->seq});
+        }
+      }
+      list.resize(write);
+      if (list.empty()) band_buckets.erase(it);
+    }
+  }
+
+  if (store) {
+    while (window_.OverCount(store_.size())) EvictOldest();
+    const uint64_t local_id = base_ + store_.size();
+    for (int band = 0; band < options_.bands; ++band) {
+      buckets_[static_cast<size_t>(band)][keys[static_cast<size_t>(band)]].push_back(local_id);
+    }
+    store_.push_back(Stored{r, keys});
+    ++stats_.stores;
+  }
+}
+
+size_t MinHashJoiner::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Stored& s : store_) {
+    bytes += sizeof(Stored) + s.record->tokens.size() * sizeof(TokenId) +
+             s.band_keys.capacity() * sizeof(uint64_t);
+  }
+  for (const auto& band : buckets_) {
+    for (const auto& [_, list] : band) bytes += 48 + list.capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace dssj

@@ -1,0 +1,73 @@
+#ifndef DSSJ_CORE_MINHASH_JOINER_H_
+#define DSSJ_CORE_MINHASH_JOINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/local_joiner.h"
+#include "core/similarity.h"
+#include "core/window.h"
+
+namespace dssj {
+
+/// Configuration of the approximate joiner.
+struct MinHashJoinerOptions {
+  /// LSH shape: bands × rows hash functions. Two records collide in a band
+  /// with probability sim^rows; P(candidate) = 1 − (1 − t^rows)^bands.
+  /// The defaults (16 × 4) put the S-curve threshold near
+  /// (1/bands)^(1/rows) ≈ 0.5.
+  int bands = 16;
+  int rows = 4;
+  /// Seed of the hash family (same seed ⇒ same signatures everywhere).
+  uint64_t seed = 0x5EEDu;
+};
+
+/// Extension (paper future work): an *approximate* streaming joiner using
+/// MinHash signatures and banded LSH. Candidates come from band-bucket
+/// collisions instead of prefix filtering; every candidate is still
+/// verified exactly, so results have perfect precision but recall < 1
+/// (pairs whose signatures never collide are missed). Trades recall for
+/// probe cost independent of record length — useful far below the
+/// thresholds where prefix filtering stays selective.
+class MinHashJoiner : public LocalJoiner {
+ public:
+  MinHashJoiner(const SimilaritySpec& sim, const WindowSpec& window,
+                MinHashJoinerOptions options = {});
+
+  void Process(const RecordPtr& r, bool store, bool probe, const ResultCallback& cb) override;
+
+  size_t StoredCount() const override { return store_.size(); }
+  size_t MemoryBytes() const override;
+  const JoinerStats& stats() const override { return stats_; }
+
+ private:
+  struct Stored {
+    RecordPtr record;
+    std::vector<uint64_t> band_keys;  ///< one bucket key per band
+  };
+
+  bool Alive(uint64_t local_id) const { return local_id >= base_; }
+  void Evict(int64_t now);
+  void EvictOldest();
+  std::vector<uint64_t> BandKeys(const Record& r) const;
+
+  SimilaritySpec sim_;
+  WindowSpec window_;
+  MinHashJoinerOptions options_;
+
+  std::deque<Stored> store_;
+  uint64_t base_ = 0;
+  /// buckets_[band]: bucket key -> stored local ids (lazily purged).
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> buckets_;
+  /// Scratch: last probe stamp per candidate to dedup across bands.
+  std::unordered_map<uint64_t, uint64_t> last_seen_;
+  uint64_t probe_stamp_ = 0;
+
+  JoinerStats stats_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_MINHASH_JOINER_H_

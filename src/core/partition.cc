@@ -1,0 +1,386 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+void LengthHistogram::Add(size_t length) { AddWeighted(length, 1); }
+
+void LengthHistogram::AddWeighted(size_t length, uint64_t count) {
+  if (length >= counts_.size()) counts_.resize(length + 1, 0);
+  counts_[length] += count;
+  total_ += count;
+}
+
+void LengthHistogram::AddRecords(const std::vector<RecordPtr>& records) {
+  for (const RecordPtr& r : records) Add(r->size());
+}
+
+uint64_t LengthHistogram::CountAt(size_t length) const {
+  return length < counts_.size() ? counts_[length] : 0;
+}
+
+std::vector<double> ComputePerLengthLoad(const LengthHistogram& histogram,
+                                         const SimilaritySpec& sim) {
+  const std::vector<uint64_t>& f = histogram.counts();
+  const size_t n = f.size();
+  std::vector<double> load(n, 0.0);
+  if (n == 0) return load;
+
+  // Pairwise cost proxy: a stored record of length l' is a candidate of a
+  // probing record of length l with probability proportional to
+  // prefix(l)·prefix(l') (shared-prefix-token chance), and a candidate
+  // costs a merge proportional to (l + l'). So
+  //   w(l, l') = p(l)·p(l')·(l + l'),
+  // which stays additive per stored length via prefix sums of f·p and
+  // f·p·l.
+  std::vector<double> fp_ps(n + 1, 0.0), fpl_ps(n + 1, 0.0);
+  for (size_t l = 0; l < n; ++l) {
+    const double fp =
+        static_cast<double>(f[l]) * static_cast<double>(sim.PrefixLength(l));
+    fp_ps[l + 1] = fp_ps[l] + fp;
+    fpl_ps[l + 1] = fpl_ps[l] + fp * static_cast<double>(l);
+  }
+
+  for (size_t l = 0; l < n; ++l) {
+    if (f[l] == 0) continue;
+    // Lengths whose partner range covers l — by symmetry of the length
+    // bound, exactly the lengths in l's own partner range.
+    const size_t lo = sim.LengthLowerBound(l);
+    const size_t hi = std::min(sim.LengthUpperBound(l), n - 1);
+    if (lo > hi) continue;
+    const double fp_sum = fp_ps[hi + 1] - fp_ps[lo];
+    const double fpl_sum = fpl_ps[hi + 1] - fpl_ps[lo];
+    load[l] = static_cast<double>(f[l]) * static_cast<double>(sim.PrefixLength(l)) *
+              (fpl_sum + static_cast<double>(l) * fp_sum);
+  }
+  return load;
+}
+
+JoinCostModel::JoinCostModel(const LengthHistogram& histogram, const SimilaritySpec& sim)
+    : JoinCostModel(histogram, sim, Weights{}) {}
+
+JoinCostModel::JoinCostModel(const LengthHistogram& histogram, const SimilaritySpec& sim,
+                             Weights weights)
+    : sim_(sim), weights_(weights), max_length_(histogram.MaxLength()) {
+  const std::vector<double> load = ComputePerLengthLoad(histogram, sim);
+  const size_t n = load.size();
+  pair_load_ps_.assign(n + 1, 0.0);
+  count_ps_.assign(n + 1, 0.0);
+  for (size_t l = 0; l < n; ++l) {
+    pair_load_ps_[l + 1] = pair_load_ps_[l] + weights_.pair_cost * load[l];
+    count_ps_[l + 1] = count_ps_[l] + static_cast<double>(histogram.CountAt(l));
+  }
+}
+
+double JoinCostModel::IntervalCost(size_t a, size_t b) const {
+  DCHECK_LE(a, b);
+  const size_t n = pair_load_ps_.empty() ? 0 : pair_load_ps_.size() - 1;
+  if (n == 0) return 0.0;
+  const size_t hi = std::min(b, n - 1);
+  if (a > hi) return 0.0;
+  const double pair_work = pair_load_ps_[hi + 1] - pair_load_ps_[a];
+  // Probing lengths whose partner range intersects [a, b]: by the
+  // monotonicity of the bounds, exactly l ∈ [lb(a), ub(b)].
+  const size_t visit_lo = sim_.LengthLowerBound(a);
+  const size_t visit_hi = std::min(sim_.LengthUpperBound(hi), n - 1);
+  double visits = 0.0;
+  if (visit_lo <= visit_hi) {
+    visits = count_ps_[visit_hi + 1] - count_ps_[visit_lo];
+  }
+  return pair_work + weights_.visit_cost * visits;
+}
+
+LengthPartition::LengthPartition(std::vector<size_t> bounds) : bounds_(std::move(bounds)) {
+  CHECK_GE(bounds_.size(), 2u);
+  CHECK_EQ(bounds_.front(), 0u);
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i]) << "partition bounds must be strictly increasing";
+  }
+}
+
+int LengthPartition::PartitionOf(size_t length) const {
+  DCHECK_GE(bounds_.size(), 2u);
+  // Last bound b with b <= length; clamp into the final interval.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), length);
+  const int idx = static_cast<int>(it - bounds_.begin()) - 1;
+  return std::min(idx, num_partitions() - 1);
+}
+
+std::pair<int, int> LengthPartition::PartitionsCovering(size_t lo, size_t hi) const {
+  if (lo > hi) return {0, -1};
+  return {PartitionOf(lo), PartitionOf(hi)};
+}
+
+std::string LengthPartition::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << bounds_[i] << ".." << bounds_[i + 1] - 1;
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+/// Appends strictly increasing interior bounds + terminal bound to make a
+/// k-interval partition covering [0, ...).
+LengthPartition FinalizeBounds(std::vector<size_t> interior, size_t max_length, int k) {
+  std::vector<size_t> bounds{0};
+  for (size_t b : interior) {
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  // Force exactly k intervals: pad with bounds past max_length, or merge
+  // from the back if we somehow overshot.
+  while (static_cast<int>(bounds.size()) > k) bounds.pop_back();
+  size_t tail = std::max(max_length + 1, bounds.back() + 1);
+  while (static_cast<int>(bounds.size()) < k + 1) {
+    bounds.push_back(tail);
+    ++tail;
+  }
+  return LengthPartition(std::move(bounds));
+}
+
+}  // namespace
+
+LengthPartition PartitionUniform(size_t min_length, size_t max_length, int k) {
+  CHECK_GE(k, 1);
+  CHECK_LE(min_length, max_length);
+  const size_t span = max_length - min_length + 1;
+  const size_t width = std::max<size_t>(1, (span + k - 1) / static_cast<size_t>(k));
+  std::vector<size_t> interior;
+  for (int i = 1; i < k; ++i) interior.push_back(min_length + static_cast<size_t>(i) * width);
+  return FinalizeBounds(std::move(interior), max_length, k);
+}
+
+LengthPartition PartitionEqualFrequency(const LengthHistogram& histogram, int k) {
+  CHECK_GE(k, 1);
+  const std::vector<uint64_t>& f = histogram.counts();
+  const uint64_t total = histogram.TotalRecords();
+  std::vector<size_t> interior;
+  if (total > 0) {
+    uint64_t acc = 0;
+    int next_quantile = 1;
+    for (size_t l = 0; l < f.size() && next_quantile < k; ++l) {
+      acc += f[l];
+      while (next_quantile < k &&
+             acc * static_cast<uint64_t>(k) >= static_cast<uint64_t>(next_quantile) * total) {
+        interior.push_back(l + 1);
+        ++next_quantile;
+      }
+    }
+  }
+  return FinalizeBounds(std::move(interior), histogram.MaxLength(), k);
+}
+
+LengthPartition PartitionLoadAwareDP(const std::vector<double>& load, int k) {
+  CHECK_GE(k, 1);
+  const int n = static_cast<int>(load.size());
+  if (n == 0) return FinalizeBounds({}, 0, k);
+  if (k >= n) {
+    // One length per interval.
+    std::vector<size_t> interior;
+    for (int l = 1; l < n; ++l) interior.push_back(static_cast<size_t>(l));
+    return FinalizeBounds(std::move(interior), static_cast<size_t>(n - 1), k);
+  }
+
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + load[i];
+
+  constexpr double kInf = 1e300;
+  // dp[j][i]: best bottleneck splitting first i lengths into j intervals.
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<int>> choice(k + 1, std::vector<int>(n + 1, -1));
+  for (int i = 1; i <= n; ++i) dp[1][i] = prefix[i];
+  for (int j = 2; j <= k; ++j) {
+    for (int i = j; i <= n; ++i) {
+      for (int m = j - 1; m < i; ++m) {
+        const double candidate = std::max(dp[j - 1][m], prefix[i] - prefix[m]);
+        if (candidate < dp[j][i]) {
+          dp[j][i] = candidate;
+          choice[j][i] = m;
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> interior;
+  int i = n;
+  for (int j = k; j >= 2; --j) {
+    const int m = choice[j][i];
+    CHECK_GE(m, 1);
+    interior.push_back(static_cast<size_t>(m));
+    i = m;
+  }
+  std::reverse(interior.begin(), interior.end());
+  return FinalizeBounds(std::move(interior), static_cast<size_t>(n - 1), k);
+}
+
+namespace {
+
+/// Greedy feasibility: can `load` be split into <= k contiguous intervals
+/// each summing to <= budget? Fills `interior` with the boundaries chosen.
+bool GreedyFeasible(const std::vector<double>& load, int k, double budget,
+                    std::vector<size_t>* interior) {
+  if (interior != nullptr) interior->clear();
+  int used = 1;
+  double acc = 0.0;
+  for (size_t l = 0; l < load.size(); ++l) {
+    if (load[l] > budget) return false;
+    if (acc + load[l] > budget) {
+      ++used;
+      if (used > k) return false;
+      if (interior != nullptr) interior->push_back(l);
+      acc = 0.0;
+    }
+    acc += load[l];
+  }
+  return true;
+}
+
+}  // namespace
+
+LengthPartition PartitionLoadAwareGreedy(const std::vector<double>& load, int k) {
+  CHECK_GE(k, 1);
+  const size_t n = load.size();
+  if (n == 0) return FinalizeBounds({}, 0, k);
+
+  double lo = 0.0, hi = 0.0;
+  for (double w : load) {
+    lo = std::max(lo, w);
+    hi += w;
+  }
+  // Parametric search on the bottleneck budget.
+  for (int iter = 0; iter < 100 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (GreedyFeasible(load, k, mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<size_t> interior;
+  CHECK(GreedyFeasible(load, k, hi, &interior));
+  return FinalizeBounds(std::move(interior), n - 1, k);
+}
+
+LengthPartition PartitionByCostModelDP(const JoinCostModel& model, int k) {
+  CHECK_GE(k, 1);
+  const int n = static_cast<int>(model.max_length()) + 1;
+  if (n <= 1 || k >= n) {
+    std::vector<size_t> interior;
+    for (int l = 1; l < n; ++l) interior.push_back(static_cast<size_t>(l));
+    return FinalizeBounds(std::move(interior), model.max_length(), k);
+  }
+  constexpr double kInf = 1e300;
+  // dp[j][i]: best bottleneck owning lengths [0, i) with j intervals.
+  std::vector<std::vector<double>> dp(k + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<int>> choice(k + 1, std::vector<int>(n + 1, -1));
+  for (int i = 1; i <= n; ++i) dp[1][i] = model.IntervalCost(0, static_cast<size_t>(i - 1));
+  for (int j = 2; j <= k; ++j) {
+    for (int i = j; i <= n; ++i) {
+      for (int m = j - 1; m < i; ++m) {
+        const double candidate =
+            std::max(dp[j - 1][m],
+                     model.IntervalCost(static_cast<size_t>(m), static_cast<size_t>(i - 1)));
+        if (candidate < dp[j][i]) {
+          dp[j][i] = candidate;
+          choice[j][i] = m;
+        }
+      }
+    }
+  }
+  std::vector<size_t> interior;
+  int i = n;
+  for (int j = k; j >= 2; --j) {
+    const int m = choice[j][i];
+    CHECK_GE(m, 1);
+    interior.push_back(static_cast<size_t>(m));
+    i = m;
+  }
+  std::reverse(interior.begin(), interior.end());
+  return FinalizeBounds(std::move(interior), model.max_length(), k);
+}
+
+namespace {
+
+/// Greedy feasibility for a monotone interval-cost function: walk the
+/// length domain, extending the current interval while it stays within
+/// budget.
+bool ModelGreedyFeasible(const JoinCostModel& model, size_t n, int k, double budget,
+                         std::vector<size_t>* interior) {
+  if (interior != nullptr) interior->clear();
+  int used = 1;
+  size_t start = 0;
+  for (size_t l = 0; l < n; ++l) {
+    if (model.IntervalCost(start, l) > budget) {
+      if (l == start) return false;  // single length exceeds the budget
+      ++used;
+      if (used > k) return false;
+      if (interior != nullptr) interior->push_back(l);
+      start = l;
+      if (model.IntervalCost(start, l) > budget) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LengthPartition PartitionByCostModelGreedy(const JoinCostModel& model, int k) {
+  CHECK_GE(k, 1);
+  const size_t n = model.max_length() + 1;
+  double lo = 0.0, hi = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    lo = std::max(lo, model.IntervalCost(l, l));
+  }
+  hi = std::max(lo, model.IntervalCost(0, n - 1));
+  for (int iter = 0; iter < 100 && hi - lo > 1e-9 * std::max(1.0, hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ModelGreedyFeasible(model, n, k, mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<size_t> interior;
+  CHECK(ModelGreedyFeasible(model, n, k, hi, &interior));
+  return FinalizeBounds(std::move(interior), n - 1, k);
+}
+
+double BottleneckModelCost(const LengthPartition& partition, const JoinCostModel& model) {
+  double worst = 0.0;
+  for (int i = 0; i < partition.num_partitions(); ++i) {
+    const size_t from = partition.bounds()[i];
+    const size_t to = std::min(partition.bounds()[i + 1], model.max_length() + 1);
+    if (from >= to) continue;
+    worst = std::max(worst, model.IntervalCost(from, to - 1));
+  }
+  return worst;
+}
+
+double BottleneckLoad(const LengthPartition& partition, const std::vector<double>& load) {
+  double worst = 0.0;
+  for (int i = 0; i < partition.num_partitions(); ++i) {
+    double sum = 0.0;
+    const size_t from = partition.bounds()[i];
+    const size_t to = std::min(partition.bounds()[i + 1], load.size());
+    for (size_t l = from; l < to; ++l) sum += load[l];
+    worst = std::max(worst, sum);
+  }
+  return worst;
+}
+
+double MeanLoad(const LengthPartition& partition, const std::vector<double>& load) {
+  double total = 0.0;
+  for (double w : load) total += w;
+  return total / std::max(1, partition.num_partitions());
+}
+
+}  // namespace dssj

@@ -1,0 +1,154 @@
+#ifndef DSSJ_CORE_PARTITION_H_
+#define DSSJ_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/similarity.h"
+#include "text/record.h"
+
+namespace dssj {
+
+/// Histogram of record lengths observed in a sample of the stream; the
+/// input to the load-aware partitioner.
+class LengthHistogram {
+ public:
+  void Add(size_t length);
+  /// Adds `count` records of the given length at once.
+  void AddWeighted(size_t length, uint64_t count);
+  void AddRecords(const std::vector<RecordPtr>& records);
+
+  /// Count of records with exactly `length` tokens.
+  uint64_t CountAt(size_t length) const;
+  /// Largest length with a nonzero count (0 when empty).
+  size_t MaxLength() const { return counts_.empty() ? 0 : counts_.size() - 1; }
+  uint64_t TotalRecords() const { return total_; }
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Estimated local join load induced per *stored* length. For a stored
+/// record of length l', every incoming record of length l whose partner
+/// range covers l' pays filtering+verification cost against it; a standard
+/// proxy for that pairwise cost is (l + l'). The total is additive over
+/// stored lengths:
+///
+///   g(l') = f(l') · Σ_{l : l' ∈ [lb(l), ub(l)]} f(l) · (l + l')
+///
+/// which, because the eligibility relation is symmetric, is computed with
+/// prefix sums in O(L). Partition cost = Σ g over its interval, so
+/// minimizing the bottleneck is the classic linear-partitioning problem.
+std::vector<double> ComputePerLengthLoad(const LengthHistogram& histogram,
+                                         const SimilaritySpec& sim);
+
+/// A contiguous partition of the length domain [0, max] into k intervals.
+/// Interval i owns lengths [bounds[i], bounds[i+1]). bounds.front() == 0
+/// and bounds.back() > max so every length maps somewhere (out-of-sample
+/// lengths clamp into the edge intervals).
+class LengthPartition {
+ public:
+  LengthPartition() = default;
+  /// `bounds` must be strictly increasing with at least 2 entries.
+  explicit LengthPartition(std::vector<size_t> bounds);
+
+  int num_partitions() const { return static_cast<int>(bounds_.size()) - 1; }
+
+  /// Partition owning `length` (clamped into [0, num_partitions)).
+  int PartitionOf(size_t length) const;
+
+  /// All partitions whose interval intersects [lo, hi] (inclusive).
+  /// Returns an empty range when lo > hi.
+  std::pair<int, int> PartitionsCovering(size_t lo, size_t hi) const;
+
+  const std::vector<size_t>& bounds() const { return bounds_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<size_t> bounds_;
+};
+
+/// Full local-join cost model for a candidate interval of the length
+/// domain. Extends the additive per-stored-length load with the *probe
+/// visit* term the additive model cannot express: every incoming record
+/// whose partner range intersects the interval costs the owning joiner a
+/// fixed overhead (message handling, prefix lookups) even when it matches
+/// nothing. Interval cost is monotone under extension, so both the exact
+/// DP and the greedy parametric search apply unchanged.
+///
+///   cost([a,b]) = Σ_{l'∈[a,b]} g(l')                      (pair work)
+///               + visit_cost · Σ_l f(l)·[range(l) ∩ [a,b] ≠ ∅]   (visits)
+class JoinCostModel {
+ public:
+  struct Weights {
+    /// Scale of the pairwise term (token-merge units; keep at 1.0).
+    double pair_cost = 1.0;
+    /// Fixed cost of one probe visit, in the same units. Calibrate as
+    /// (per-message overhead in ns) / (ns per merged token); ~500-1000 for
+    /// this engine.
+    double visit_cost = 600.0;
+  };
+
+  JoinCostModel(const LengthHistogram& histogram, const SimilaritySpec& sim,
+                Weights weights);
+  /// Uses the default Weights.
+  JoinCostModel(const LengthHistogram& histogram, const SimilaritySpec& sim);
+
+  /// Cost of owning lengths [a, b] (inclusive). Requires a <= b.
+  double IntervalCost(size_t a, size_t b) const;
+
+  /// Largest length with nonzero count.
+  size_t max_length() const { return max_length_; }
+
+ private:
+  SimilaritySpec sim_;
+  Weights weights_;
+  size_t max_length_ = 0;
+  std::vector<double> pair_load_ps_;  ///< prefix sums of per-length pair load
+  std::vector<double> count_ps_;      ///< prefix sums of record counts
+};
+
+/// Bottleneck-optimal contiguous partition for a full cost model (exact
+/// DP, O(L²k)).
+LengthPartition PartitionByCostModelDP(const JoinCostModel& model, int k);
+
+/// Parametric-search equivalent of PartitionByCostModelDP, O(L log ΣW).
+LengthPartition PartitionByCostModelGreedy(const JoinCostModel& model, int k);
+
+/// Max interval cost under the model (the quantity the two functions above
+/// minimize).
+double BottleneckModelCost(const LengthPartition& partition, const JoinCostModel& model);
+
+/// Equal-width intervals over [min_length, max_length] — the naive
+/// baseline.
+LengthPartition PartitionUniform(size_t min_length, size_t max_length, int k);
+
+/// Intervals holding (approximately) equal record *counts* — balances
+/// storage, not join cost.
+LengthPartition PartitionEqualFrequency(const LengthHistogram& histogram, int k);
+
+/// Exact bottleneck-optimal contiguous partition by dynamic programming,
+/// O(L²·k). Use for modest length domains and as the optimality oracle in
+/// tests.
+LengthPartition PartitionLoadAwareDP(const std::vector<double>& load, int k);
+
+/// Bottleneck-optimal contiguous partition via parametric search (binary
+/// search on the bottleneck value + greedy feasibility), O(L log ΣW).
+/// Produces a partition whose bottleneck equals the DP optimum.
+LengthPartition PartitionLoadAwareGreedy(const std::vector<double>& load, int k);
+
+/// Max interval load under `partition` (the quantity both load-aware
+/// algorithms minimize).
+double BottleneckLoad(const LengthPartition& partition, const std::vector<double>& load);
+
+/// Mean interval load (bottleneck / mean = imbalance factor).
+double MeanLoad(const LengthPartition& partition, const std::vector<double>& load);
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_PARTITION_H_

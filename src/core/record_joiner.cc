@@ -1,0 +1,188 @@
+#include "core/record_joiner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+RecordJoiner::RecordJoiner(const SimilaritySpec& sim, const WindowSpec& window,
+                           RecordJoinerOptions options)
+    : sim_(sim), window_(window), options_(std::move(options)) {
+  if (options_.dedup_by_min_prefix_token) {
+    CHECK(options_.token_filter != nullptr)
+        << "dedup_by_min_prefix_token requires a token_filter";
+  }
+  // The positional filter's upper bound assumes the accumulated count covers
+  // *every* common token in the scanned prefix region. Under a token filter
+  // unowned common tokens are invisible, the count undercounts, and the
+  // bound would prune true pairs — so the filter must be off.
+  if (options_.token_filter != nullptr) options_.positional_filter = false;
+}
+
+void RecordJoiner::Evict(int64_t now) {
+  if (window_.kind != WindowSpec::Kind::kTime) return;
+  while (!store_.empty() && window_.ExpiredByTime(store_.front()->timestamp, now)) {
+    store_.pop_front();
+    ++base_;
+    ++stats_.evictions;
+  }
+}
+
+namespace {
+
+/// Smallest token common to both records' streaming prefixes, or
+/// TokenDictionary-style "no token" when the prefixes are disjoint. For a
+/// pair that satisfies the similarity predicate the prefixes always
+/// intersect (prefix filtering principle), so callers may treat the
+/// no-token case as "do not emit".
+constexpr TokenId kNoCommonToken = ~static_cast<TokenId>(0);
+
+TokenId MinCommonPrefixToken(const SimilaritySpec& sim, const Record& a, const Record& b) {
+  const size_t pa = sim.PrefixLength(a.size());
+  const size_t pb = sim.PrefixLength(b.size());
+  size_t i = 0, j = 0;
+  while (i < pa && j < pb) {
+    if (a.tokens[i] == b.tokens[j]) return a.tokens[i];
+    if (a.tokens[i] < b.tokens[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return kNoCommonToken;
+}
+
+}  // namespace
+
+void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
+  ++stats_.probes;
+  const size_t prefix_len = sim_.PrefixLength(r.size());
+  if (prefix_len == 0) return;
+  const size_t lo = sim_.LengthLowerBound(r.size());
+  const size_t hi = sim_.LengthUpperBound(r.size());
+
+  cand_overlap_.clear();
+  cand_order_.clear();
+
+  // Candidate generation over the probe prefix's posting lists. Dead
+  // postings are compacted away in passing.
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const TokenId w = r.tokens[i];
+    if (options_.token_filter != nullptr && !options_.token_filter(w)) continue;
+    auto it = index_.find(w);
+    if (it == index_.end()) continue;
+    std::vector<Posting>& list = it->second;
+    size_t write = 0;
+    for (size_t read = 0; read < list.size(); ++read) {
+      const Posting p = list[read];
+      if (!Alive(p.local_id)) {
+        ++stats_.dead_postings_purged;
+        continue;
+      }
+      list[write++] = p;
+      ++stats_.postings_scanned;
+      const RecordPtr& s = StoredAt(p.local_id);
+      if (s->size() < lo || s->size() > hi) {
+        ++stats_.length_filtered;
+        continue;
+      }
+      auto [cit, inserted] = cand_overlap_.try_emplace(p.local_id, 0);
+      if (inserted) cand_order_.push_back(p.local_id);
+      int32_t& ov = cit->second;
+      if (ov < 0) continue;  // already pruned by the positional filter
+      if (options_.positional_filter) {
+        const size_t alpha = sim_.MinOverlap(r.size(), s->size());
+        const size_t upper = static_cast<size_t>(ov) + 1 +
+                             std::min(r.size() - i - 1, s->size() - p.position - 1);
+        if (upper < alpha) {
+          ov = -1;
+          ++stats_.position_filtered;
+          continue;
+        }
+      }
+      ++ov;
+    }
+    list.resize(write);
+    if (list.empty()) index_.erase(it);
+  }
+
+  // Verification.
+  for (const uint64_t lid : cand_order_) {
+    const int32_t ov = cand_overlap_[lid];
+    if (ov < 0) continue;
+    const RecordPtr& s = StoredAt(lid);
+    ++stats_.candidates;
+    const size_t alpha = sim_.MinOverlap(r.size(), s->size());
+    if (options_.suffix_filter) {
+      // overlap = (|r| + |s| − |r △ s|) / 2, so overlap >= alpha requires
+      // |r △ s| <= |r| + |s| − 2·alpha.
+      const size_t budget = r.size() + s->size() - 2 * alpha;
+      if (SymmetricDifferenceLowerBound(r.tokens, s->tokens,
+                                        options_.suffix_filter_depth) > budget) {
+        ++stats_.suffix_filtered;
+        continue;
+      }
+    }
+    const size_t o = VerifyOverlap(r.tokens, s->tokens, alpha, &stats_.verify);
+    if (o < alpha) continue;
+    if (options_.dedup_by_min_prefix_token) {
+      const TokenId w = MinCommonPrefixToken(sim_, r, *s);
+      if (w == kNoCommonToken || !options_.token_filter(w)) continue;
+    }
+    ++stats_.results;
+    cb(ResultPair{r.id, r.seq, s->id, s->seq});
+  }
+}
+
+void RecordJoiner::Store(const RecordPtr& r) {
+  while (window_.OverCount(store_.size())) {
+    store_.pop_front();
+    ++base_;
+    ++stats_.evictions;
+  }
+  const uint64_t local_id = base_ + store_.size();
+  store_.push_back(r);
+  const size_t prefix_len = sim_.PrefixLength(r->size());
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const TokenId w = r->tokens[i];
+    if (options_.token_filter != nullptr && !options_.token_filter(w)) continue;
+    index_[w].push_back(Posting{local_id, static_cast<uint32_t>(i)});
+  }
+  ++stats_.stores;
+}
+
+void RecordJoiner::Process(const RecordPtr& r, bool store, bool probe,
+                           const ResultCallback& cb) {
+  if (r->size() == 0) return;
+  Evict(r->timestamp);
+  if (probe) Probe(*r, cb);
+  if (store) Store(r);
+}
+
+void RecordJoiner::CompactIndex() {
+  for (auto it = index_.begin(); it != index_.end();) {
+    std::vector<Posting>& list = it->second;
+    size_t write = 0;
+    for (size_t read = 0; read < list.size(); ++read) {
+      if (Alive(list[read].local_id)) {
+        list[write++] = list[read];
+      } else {
+        ++stats_.dead_postings_purged;
+      }
+    }
+    list.resize(write);
+    it = list.empty() ? index_.erase(it) : std::next(it);
+  }
+}
+
+size_t RecordJoiner::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const RecordPtr& s : store_) bytes += sizeof(Record) + s->tokens.size() * sizeof(TokenId);
+  for (const auto& [_, list] : index_) {
+    bytes += sizeof(TokenId) + 48 + list.capacity() * sizeof(Posting);
+  }
+  return bytes;
+}
+
+}  // namespace dssj

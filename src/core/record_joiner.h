@@ -1,0 +1,102 @@
+#ifndef DSSJ_CORE_RECORD_JOINER_H_
+#define DSSJ_CORE_RECORD_JOINER_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/local_joiner.h"
+#include "core/similarity.h"
+#include "core/window.h"
+
+namespace dssj {
+
+/// Configuration of the record-at-a-time joiner.
+struct RecordJoinerOptions {
+  /// Apply the PPJoin positional filter during candidate generation.
+  bool positional_filter = true;
+
+  /// Apply the PPJoin+ suffix filter before full verification: prune a
+  /// candidate when the divide-and-conquer symmetric-difference bound
+  /// (depth `suffix_filter_depth`) proves the required overlap is
+  /// unreachable. Off by default (the paper's joiner uses prefix +
+  /// length + positional filtering); an extension measured in E10.
+  bool suffix_filter = false;
+  int suffix_filter_depth = 3;
+
+  /// When set, only tokens passing the filter are indexed and probed (the
+  /// prefix-token distribution strategy assigns each worker a token
+  /// subset). Null means all prefix tokens.
+  std::function<bool(TokenId)> token_filter;
+
+  /// When set, a verified pair is emitted only if the smallest common token
+  /// of the two records' prefixes passes `token_filter` — the
+  /// prefix-distribution dedup rule ensuring each pair is reported by
+  /// exactly one worker. Requires token_filter.
+  bool dedup_by_min_prefix_token = false;
+};
+
+/// Streaming PPJoin-style joiner: an inverted index over the prefix tokens
+/// of stored records; probes scan the probe prefix's posting lists with
+/// length and positional filtering, then merge-verify surviving candidates.
+/// In the streaming setting probe prefix == index prefix (partners may be
+/// shorter or longer), see SimilaritySpec::PrefixLength.
+///
+/// Expired records are dropped from the window eagerly and purged from
+/// posting lists lazily (compacted in place whenever a list is scanned).
+class RecordJoiner : public LocalJoiner {
+ public:
+  RecordJoiner(const SimilaritySpec& sim, const WindowSpec& window,
+               RecordJoinerOptions options = {});
+
+  void Process(const RecordPtr& r, bool store, bool probe, const ResultCallback& cb) override;
+
+  size_t StoredCount() const override { return store_.size(); }
+  size_t MemoryBytes() const override;
+  const JoinerStats& stats() const override { return stats_; }
+
+  /// Eagerly removes every dead posting (normally removal is amortized into
+  /// probe scans). Exposed for memory experiments.
+  void CompactIndex();
+
+ private:
+  struct Posting {
+    uint64_t local_id;  ///< store slot; dead iff < base_
+    uint32_t position;  ///< token position within the stored record
+  };
+
+  struct Candidate {
+    uint64_t local_id;
+    int32_t overlap_in_prefix;  ///< matches seen during prefix scan; -1 = pruned
+  };
+
+  bool Alive(uint64_t local_id) const { return local_id >= base_; }
+  const RecordPtr& StoredAt(uint64_t local_id) const {
+    return store_[static_cast<size_t>(local_id - base_)];
+  }
+
+  void Evict(int64_t now);
+  void Probe(const Record& r, const ResultCallback& cb);
+  void Store(const RecordPtr& r);
+
+  SimilaritySpec sim_;
+  WindowSpec window_;
+  RecordJoinerOptions options_;
+
+  // Window of stored records, FIFO. Slot of store_[i] is base_ + i.
+  std::deque<RecordPtr> store_;
+  uint64_t base_ = 0;
+
+  std::unordered_map<TokenId, std::vector<Posting>> index_;
+
+  // Scratch for candidate accumulation, reused across probes.
+  std::unordered_map<uint64_t, int32_t> cand_overlap_;
+  std::vector<uint64_t> cand_order_;
+
+  JoinerStats stats_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_RECORD_JOINER_H_

@@ -1,0 +1,91 @@
+#include "core/repartition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+DecayingLengthHistogram::DecayingLengthHistogram(uint64_t half_life_records) {
+  CHECK_GE(half_life_records, 1u);
+  // Each record's weight is weight_ at insertion; making weight_ grow by
+  // 2^(1/half_life) per record is equivalent to decaying old entries.
+  growth_per_record_ = std::exp2(1.0 / static_cast<double>(half_life_records));
+}
+
+void DecayingLengthHistogram::Add(size_t length) {
+  if (length >= counts_.size()) counts_.resize(length + 1, 0.0);
+  counts_[length] += weight_;
+  total_weight_ += weight_;
+  weight_ *= growth_per_record_;
+  if (weight_ > 1e12) Renormalize();
+}
+
+void DecayingLengthHistogram::Renormalize() {
+  const double inv = 1.0 / weight_;
+  for (double& c : counts_) c *= inv;
+  total_weight_ *= inv;
+  weight_ = 1.0;
+}
+
+double DecayingLengthHistogram::EffectiveCount() const { return total_weight_ / weight_; }
+
+LengthHistogram DecayingLengthHistogram::Snapshot() const {
+  LengthHistogram histogram;
+  // Scale so a just-added record counts 65536 — integer rounding then
+  // keeps 16 bits of relative resolution for old, heavily decayed mass.
+  const double scale = 65536.0 / weight_;
+  for (size_t l = 0; l < counts_.size(); ++l) {
+    const auto count = static_cast<uint64_t>(std::llround(counts_[l] * scale));
+    if (count > 0) histogram.AddWeighted(l, count);
+  }
+  return histogram;
+}
+
+RepartitionAdvisor::RepartitionAdvisor(const SimilaritySpec& sim, int num_partitions,
+                                       RepartitionPolicy policy, uint64_t half_life_records)
+    : sim_(sim),
+      num_partitions_(num_partitions),
+      policy_(policy),
+      monitor_(half_life_records) {
+  CHECK_GE(num_partitions_, 1);
+}
+
+void RepartitionAdvisor::ObserveLength(size_t length) { monitor_.Add(length); }
+
+MigrationPlan RepartitionAdvisor::Evaluate(const LengthPartition& current,
+                                           const LengthHistogram& stored_window) const {
+  MigrationPlan plan;
+  const LengthHistogram recent = monitor_.Snapshot();
+  if (recent.TotalRecords() == 0) {
+    plan.new_partition = current;
+    return plan;
+  }
+  const std::vector<double> load = ComputePerLengthLoad(recent, sim_);
+  plan.new_partition = PartitionLoadAwareGreedy(load, num_partitions_);
+  plan.current_bottleneck = BottleneckLoad(current, load);
+  plan.new_bottleneck = BottleneckLoad(plan.new_partition, load);
+  plan.improvement_factor = plan.new_bottleneck > 0.0
+                                ? plan.current_bottleneck / plan.new_bottleneck
+                                : 1.0;
+
+  uint64_t total_stored = 0;
+  for (size_t l = 0; l <= stored_window.MaxLength(); ++l) {
+    const uint64_t count = stored_window.CountAt(l);
+    if (count == 0) continue;
+    total_stored += count;
+    if (current.PartitionOf(l) != plan.new_partition.PartitionOf(l)) {
+      plan.records_to_move += count;
+      plan.bytes_to_move += count * (24 + 4 * static_cast<uint64_t>(l));
+    }
+  }
+  plan.move_fraction = total_stored > 0 ? static_cast<double>(plan.records_to_move) /
+                                              static_cast<double>(total_stored)
+                                        : 0.0;
+  plan.recommended = plan.improvement_factor >= policy_.min_improvement &&
+                     plan.move_fraction <= policy_.max_move_fraction;
+  return plan;
+}
+
+}  // namespace dssj

@@ -1,0 +1,98 @@
+#ifndef DSSJ_CORE_REPARTITION_H_
+#define DSSJ_CORE_REPARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/similarity.h"
+
+namespace dssj {
+
+/// Exponentially decayed length histogram: recent stream records weigh
+/// more, so the snapshot tracks non-stationary length distributions. One
+/// record of "weight" decays by `half_life_records` halving.
+class DecayingLengthHistogram {
+ public:
+  /// Requires half_life_records >= 1.
+  explicit DecayingLengthHistogram(uint64_t half_life_records);
+
+  void Add(size_t length);
+
+  /// The decayed distribution as an integer histogram (counts scaled so
+  /// that the total equals the *effective* number of recent records).
+  LengthHistogram Snapshot() const;
+
+  /// Effective (decayed) record count.
+  double EffectiveCount() const;
+
+ private:
+  void Renormalize();
+
+  double growth_per_record_;
+  double weight_ = 1.0;
+  double total_weight_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Outcome of evaluating a repartition opportunity.
+struct MigrationPlan {
+  LengthPartition new_partition;
+  /// Estimated bottleneck load of the current / new partition under the
+  /// *current* (recent) length distribution.
+  double current_bottleneck = 0.0;
+  double new_bottleneck = 0.0;
+  /// current_bottleneck / new_bottleneck; > 1 means the new partition is
+  /// predicted better.
+  double improvement_factor = 1.0;
+  /// Stored records whose owner changes (must be shipped between joiners)
+  /// and their estimated bytes, from the stored-window histogram.
+  uint64_t records_to_move = 0;
+  uint64_t bytes_to_move = 0;
+  double move_fraction = 0.0;  ///< records_to_move / window size
+  bool recommended = false;
+};
+
+/// When a replan is worth its migration cost.
+struct RepartitionPolicy {
+  /// Replan only when the predicted bottleneck shrinks at least this much.
+  double min_improvement = 1.2;
+  /// Never move more than this fraction of the stored window at once.
+  double max_move_fraction = 0.5;
+};
+
+/// Watches the incoming stream's length distribution (decayed) and, on
+/// demand, proposes a better length partition together with its predicted
+/// benefit and migration cost. The paper plans the partition from a sample
+/// of the stream; this extension closes the loop for non-stationary
+/// streams (live state migration itself is out of scope — callers decide
+/// when to apply the plan, e.g. at window boundaries).
+class RepartitionAdvisor {
+ public:
+  RepartitionAdvisor(const SimilaritySpec& sim, int num_partitions,
+                     RepartitionPolicy policy = {},
+                     uint64_t half_life_records = 20000);
+
+  /// Feed every incoming record's length.
+  void ObserveLength(size_t length);
+
+  /// Evaluates replacing `current` with a freshly planned partition.
+  /// `stored_window` is the length histogram of records currently held by
+  /// the joiners (for migration cost); pass the recent-stream snapshot if
+  /// unknown.
+  MigrationPlan Evaluate(const LengthPartition& current,
+                         const LengthHistogram& stored_window) const;
+
+  /// The recent-stream histogram (decayed).
+  LengthHistogram RecentHistogram() const { return monitor_.Snapshot(); }
+
+ private:
+  SimilaritySpec sim_;
+  int num_partitions_;
+  RepartitionPolicy policy_;
+  DecayingLengthHistogram monitor_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_REPARTITION_H_

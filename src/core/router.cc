@@ -1,0 +1,92 @@
+#include "core/router.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dssj {
+
+LengthRouter::LengthRouter(const SimilaritySpec& sim, LengthPartition partition)
+    : sim_(sim), partition_(std::move(partition)) {
+  CHECK_GE(partition_.num_partitions(), 1);
+}
+
+void LengthRouter::Route(const Record& r, std::vector<RouteTarget>& out) {
+  out.clear();
+  const size_t l = r.size();
+  if (l == 0 || sim_.PrefixLength(l) == 0) return;  // cannot be in any pair
+  const int owner = partition_.PartitionOf(l);
+  const size_t lo = sim_.LengthLowerBound(l);
+  const size_t hi = sim_.LengthUpperBound(l);
+  const auto [first, last] = partition_.PartitionsCovering(lo, hi);
+  DCHECK_LE(first, owner);
+  DCHECK_GE(last, owner);
+  for (int p = first; p <= last; ++p) {
+    out.push_back(RouteTarget{p, /*store=*/p == owner, /*probe=*/true});
+  }
+}
+
+BroadcastRouter::BroadcastRouter(int num_partitions) : k_(num_partitions) {
+  CHECK_GE(k_, 1);
+}
+
+void BroadcastRouter::Route(const Record& r, std::vector<RouteTarget>& out) {
+  out.clear();
+  if (r.size() == 0) return;
+  const int owner = static_cast<int>(rr_++ % static_cast<uint64_t>(k_));
+  for (int p = 0; p < k_; ++p) {
+    out.push_back(RouteTarget{p, /*store=*/p == owner, /*probe=*/true});
+  }
+}
+
+ReplicatedRouter::ReplicatedRouter(int num_partitions) : k_(num_partitions) {
+  CHECK_GE(k_, 1);
+}
+
+void ReplicatedRouter::Route(const Record& r, std::vector<RouteTarget>& out) {
+  out.clear();
+  if (r.size() == 0) return;
+  const int prober = static_cast<int>(rr_++ % static_cast<uint64_t>(k_));
+  for (int p = 0; p < k_; ++p) {
+    out.push_back(RouteTarget{p, /*store=*/true, /*probe=*/p == prober});
+  }
+}
+
+PrefixRouter::PrefixRouter(const SimilaritySpec& sim, int num_partitions)
+    : sim_(sim), k_(num_partitions) {
+  CHECK_GE(k_, 1);
+}
+
+int PrefixRouter::OwnerOf(TokenId token) const {
+  return static_cast<int>(Mix64(token) % static_cast<uint64_t>(k_));
+}
+
+void PrefixRouter::Route(const Record& r, std::vector<RouteTarget>& out) {
+  out.clear();
+  const size_t prefix_len = sim_.PrefixLength(r.size());
+  if (prefix_len == 0) return;
+  // Distinct owners of the prefix tokens.
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const int p = OwnerOf(r.tokens[i]);
+    bool seen = false;
+    for (const RouteTarget& t : out) {
+      if (t.partition == p) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(RouteTarget{p, /*store=*/true, /*probe=*/true});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RouteTarget& a, const RouteTarget& b) { return a.partition < b.partition; });
+}
+
+std::function<bool(TokenId)> PrefixRouter::TokenFilterFor(int partition) const {
+  const int k = k_;
+  return [partition, k](TokenId token) {
+    return static_cast<int>(Mix64(token) % static_cast<uint64_t>(k)) == partition;
+  };
+}
+
+}  // namespace dssj

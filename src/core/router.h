@@ -1,0 +1,124 @@
+#ifndef DSSJ_CORE_ROUTER_H_
+#define DSSJ_CORE_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/similarity.h"
+#include "text/record.h"
+
+namespace dssj {
+
+/// One destination of a dispatched record. `store` asks the joiner
+/// partition to index the record; `probe` asks it to join the record
+/// against its stored window. A destination may do either or both.
+struct RouteTarget {
+  int partition = -1;
+  bool store = false;
+  bool probe = false;
+
+  friend bool operator==(const RouteTarget& a, const RouteTarget& b) = default;
+};
+
+/// A distribution strategy: maps each incoming record to joiner partitions.
+/// Routers are used inside dispatcher bolts; one instance per dispatcher
+/// task, so implementations may keep cheap mutable state (e.g. round-robin
+/// counters) without synchronization.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Computes the destinations of `r`. `out` is cleared first. A record
+  /// that cannot participate in any result (e.g. empty) gets no targets.
+  virtual void Route(const Record& r, std::vector<RouteTarget>& out) = 0;
+
+  virtual int num_partitions() const = 0;
+
+  /// For token-partitioned strategies: the ownership predicate joiner
+  /// `partition` must apply to prefix tokens. Null for strategies whose
+  /// joiners index complete prefixes.
+  virtual std::function<bool(TokenId)> TokenFilterFor(int /*partition*/) const {
+    return nullptr;
+  }
+
+  /// True when joiners must apply the min-common-prefix-token dedup rule
+  /// (a pair can be verified at several partitions).
+  virtual bool RequiresPrefixDedup() const { return false; }
+};
+
+/// The paper's length-based distribution: a record is stored at exactly the
+/// partition owning its length and probed at every partition whose interval
+/// intersects its partner-length range. No replication; probe fan-out
+/// bounded by the (narrow) length range.
+class LengthRouter : public Router {
+ public:
+  LengthRouter(const SimilaritySpec& sim, LengthPartition partition);
+
+  void Route(const Record& r, std::vector<RouteTarget>& out) override;
+  int num_partitions() const override { return partition_.num_partitions(); }
+
+  const LengthPartition& partition() const { return partition_; }
+
+ private:
+  SimilaritySpec sim_;
+  LengthPartition partition_;
+};
+
+/// Baseline: store at one partition (round-robin) and probe everywhere.
+/// No index replication but probe traffic scales with the partition count.
+class BroadcastRouter : public Router {
+ public:
+  explicit BroadcastRouter(int num_partitions);
+
+  void Route(const Record& r, std::vector<RouteTarget>& out) override;
+  int num_partitions() const override { return k_; }
+
+ private:
+  int k_;
+  uint64_t rr_ = 0;
+};
+
+/// Baseline: the mirror of broadcast — store at *every* partition, probe
+/// only one (round-robin). One probe message per record, but the index is
+/// replicated k times (memory and store traffic scale with the partition
+/// count). Because each joiner holds the complete window, count windows
+/// keep global semantics under this strategy.
+class ReplicatedRouter : public Router {
+ public:
+  explicit ReplicatedRouter(int num_partitions);
+
+  void Route(const Record& r, std::vector<RouteTarget>& out) override;
+  int num_partitions() const override { return k_; }
+
+ private:
+  int k_;
+  uint64_t rr_ = 0;
+};
+
+/// Baseline: prefix-token distribution (Vernica-join style, adapted to
+/// streams). Each partition owns a hash share of the token space; a record
+/// is sent (store+probe) to every partition owning one of its prefix
+/// tokens. Joiners index/probe only owned tokens and emit a pair only at
+/// the owner of the smallest common prefix token.
+class PrefixRouter : public Router {
+ public:
+  PrefixRouter(const SimilaritySpec& sim, int num_partitions);
+
+  void Route(const Record& r, std::vector<RouteTarget>& out) override;
+  int num_partitions() const override { return k_; }
+  std::function<bool(TokenId)> TokenFilterFor(int partition) const override;
+  bool RequiresPrefixDedup() const override { return true; }
+
+  /// Partition owning `token`.
+  int OwnerOf(TokenId token) const;
+
+ private:
+  SimilaritySpec sim_;
+  int k_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_ROUTER_H_

@@ -1,0 +1,183 @@
+#include "core/similarity.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dssj {
+namespace {
+
+constexpr int64_t P = SimilaritySpec::kPermille;
+
+/// ceil(a / b) for non-negative a, positive b.
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// o² P² as a 128-bit value (cosine accept test LHS).
+unsigned __int128 CosineLhs(int64_t o) {
+  return static_cast<unsigned __int128>(o) * static_cast<unsigned __int128>(o) *
+         static_cast<unsigned __int128>(P * P);
+}
+
+}  // namespace
+
+const char* SimilarityFunctionName(SimilarityFunction fn) {
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return "jaccard";
+    case SimilarityFunction::kCosine:
+      return "cosine";
+    case SimilarityFunction::kDice:
+      return "dice";
+    case SimilarityFunction::kOverlap:
+      return "overlap";
+  }
+  return "unknown";
+}
+
+SimilaritySpec::SimilaritySpec(SimilarityFunction fn, int64_t threshold_permille)
+    : fn_(fn), p_(threshold_permille) {
+  if (fn_ == SimilarityFunction::kOverlap) {
+    CHECK_GE(p_, 1) << "overlap threshold is an absolute count >= 1";
+  } else {
+    CHECK_GE(p_, 1) << "threshold permille must be in [1, 1000]";
+    CHECK_LE(p_, P) << "threshold permille must be in [1, 1000]";
+  }
+}
+
+bool SimilaritySpec::Satisfies(size_t o, size_t l1, size_t l2) const {
+  if (l1 == 0 || l2 == 0) return false;
+  DCHECK_LE(l1, kMaxLength);
+  DCHECK_LE(l2, kMaxLength);
+  const int64_t oo = static_cast<int64_t>(o);
+  const int64_t a = static_cast<int64_t>(l1);
+  const int64_t b = static_cast<int64_t>(l2);
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      // o / (l1 + l2 - o) >= p/P  ⇔  o (P + p) >= p (l1 + l2)
+      return oo * (P + p_) >= p_ * (a + b);
+    case SimilarityFunction::kCosine:
+      // o / sqrt(l1 l2) >= p/P  ⇔  o² P² >= p² l1 l2
+      return CosineLhs(oo) >= static_cast<unsigned __int128>(p_ * p_) *
+                                  static_cast<unsigned __int128>(a) *
+                                  static_cast<unsigned __int128>(b);
+    case SimilarityFunction::kDice:
+      // 2o / (l1 + l2) >= p/P  ⇔  2 P o >= p (l1 + l2)
+      return 2 * P * oo >= p_ * (a + b);
+    case SimilarityFunction::kOverlap:
+      return oo >= p_;
+  }
+  return false;
+}
+
+size_t SimilaritySpec::MinOverlap(size_t l1, size_t l2) const {
+  if (l1 == 0 || l2 == 0) return 1;  // unsatisfiable: o <= 0 < 1
+  const int64_t a = static_cast<int64_t>(l1);
+  const int64_t b = static_cast<int64_t>(l2);
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      return static_cast<size_t>(CeilDiv(p_ * (a + b), P + p_));
+    case SimilarityFunction::kCosine: {
+      const unsigned __int128 rhs = static_cast<unsigned __int128>(p_ * p_) *
+                                    static_cast<unsigned __int128>(a) *
+                                    static_cast<unsigned __int128>(b);
+      // Estimate with doubles, then fix up exactly.
+      int64_t o = static_cast<int64_t>(
+          std::ceil(std::sqrt(static_cast<double>(p_ * p_) * static_cast<double>(a) *
+                              static_cast<double>(b)) /
+                        static_cast<double>(P) -
+                    1e-9));
+      if (o < 0) o = 0;
+      while (CosineLhs(o) < rhs) ++o;
+      while (o > 0 && CosineLhs(o - 1) >= rhs) --o;
+      return static_cast<size_t>(o);
+    }
+    case SimilarityFunction::kDice:
+      return static_cast<size_t>(CeilDiv(p_ * (a + b), 2 * P));
+    case SimilarityFunction::kOverlap:
+      return static_cast<size_t>(p_);
+  }
+  return 1;
+}
+
+size_t SimilaritySpec::LengthLowerBound(size_t l) const {
+  if (l == 0) return 0;
+  const int64_t a = static_cast<int64_t>(l);
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      return static_cast<size_t>(CeilDiv(p_ * a, P));
+    case SimilarityFunction::kCosine:
+      return static_cast<size_t>(CeilDiv(p_ * p_ * a, P * P));
+    case SimilarityFunction::kDice:
+      return static_cast<size_t>(CeilDiv(p_ * a, 2 * P - p_));
+    case SimilarityFunction::kOverlap:
+      return static_cast<size_t>(p_);
+  }
+  return 0;
+}
+
+size_t SimilaritySpec::LengthUpperBound(size_t l) const {
+  if (l == 0) return 0;
+  const int64_t a = static_cast<int64_t>(l);
+  int64_t hi = 0;
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      hi = P * a / p_;
+      break;
+    case SimilarityFunction::kCosine:
+      hi = P * P * a / (p_ * p_);
+      break;
+    case SimilarityFunction::kDice:
+      hi = (2 * P - p_) * a / p_;
+      break;
+    case SimilarityFunction::kOverlap:
+      hi = static_cast<int64_t>(kMaxLength);
+      break;
+  }
+  return static_cast<size_t>(std::min<int64_t>(hi, static_cast<int64_t>(kMaxLength)));
+}
+
+size_t SimilaritySpec::PrefixLength(size_t l) const {
+  if (l == 0) return 0;
+  if (fn_ == SimilarityFunction::kOverlap) {
+    return l < static_cast<size_t>(p_) ? 0 : l - static_cast<size_t>(p_) + 1;
+  }
+  // The minimum overlap over all eligible partner lengths is attained at the
+  // shortest eligible partner (MinOverlap is nondecreasing in l2).
+  const size_t lo = LengthLowerBound(l);
+  const size_t alpha = MinOverlap(l, lo);
+  DCHECK_GE(alpha, 1u);
+  if (alpha > l) return 0;
+  return l - alpha + 1;
+}
+
+double SimilaritySpec::EvaluateSimilarity(size_t o, size_t l1, size_t l2) const {
+  if (l1 == 0 || l2 == 0) return 0.0;
+  const double oo = static_cast<double>(o);
+  const double a = static_cast<double>(l1);
+  const double b = static_cast<double>(l2);
+  switch (fn_) {
+    case SimilarityFunction::kJaccard:
+      return oo / (a + b - oo);
+    case SimilarityFunction::kCosine:
+      return oo / std::sqrt(a * b);
+    case SimilarityFunction::kDice:
+      return 2.0 * oo / (a + b);
+    case SimilarityFunction::kOverlap:
+      return oo;
+  }
+  return 0.0;
+}
+
+std::string SimilaritySpec::ToString() const {
+  std::ostringstream os;
+  os << SimilarityFunctionName(fn_);
+  if (fn_ == SimilarityFunction::kOverlap) {
+    os << ">=" << p_;
+  } else {
+    os << ">=" << p_ << "/1000";
+  }
+  return os.str();
+}
+
+}  // namespace dssj

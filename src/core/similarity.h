@@ -1,0 +1,81 @@
+#ifndef DSSJ_CORE_SIMILARITY_H_
+#define DSSJ_CORE_SIMILARITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dssj {
+
+/// Set similarity functions supported by the join. All are defined over the
+/// sizes |r|, |s| and the overlap o = |r ∩ s|:
+///   Jaccard  o / (|r| + |s| - o)
+///   Cosine   o / sqrt(|r| * |s|)
+///   Dice     2o / (|r| + |s|)
+///   Overlap  o                     (absolute threshold)
+enum class SimilarityFunction { kJaccard, kCosine, kDice, kOverlap };
+
+const char* SimilarityFunctionName(SimilarityFunction fn);
+
+/// A similarity predicate `sim(r, s) >= t` with t expressed in integer
+/// permille (800 = 0.8), except Overlap where the threshold is an absolute
+/// overlap count. Every derived bound (minimum overlap, partner length
+/// range, prefix length) and the final accept test are *exact integer
+/// arithmetic* — no floating-point boundary ambiguity, so joiners are
+/// bit-reproducible and comparable against brute force.
+///
+/// All bounds are standard prefix-filtering results (AllPairs/PPJoin
+/// lineage), specialized to the streaming setting where a record meets
+/// partners both shorter and longer than itself.
+class SimilaritySpec {
+ public:
+  static constexpr int64_t kPermille = 1000;
+  /// Upper bound on record lengths the bounds are meaningful for; guards
+  /// against overflow in the integer cross-multiplications.
+  static constexpr size_t kMaxLength = 1u << 24;
+
+  /// For kOverlap, `threshold_permille` is the absolute overlap count c >= 1.
+  /// For the others it must lie in [1, 1000].
+  SimilaritySpec(SimilarityFunction fn, int64_t threshold_permille);
+
+  SimilarityFunction function() const { return fn_; }
+  int64_t threshold_permille() const { return p_; }
+
+  /// True iff a pair with sizes (l1, l2) and overlap `o` satisfies the
+  /// predicate. Exact. Pairs of empty sets never satisfy it.
+  bool Satisfies(size_t o, size_t l1, size_t l2) const;
+
+  /// Smallest overlap that satisfies the predicate for sizes (l1, l2):
+  /// Satisfies(o) ⇔ o >= MinOverlap(l1, l2), for o <= min(l1, l2).
+  size_t MinOverlap(size_t l1, size_t l2) const;
+
+  /// Partner-length range: sim(r, s) >= t implies
+  /// LengthLowerBound(|r|) <= |s| <= LengthUpperBound(|r|).
+  /// The relation is symmetric: l2 in range(l1) ⇔ l1 in range(l2).
+  size_t LengthLowerBound(size_t l) const;
+  size_t LengthUpperBound(size_t l) const;  ///< clamped to kMaxLength
+
+  /// Streaming prefix length: any partner (shorter or longer) that
+  /// satisfies the predicate shares a token with the first PrefixLength(l)
+  /// tokens of a size-l record. Returns 0 when no partner can satisfy the
+  /// predicate (e.g. l == 0, or l < c for Overlap).
+  size_t PrefixLength(size_t l) const;
+
+  /// The similarity value as a double, for reporting only (never used in
+  /// accept decisions).
+  double EvaluateSimilarity(size_t o, size_t l1, size_t l2) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const SimilaritySpec& a, const SimilaritySpec& b) {
+    return a.fn_ == b.fn_ && a.p_ == b.p_;
+  }
+
+ private:
+  SimilarityFunction fn_;
+  int64_t p_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_SIMILARITY_H_

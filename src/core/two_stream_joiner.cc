@@ -1,0 +1,36 @@
+#include "core/two_stream_joiner.h"
+
+namespace dssj {
+
+TwoStreamJoiner::TwoStreamJoiner(const SimilaritySpec& sim, const WindowSpec& r_window,
+                                 const WindowSpec& s_window, RecordJoinerOptions options)
+    : r_index_(std::make_unique<RecordJoiner>(sim, r_window, options)),
+      s_index_(std::make_unique<RecordJoiner>(sim, s_window, options)) {}
+
+void TwoStreamJoiner::Process(Side side, const RecordPtr& record, const RsCallback& cb) {
+  const Side other = side == Side::kR ? Side::kS : Side::kR;
+  // Probe the other side's stored records; orient the pair as (R, S).
+  IndexOf(other).Process(record, /*store=*/false, /*probe=*/true,
+                         [&](const ResultPair& pair) {
+                           if (side == Side::kR) {
+                             cb(RsPair{pair.probe_id, pair.probe_seq, pair.partner_id,
+                                       pair.partner_seq});
+                           } else {
+                             cb(RsPair{pair.partner_id, pair.partner_seq, pair.probe_id,
+                                       pair.probe_seq});
+                           }
+                         });
+  // Store into this side's own index (no probing of same-stream records).
+  IndexOf(side).Process(record, /*store=*/true, /*probe=*/false,
+                        [](const ResultPair&) {});
+}
+
+size_t TwoStreamJoiner::StoredCount(Side side) const { return IndexOf(side).StoredCount(); }
+
+const JoinerStats& TwoStreamJoiner::stats(Side side) const { return IndexOf(side).stats(); }
+
+size_t TwoStreamJoiner::MemoryBytes() const {
+  return r_index_->MemoryBytes() + s_index_->MemoryBytes();
+}
+
+}  // namespace dssj

@@ -1,0 +1,65 @@
+#ifndef DSSJ_CORE_TWO_STREAM_JOINER_H_
+#define DSSJ_CORE_TWO_STREAM_JOINER_H_
+
+#include <memory>
+
+#include "core/local_joiner.h"
+#include "core/record_joiner.h"
+#include "core/similarity.h"
+#include "core/window.h"
+
+namespace dssj {
+
+/// Streaming R-S set similarity join (two labelled input streams; data
+/// integration between two sources): for every arriving record, report all
+/// records of the *other* stream that arrived earlier (within that
+/// stream's window) with sim >= t. Unlike the self-join, records never
+/// match their own stream.
+///
+/// Built from two per-side joiners: an arriving R record probes the
+/// S-side index and is stored into the R-side index (and vice versa).
+/// Single-threaded like every LocalJoiner; the distributed layer can run
+/// one instance per partition exactly as it does for the self-join.
+class TwoStreamJoiner {
+ public:
+  enum class Side { kR, kS };
+
+  /// Result orientation: r always from stream R, s always from stream S.
+  struct RsPair {
+    uint64_t r_id = 0;
+    uint64_t r_seq = 0;
+    uint64_t s_id = 0;
+    uint64_t s_seq = 0;
+
+    friend bool operator==(const RsPair& a, const RsPair& b) = default;
+  };
+  using RsCallback = std::function<void(const RsPair&)>;
+
+  /// `r_window` / `s_window` bound each stream's stored records
+  /// independently.
+  TwoStreamJoiner(const SimilaritySpec& sim, const WindowSpec& r_window,
+                  const WindowSpec& s_window, RecordJoinerOptions options = {});
+
+  /// Processes one record from `side`: probes the other side, then stores
+  /// into its own side.
+  void Process(Side side, const RecordPtr& record, const RsCallback& cb);
+
+  size_t StoredCount(Side side) const;
+  const JoinerStats& stats(Side side) const;
+  size_t MemoryBytes() const;
+
+ private:
+  RecordJoiner& IndexOf(Side side) { return side == Side::kR ? *r_index_ : *s_index_; }
+  const RecordJoiner& IndexOf(Side side) const {
+    return side == Side::kR ? *r_index_ : *s_index_;
+  }
+
+  // Each side's index holds that side's records; incoming records of the
+  // opposite side probe it.
+  std::unique_ptr<RecordJoiner> r_index_;
+  std::unique_ptr<RecordJoiner> s_index_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_TWO_STREAM_JOINER_H_

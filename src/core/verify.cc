@@ -1,0 +1,103 @@
+#include "core/verify.h"
+
+#include <algorithm>
+
+namespace dssj {
+namespace {
+
+size_t DiffBoundRecurse(const TokenId* a, size_t na, const TokenId* b, size_t nb,
+                        int depth) {
+  if (na == 0 || nb == 0 || depth <= 0) {
+    return na >= nb ? na - nb : nb - na;
+  }
+  const size_t mid = nb / 2;
+  const TokenId w = b[mid];
+  const TokenId* pos = std::lower_bound(a, a + na, w);
+  const bool found = pos != a + na && *pos == w;
+  const size_t left_a = static_cast<size_t>(pos - a);
+  const TokenId* right_a = pos + (found ? 1 : 0);
+  const size_t right_na = na - left_a - (found ? 1 : 0);
+  return DiffBoundRecurse(a, left_a, b, mid, depth - 1) +
+         DiffBoundRecurse(right_a, right_na, b + mid + 1, nb - mid - 1, depth - 1) +
+         (found ? 0 : 1);
+}
+
+}  // namespace
+
+size_t VerifyOverlap(const std::vector<TokenId>& a, const std::vector<TokenId>& b,
+                     size_t required, VerifyCounters* counters) {
+  size_t i = 0, j = 0, overlap = 0;
+  uint64_t steps = 0;
+  const size_t na = a.size(), nb = b.size();
+  bool early = false;
+  while (i < na && j < nb) {
+    // Early exit: even matching every remaining token cannot reach
+    // `required`.
+    if (required > 0 && overlap + std::min(na - i, nb - j) < required) {
+      early = true;
+      break;
+    }
+    ++steps;
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (counters != nullptr) {
+    counters->merge_steps += steps;
+    counters->full_verifications += 1;
+    if (early) counters->early_exits += 1;
+  }
+  return overlap;
+}
+
+size_t SymmetricDifferenceLowerBound(const std::vector<TokenId>& a,
+                                     const std::vector<TokenId>& b, int max_depth) {
+  return DiffBoundRecurse(a.data(), a.size(), b.data(), b.size(), max_depth);
+}
+
+size_t IntersectCount(const std::vector<TokenId>& probe, const std::vector<TokenId>& diff,
+                      VerifyCounters* counters) {
+  // The diff is typically tiny; gallop through the probe with binary search
+  // per diff token when that is cheaper than a full merge.
+  size_t count = 0;
+  uint64_t steps = 0;
+  if (diff.size() * 8 < probe.size()) {
+    auto from = probe.begin();
+    for (TokenId t : diff) {
+      from = std::lower_bound(from, probe.end(), t);
+      steps += 1;
+      if (from == probe.end()) break;
+      if (*from == t) {
+        ++count;
+        ++from;
+      }
+    }
+  } else {
+    size_t i = 0, j = 0;
+    while (i < probe.size() && j < diff.size()) {
+      ++steps;
+      if (probe[i] == diff[j]) {
+        ++count;
+        ++i;
+        ++j;
+      } else if (probe[i] < diff[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->merge_steps += steps;
+    counters->diff_verifications += 1;
+  }
+  return count;
+}
+
+}  // namespace dssj

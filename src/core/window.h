@@ -1,0 +1,54 @@
+#ifndef DSSJ_CORE_WINDOW_H_
+#define DSSJ_CORE_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dssj {
+
+/// Sliding-window retention policy for stored records. Count windows keep
+/// the most recent `count` *stored* records per joiner partition; time
+/// windows keep records whose timestamp is within `span_micros` of the
+/// probing record's timestamp (stream time, not wall clock). kUnbounded
+/// disables eviction (offline joins, tests).
+struct WindowSpec {
+  enum class Kind { kUnbounded, kCount, kTime };
+
+  Kind kind = Kind::kUnbounded;
+  size_t count = 0;
+  int64_t span_micros = 0;
+
+  static WindowSpec Unbounded() { return WindowSpec{}; }
+  static WindowSpec ByCount(size_t n) { return WindowSpec{Kind::kCount, n, 0}; }
+  static WindowSpec ByTime(int64_t span_micros) {
+    return WindowSpec{Kind::kTime, 0, span_micros};
+  }
+
+  /// True when a stored record with `stored_timestamp` has fallen out of a
+  /// time window relative to `now` (the probing record's timestamp).
+  bool ExpiredByTime(int64_t stored_timestamp, int64_t now) const {
+    return kind == Kind::kTime && stored_timestamp < now - span_micros;
+  }
+
+  /// True when a partition holding `stored_count` records must evict before
+  /// storing another one under a count window.
+  bool OverCount(size_t stored_count) const {
+    return kind == Kind::kCount && stored_count >= count;
+  }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kUnbounded:
+        return "window=unbounded";
+      case Kind::kCount:
+        return "window=count:" + std::to_string(count);
+      case Kind::kTime:
+        return "window=time:" + std::to_string(span_micros) + "us";
+    }
+    return "window=?";
+  }
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_CORE_WINDOW_H_

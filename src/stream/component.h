@@ -1,0 +1,74 @@
+#ifndef DSSJ_STREAM_COMPONENT_H_
+#define DSSJ_STREAM_COMPONENT_H_
+
+#include <string>
+
+#include "stream/metrics.h"
+#include "stream/value.h"
+
+namespace dssj::stream {
+
+/// Per-task information handed to components at startup. Valid for the
+/// lifetime of the topology run.
+struct TaskContext {
+  std::string component;   ///< component name
+  int task_index = 0;      ///< this task's index within the component
+  int parallelism = 1;     ///< number of tasks of this component
+  int worker = 0;          ///< simulated worker id hosting this task
+  TaskMetrics* metrics = nullptr;  ///< this task's metric sinks
+};
+
+/// Interface for emitting tuples downstream. Implemented by the topology
+/// runtime; handed to spouts and bolts. Not thread-safe: only call from the
+/// owning executor thread.
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+
+  /// Routes `tuple` to every subscribed bolt according to its grouping.
+  virtual void Emit(Tuple tuple) = 0;
+
+  /// Sends `tuple` to one specific task of `component`, which must have
+  /// subscribed to this producer with DirectGrouping. `task_index` is the
+  /// consumer-local index in [0, parallelism).
+  virtual void EmitDirect(const std::string& component, int task_index, Tuple tuple) = 0;
+};
+
+/// A stream source. The executor calls NextTuple in a loop on a dedicated
+/// thread until it returns false; each call may emit zero or more tuples
+/// (and may block, e.g., to pace an arrival schedule).
+class Spout {
+ public:
+  virtual ~Spout() = default;
+
+  /// Called once before the first NextTuple.
+  virtual void Open(const TaskContext& /*ctx*/) {}
+
+  /// Produce the next tuple(s). Return false when the source is exhausted;
+  /// the topology then propagates end-of-stream downstream.
+  virtual bool NextTuple(OutputCollector& out) = 0;
+
+  /// Called once after the last NextTuple.
+  virtual void Close() {}
+};
+
+/// A stream operator. Execute is called once per input tuple on the task's
+/// executor thread (no concurrency within one task; parallelism comes from
+/// running many tasks).
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+
+  /// Called once before the first Execute.
+  virtual void Prepare(const TaskContext& /*ctx*/) {}
+
+  /// Process one tuple; emit any outputs via `out`.
+  virtual void Execute(Tuple tuple, OutputCollector& out) = 0;
+
+  /// Called once after every upstream task has finished; flush state here.
+  virtual void Finish(OutputCollector& /*out*/) {}
+};
+
+}  // namespace dssj::stream
+
+#endif  // DSSJ_STREAM_COMPONENT_H_

@@ -1,0 +1,24 @@
+#include "stream/metrics.h"
+
+#include <algorithm>
+
+namespace dssj::stream {
+
+ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
+  ComponentAggregate agg;
+  for (const TaskStats& t : tasks) {
+    if (t.metrics == nullptr) continue;
+    agg.executed += t.metrics->executed.Get();
+    agg.emitted += t.metrics->emitted.Get();
+    agg.remote_messages += t.metrics->remote_messages.Get();
+    agg.remote_bytes += t.metrics->remote_bytes.Get();
+    agg.total_messages += t.metrics->total_messages.Get();
+    agg.total_bytes += t.metrics->total_bytes.Get();
+    const uint64_t busy = t.metrics->busy_nanos.Get();
+    agg.busy_nanos_sum += busy;
+    agg.busy_nanos_max = std::max(agg.busy_nanos_max, busy);
+  }
+  return agg;
+}
+
+}  // namespace dssj::stream

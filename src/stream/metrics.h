@@ -1,0 +1,64 @@
+#ifndef DSSJ_STREAM_METRICS_H_
+#define DSSJ_STREAM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dssj::stream {
+
+/// Per-task runtime metrics, updated by the executor and the output
+/// collector. All fields are thread-safe to read while the topology runs.
+struct TaskMetrics {
+  /// Data tuples executed (bolts) or emitted by NextTuple (spouts count 0).
+  Counter executed;
+  /// Tuples emitted by this task (all edges, including local).
+  Counter emitted;
+  /// Messages / bytes sent to a task on a *different* simulated worker.
+  Counter remote_messages;
+  Counter remote_bytes;
+  /// Messages / bytes sent anywhere (local included).
+  Counter total_messages;
+  Counter total_bytes;
+  /// Peak inbound-queue depth observed (bolts; backpressure indicator —
+  /// a value pinned at the queue capacity means the task was saturated).
+  MaxGauge queue_highwater;
+  /// Wall nanoseconds per Execute call (profiling; includes preemption).
+  Histogram execute_nanos;
+  /// Total CPU nanoseconds this task consumed: the executor thread's CPU
+  /// time (blocking on the queue burns none) plus any simulated
+  /// serialization cost (see TopologyBuilder::SetRemoteByteCostNanos).
+  /// Finalized when the task finishes — read after Topology::Wait().
+  Counter busy_nanos;
+};
+
+/// Identity + metrics of one task, exposed by Topology after (or during) a
+/// run.
+struct TaskStats {
+  std::string component;
+  int task_index = 0;  ///< index within the component
+  int task_id = 0;     ///< global id
+  int worker = 0;      ///< simulated worker hosting this task
+  const TaskMetrics* metrics = nullptr;
+};
+
+/// Aggregate of one component's tasks (helper for benches).
+struct ComponentAggregate {
+  uint64_t executed = 0;
+  uint64_t emitted = 0;
+  uint64_t remote_messages = 0;
+  uint64_t remote_bytes = 0;
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t busy_nanos_max = 0;  ///< bottleneck task busy time
+  uint64_t busy_nanos_sum = 0;
+};
+
+/// Sums `tasks` (typically Topology::TasksOf(component)).
+ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks);
+
+}  // namespace dssj::stream
+
+#endif  // DSSJ_STREAM_METRICS_H_

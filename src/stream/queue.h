@@ -1,0 +1,77 @@
+#ifndef DSSJ_STREAM_QUEUE_H_
+#define DSSJ_STREAM_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dssj::stream {
+
+/// Bounded blocking multi-producer multi-consumer FIFO queue. Push blocks
+/// when full (this is the topology's backpressure mechanism) and Pop blocks
+/// when empty. FIFO over all producers, which implies per-producer FIFO —
+/// the property the distributed join's exactly-once rule relies on.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Requires capacity >= 1.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) { CHECK_GE(capacity, 1u); }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room, then enqueues. Returns the queue depth
+  /// right after the push (for high-watermark accounting).
+  size_t Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+    items_.push_back(std::move(item));
+    const size_t depth = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return depth;
+  }
+
+  /// Blocks until an item is available, then dequeues it.
+  T Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty(); });
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; returns false if the queue is empty.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+};
+
+}  // namespace dssj::stream
+
+#endif  // DSSJ_STREAM_QUEUE_H_

@@ -1,0 +1,496 @@
+#include "stream/topology.h"
+
+#include <atomic>
+#include <bit>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "stream/queue.h"
+
+namespace dssj::stream {
+namespace internal_topology {
+
+/// A unit travelling through an inbound queue: either a data tuple or an
+/// end-of-stream marker from one upstream task.
+struct Envelope {
+  Tuple tuple;
+  int32_t source_task = -1;
+  bool eos = false;
+  /// Simulated deserialization cost charged to the consumer's busy time.
+  int64_t extra_busy_ns = 0;
+};
+
+namespace {
+
+uint64_t HashValue(const Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) return Mix64(static_cast<uint64_t>(*i));
+  if (const auto* d = std::get_if<double>(&v)) return Mix64(std::bit_cast<uint64_t>(*d));
+  if (const auto* s = std::get_if<std::string>(&v)) return Fnv1a64(*s);
+  LOG(FATAL) << "FieldsGrouping over an opaque payload field is not supported";
+  return 0;
+}
+
+}  // namespace
+
+struct Subscription {
+  int consumer_comp = -1;
+  Grouping grouping;
+};
+
+struct ComponentSpec {
+  std::string name;
+  bool is_spout = false;
+  SpoutFactory spout_factory;
+  BoltFactory bolt_factory;
+  int parallelism = 1;
+  std::vector<int> placement;  // explicit worker per task; empty = default
+
+  // Declared inputs (bolts): source component name -> grouping.
+  std::vector<std::pair<std::string, Grouping>> inputs;
+
+  // Resolved at Build():
+  int first_task = -1;
+  std::vector<Subscription> subs_out;  // consumers of this component
+  int upstream_tasks = 0;              // total producer tasks feeding each task
+};
+
+struct Task {
+  int id = -1;
+  int comp = -1;
+  int local_index = 0;
+  int worker = 0;
+  std::unique_ptr<BoundedQueue<Envelope>> queue;  // bolts only
+  std::unique_ptr<Spout> spout;
+  std::unique_ptr<Bolt> bolt;
+  std::unique_ptr<TaskMetrics> metrics;
+  std::thread thread;
+};
+
+struct TopologyImpl {
+  std::vector<std::unique_ptr<ComponentSpec>> comps;
+  std::unordered_map<std::string, int> comp_index;
+  std::vector<Task> tasks;
+  int num_workers = 1;
+  size_t queue_capacity = 1024;
+  double remote_byte_cost_ns = 0.0;
+  bool built = false;
+  bool submitted = false;
+  std::atomic<int64_t> start_us{0};
+  std::atomic<int64_t> end_us{0};
+
+  void RunSpoutTask(Task& task);
+  void RunBoltTask(Task& task);
+  void SendEos(const Task& task);
+  void NoteTaskExit();
+};
+
+/// OutputCollector bound to one producer task. Owns per-subscription
+/// round-robin counters for shuffle grouping; used only from the task's
+/// executor thread.
+class CollectorImpl : public OutputCollector {
+ public:
+  CollectorImpl(TopologyImpl* topo, Task* task)
+      : topo_(topo), task_(task), comp_(*topo->comps[task->comp]) {
+    rr_.assign(comp_.subs_out.size(), static_cast<uint64_t>(task->local_index));
+  }
+
+  void Emit(Tuple tuple) override {
+    for (size_t si = 0; si < comp_.subs_out.size(); ++si) {
+      const Subscription& sub = comp_.subs_out[si];
+      const ComponentSpec& consumer = *topo_->comps[sub.consumer_comp];
+      const int n = consumer.parallelism;
+      switch (sub.grouping.type) {
+        case GroupingType::kShuffle:
+          Deliver(consumer.first_task + static_cast<int>(rr_[si]++ % n), tuple);
+          break;
+        case GroupingType::kGlobal:
+          Deliver(consumer.first_task, tuple);
+          break;
+        case GroupingType::kFields: {
+          uint64_t h = 0;
+          for (size_t f : sub.grouping.fields) h = HashCombine(h, HashValue(tuple.field(f)));
+          Deliver(consumer.first_task + static_cast<int>(h % static_cast<uint64_t>(n)), tuple);
+          break;
+        }
+        case GroupingType::kAll:
+          for (int i = 0; i < n; ++i) Deliver(consumer.first_task + i, tuple);
+          break;
+        case GroupingType::kCustom: {
+          targets_.clear();
+          sub.grouping.custom(tuple, n, targets_);
+          for (int idx : targets_) {
+            DCHECK_GE(idx, 0);
+            DCHECK_LT(idx, n);
+            Deliver(consumer.first_task + idx, tuple);
+          }
+          break;
+        }
+        case GroupingType::kDirect:
+          break;  // only EmitDirect reaches direct subscribers
+      }
+    }
+  }
+
+  void EmitDirect(const std::string& component, int task_index, Tuple tuple) override {
+    const auto it = topo_->comp_index.find(component);
+    CHECK(it != topo_->comp_index.end()) << "unknown component " << component;
+    const ComponentSpec& consumer = *topo_->comps[it->second];
+    CHECK_GE(task_index, 0);
+    CHECK_LT(task_index, consumer.parallelism);
+    // The consumer must have declared DirectGrouping on this producer.
+    DCHECK(HasDirectSubscription(it->second))
+        << component << " did not DirectGrouping-subscribe to " << comp_.name;
+    Deliver(consumer.first_task + task_index, std::move(tuple));
+  }
+
+ private:
+  bool HasDirectSubscription(int consumer_comp) const {
+    for (const Subscription& sub : comp_.subs_out) {
+      if (sub.consumer_comp == consumer_comp && sub.grouping.type == GroupingType::kDirect) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Deliver(int task_id, Tuple tuple) {
+    Task& target = topo_->tasks[task_id];
+    TaskMetrics& m = *task_->metrics;
+    const size_t bytes = tuple.SerializedBytes();
+    m.emitted.Increment();
+    m.total_messages.Increment();
+    m.total_bytes.Add(bytes);
+    int64_t extra_busy_ns = 0;
+    if (target.worker != task_->worker) {
+      m.remote_messages.Increment();
+      m.remote_bytes.Add(bytes);
+      if (topo_->remote_byte_cost_ns > 0.0) {
+        // Serialization on the producer, deserialization on the consumer.
+        const int64_t cost =
+            static_cast<int64_t>(topo_->remote_byte_cost_ns * static_cast<double>(bytes));
+        m.busy_nanos.Add(static_cast<uint64_t>(cost));
+        extra_busy_ns = cost;
+      }
+    }
+    const size_t depth =
+        target.queue->Push(Envelope{std::move(tuple), task_->id, /*eos=*/false, extra_busy_ns});
+    target.metrics->queue_highwater.Update(depth);
+  }
+
+  TopologyImpl* topo_;
+  Task* task_;
+  const ComponentSpec& comp_;
+  std::vector<uint64_t> rr_;
+  std::vector<int> targets_;
+};
+
+void TopologyImpl::SendEos(const Task& task) {
+  const ComponentSpec& comp = *comps[task.comp];
+  for (const Subscription& sub : comp.subs_out) {
+    const ComponentSpec& consumer = *comps[sub.consumer_comp];
+    for (int i = 0; i < consumer.parallelism; ++i) {
+      tasks[consumer.first_task + i].queue->Push(Envelope{Tuple(), task.id, /*eos=*/true});
+    }
+  }
+}
+
+void TopologyImpl::NoteTaskExit() {
+  const int64_t now = NowMicros();
+  int64_t cur = end_us.load(std::memory_order_relaxed);
+  while (now > cur && !end_us.compare_exchange_weak(cur, now, std::memory_order_relaxed)) {
+  }
+}
+
+void TopologyImpl::RunSpoutTask(Task& task) {
+  const ComponentSpec& comp = *comps[task.comp];
+  TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
+                  task.metrics.get()};
+  CollectorImpl collector(this, &task);
+  const int64_t cpu_start = ThreadCpuNanos();
+  task.spout->Open(ctx);
+  while (task.spout->NextTuple(collector)) {
+  }
+  task.spout->Close();
+  SendEos(task);
+  task.metrics->busy_nanos.Add(static_cast<uint64_t>(ThreadCpuNanos() - cpu_start));
+  NoteTaskExit();
+}
+
+void TopologyImpl::RunBoltTask(Task& task) {
+  const ComponentSpec& comp = *comps[task.comp];
+  TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
+                  task.metrics.get()};
+  CollectorImpl collector(this, &task);
+  const int64_t cpu_start = ThreadCpuNanos();
+  int64_t simulated_busy_ns = 0;
+  task.bolt->Prepare(ctx);
+  int remaining = comp.upstream_tasks;
+  while (remaining > 0) {
+    Envelope env = task.queue->Pop();
+    if (env.eos) {
+      --remaining;
+      continue;
+    }
+    const int64_t begin = NowNanos();
+    task.bolt->Execute(std::move(env.tuple), collector);
+    task.metrics->executed.Increment();
+    task.metrics->execute_nanos.Add(static_cast<uint64_t>(NowNanos() - begin));
+    simulated_busy_ns += env.extra_busy_ns;
+  }
+  task.bolt->Finish(collector);
+  SendEos(task);
+  task.metrics->busy_nanos.Add(
+      static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
+  NoteTaskExit();
+}
+
+}  // namespace internal_topology
+
+using internal_topology::ComponentSpec;
+using internal_topology::Subscription;
+using internal_topology::Task;
+using internal_topology::TopologyImpl;
+
+// --- Declarers ---------------------------------------------------------
+
+namespace {
+
+void AddInput(ComponentSpec* spec, const std::string& source, Grouping grouping) {
+  for (const auto& [name, _] : spec->inputs) {
+    CHECK(name != source) << "duplicate subscription of " << spec->name << " to " << source;
+  }
+  spec->inputs.emplace_back(source, std::move(grouping));
+}
+
+}  // namespace
+
+BoltDeclarer& BoltDeclarer::ShuffleGrouping(const std::string& source) {
+  AddInput(spec_, source, Grouping{GroupingType::kShuffle, {}, nullptr});
+  return *this;
+}
+BoltDeclarer& BoltDeclarer::FieldsGrouping(const std::string& source, std::vector<size_t> fields) {
+  CHECK(!fields.empty()) << "FieldsGrouping needs at least one field";
+  AddInput(spec_, source, Grouping{GroupingType::kFields, std::move(fields), nullptr});
+  return *this;
+}
+BoltDeclarer& BoltDeclarer::AllGrouping(const std::string& source) {
+  AddInput(spec_, source, Grouping{GroupingType::kAll, {}, nullptr});
+  return *this;
+}
+BoltDeclarer& BoltDeclarer::GlobalGrouping(const std::string& source) {
+  AddInput(spec_, source, Grouping{GroupingType::kGlobal, {}, nullptr});
+  return *this;
+}
+BoltDeclarer& BoltDeclarer::DirectGrouping(const std::string& source) {
+  AddInput(spec_, source, Grouping{GroupingType::kDirect, {}, nullptr});
+  return *this;
+}
+BoltDeclarer& BoltDeclarer::CustomGrouping(const std::string& source,
+                                           CustomPartitioner partitioner) {
+  CHECK(partitioner != nullptr);
+  AddInput(spec_, source, Grouping{GroupingType::kCustom, {}, std::move(partitioner)});
+  return *this;
+}
+BoltDeclarer& BoltDeclarer::SetPlacement(std::vector<int> workers) {
+  spec_->placement = std::move(workers);
+  return *this;
+}
+SpoutDeclarer& SpoutDeclarer::SetPlacement(std::vector<int> workers) {
+  spec_->placement = std::move(workers);
+  return *this;
+}
+
+// --- Builder ------------------------------------------------------------
+
+TopologyBuilder::TopologyBuilder() : impl_(std::make_unique<TopologyImpl>()) {}
+TopologyBuilder::~TopologyBuilder() = default;
+
+SpoutDeclarer TopologyBuilder::SetSpout(const std::string& name, SpoutFactory factory,
+                                        int parallelism) {
+  CHECK(impl_ != nullptr) << "builder already consumed";
+  CHECK(factory != nullptr);
+  CHECK_GE(parallelism, 1);
+  CHECK(impl_->comp_index.find(name) == impl_->comp_index.end())
+      << "duplicate component " << name;
+  auto spec = std::make_unique<ComponentSpec>();
+  spec->name = name;
+  spec->is_spout = true;
+  spec->spout_factory = std::move(factory);
+  spec->parallelism = parallelism;
+  impl_->comp_index[name] = static_cast<int>(impl_->comps.size());
+  impl_->comps.push_back(std::move(spec));
+  return SpoutDeclarer(impl_->comps.back().get());
+}
+
+BoltDeclarer TopologyBuilder::SetBolt(const std::string& name, BoltFactory factory,
+                                      int parallelism) {
+  CHECK(impl_ != nullptr) << "builder already consumed";
+  CHECK(factory != nullptr);
+  CHECK_GE(parallelism, 1);
+  CHECK(impl_->comp_index.find(name) == impl_->comp_index.end())
+      << "duplicate component " << name;
+  auto spec = std::make_unique<ComponentSpec>();
+  spec->name = name;
+  spec->is_spout = false;
+  spec->bolt_factory = std::move(factory);
+  spec->parallelism = parallelism;
+  impl_->comp_index[name] = static_cast<int>(impl_->comps.size());
+  impl_->comps.push_back(std::move(spec));
+  return BoltDeclarer(impl_->comps.back().get());
+}
+
+TopologyBuilder& TopologyBuilder::SetNumWorkers(int workers) {
+  CHECK_GE(workers, 1);
+  impl_->num_workers = workers;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetQueueCapacity(size_t capacity) {
+  CHECK_GE(capacity, 1u);
+  impl_->queue_capacity = capacity;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetRemoteByteCostNanos(double nanos_per_byte) {
+  CHECK_GE(nanos_per_byte, 0.0);
+  impl_->remote_byte_cost_ns = nanos_per_byte;
+  return *this;
+}
+
+std::unique_ptr<Topology> TopologyBuilder::Build() {
+  CHECK(impl_ != nullptr) << "builder already consumed";
+  TopologyImpl& t = *impl_;
+  CHECK(!t.built);
+  t.built = true;
+
+  // Resolve subscriptions.
+  for (size_t ci = 0; ci < t.comps.size(); ++ci) {
+    ComponentSpec& comp = *t.comps[ci];
+    CHECK(comp.is_spout || !comp.inputs.empty())
+        << "bolt " << comp.name << " has no input subscription";
+    CHECK(!comp.is_spout || comp.inputs.empty()) << "spouts cannot subscribe to streams";
+    for (auto& [source, grouping] : comp.inputs) {
+      const auto it = t.comp_index.find(source);
+      CHECK(it != t.comp_index.end())
+          << comp.name << " subscribes to unknown component " << source;
+      CHECK(static_cast<size_t>(it->second) != ci) << "self-loop on " << comp.name;
+      t.comps[it->second]->subs_out.push_back(
+          Subscription{static_cast<int>(ci), grouping});
+      comp.upstream_tasks += t.comps[it->second]->parallelism;
+    }
+  }
+
+  // Cycle check (DFS, 0=unvisited 1=in-stack 2=done).
+  {
+    std::vector<int> state(t.comps.size(), 0);
+    std::function<void(int)> dfs = [&](int u) {
+      state[u] = 1;
+      for (const Subscription& sub : t.comps[u]->subs_out) {
+        CHECK(state[sub.consumer_comp] != 1) << "topology contains a cycle";
+        if (state[sub.consumer_comp] == 0) dfs(sub.consumer_comp);
+      }
+      state[u] = 2;
+    };
+    for (size_t i = 0; i < t.comps.size(); ++i) {
+      if (state[i] == 0) dfs(static_cast<int>(i));
+    }
+  }
+
+  // Materialize tasks.
+  for (auto& comp_ptr : t.comps) {
+    ComponentSpec& comp = *comp_ptr;
+    comp.first_task = static_cast<int>(t.tasks.size());
+    if (!comp.placement.empty()) {
+      CHECK_EQ(comp.placement.size(), static_cast<size_t>(comp.parallelism))
+          << "placement size mismatch for " << comp.name;
+    }
+    for (int i = 0; i < comp.parallelism; ++i) {
+      Task task;
+      task.id = static_cast<int>(t.tasks.size());
+      task.comp = static_cast<int>(&comp_ptr - t.comps.data());
+      task.local_index = i;
+      task.worker = comp.placement.empty() ? i % t.num_workers : comp.placement[i];
+      CHECK_GE(task.worker, 0);
+      CHECK_LT(task.worker, t.num_workers);
+      task.metrics = std::make_unique<TaskMetrics>();
+      if (comp.is_spout) {
+        task.spout = comp.spout_factory();
+        CHECK(task.spout != nullptr);
+      } else {
+        task.bolt = comp.bolt_factory();
+        CHECK(task.bolt != nullptr);
+        task.queue = std::make_unique<BoundedQueue<internal_topology::Envelope>>(
+            t.queue_capacity);
+      }
+      t.tasks.push_back(std::move(task));
+    }
+  }
+
+  return std::unique_ptr<Topology>(new Topology(std::move(impl_)));
+}
+
+// --- Topology -----------------------------------------------------------
+
+Topology::Topology(std::unique_ptr<TopologyImpl> impl) : impl_(std::move(impl)) {}
+Topology::~Topology() {
+  if (impl_ != nullptr && impl_->submitted) Wait();
+}
+
+void Topology::Submit() {
+  TopologyImpl& t = *impl_;
+  CHECK(!t.submitted) << "topology already submitted";
+  t.submitted = true;
+  t.start_us.store(NowMicros(), std::memory_order_relaxed);
+  for (Task& task : t.tasks) {
+    if (task.spout != nullptr) {
+      task.thread = std::thread([&t, &task] { t.RunSpoutTask(task); });
+    } else {
+      task.thread = std::thread([&t, &task] { t.RunBoltTask(task); });
+    }
+  }
+}
+
+void Topology::Wait() {
+  for (Task& task : impl_->tasks) {
+    if (task.thread.joinable()) task.thread.join();
+  }
+}
+
+void Topology::Run() {
+  Submit();
+  Wait();
+}
+
+double Topology::ElapsedSeconds() const {
+  const int64_t start = impl_->start_us.load(std::memory_order_relaxed);
+  if (start == 0) return 0.0;
+  int64_t end = impl_->end_us.load(std::memory_order_relaxed);
+  if (end == 0) end = NowMicros();
+  return static_cast<double>(end - start) / 1e6;
+}
+
+std::vector<TaskStats> Topology::AllTasks() const {
+  std::vector<TaskStats> out;
+  out.reserve(impl_->tasks.size());
+  for (const Task& task : impl_->tasks) {
+    out.push_back(TaskStats{impl_->comps[task.comp]->name, task.local_index, task.id,
+                            task.worker, task.metrics.get()});
+  }
+  return out;
+}
+
+std::vector<TaskStats> Topology::TasksOf(const std::string& component) const {
+  std::vector<TaskStats> out;
+  for (TaskStats& s : AllTasks()) {
+    if (s.component == component) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+int Topology::num_workers() const { return impl_->num_workers; }
+
+}  // namespace dssj::stream

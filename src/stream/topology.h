@@ -1,0 +1,156 @@
+#ifndef DSSJ_STREAM_TOPOLOGY_H_
+#define DSSJ_STREAM_TOPOLOGY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/component.h"
+#include "stream/metrics.h"
+#include "stream/value.h"
+
+namespace dssj::stream {
+
+/// How a bolt's tasks receive tuples from a producer component. Mirrors
+/// Apache Storm's stream groupings.
+enum class GroupingType {
+  kShuffle,  ///< round-robin across consumer tasks
+  kFields,   ///< hash of selected fields picks the consumer task
+  kAll,      ///< every consumer task receives a copy (broadcast)
+  kGlobal,   ///< all tuples go to consumer task 0
+  kDirect,   ///< producer addresses tasks explicitly via EmitDirect
+  kCustom,   ///< user partitioner maps each tuple to a set of tasks
+};
+
+/// User partitioner for kCustom: append the consumer-local target indices
+/// for `tuple` (given `num_tasks` consumer tasks) to `targets`. Must be
+/// thread-compatible: one instance may be invoked concurrently from
+/// different producer tasks, so implementations should be stateless or
+/// internally synchronized.
+using CustomPartitioner =
+    std::function<void(const Tuple& tuple, int num_tasks, std::vector<int>& targets)>;
+
+/// A producer→consumer edge specification.
+struct Grouping {
+  GroupingType type = GroupingType::kShuffle;
+  std::vector<size_t> fields;  ///< field indices for kFields
+  CustomPartitioner custom;    ///< partitioner for kCustom
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+
+namespace internal_topology {
+struct TopologyImpl;
+struct ComponentSpec;
+}  // namespace internal_topology
+
+/// Fluent handle returned by TopologyBuilder::SetBolt for declaring input
+/// subscriptions. At most one grouping per (producer, this bolt) pair.
+class BoltDeclarer {
+ public:
+  BoltDeclarer& ShuffleGrouping(const std::string& source);
+  BoltDeclarer& FieldsGrouping(const std::string& source, std::vector<size_t> fields);
+  BoltDeclarer& AllGrouping(const std::string& source);
+  BoltDeclarer& GlobalGrouping(const std::string& source);
+  BoltDeclarer& DirectGrouping(const std::string& source);
+  BoltDeclarer& CustomGrouping(const std::string& source, CustomPartitioner partitioner);
+
+  /// Pins this component's tasks to explicit workers (one entry per task).
+  BoltDeclarer& SetPlacement(std::vector<int> workers);
+
+ private:
+  friend class TopologyBuilder;
+  BoltDeclarer(internal_topology::ComponentSpec* spec) : spec_(spec) {}
+  internal_topology::ComponentSpec* spec_;
+};
+
+/// Fluent handle returned by TopologyBuilder::SetSpout.
+class SpoutDeclarer {
+ public:
+  /// Pins this component's tasks to explicit workers (one entry per task).
+  SpoutDeclarer& SetPlacement(std::vector<int> workers);
+
+ private:
+  friend class TopologyBuilder;
+  SpoutDeclarer(internal_topology::ComponentSpec* spec) : spec_(spec) {}
+  internal_topology::ComponentSpec* spec_;
+};
+
+/// A built, runnable dataflow. Obtain from TopologyBuilder::Build. A
+/// topology can be run exactly once.
+class Topology {
+ public:
+  ~Topology();
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Starts all executor threads. Call once.
+  void Submit();
+  /// Blocks until every task has processed end-of-stream and exited.
+  void Wait();
+  /// Submit() + Wait().
+  void Run();
+
+  /// Wall-clock seconds from Submit to the last task finishing. Valid after
+  /// Wait(); while running, returns elapsed-so-far.
+  double ElapsedSeconds() const;
+
+  /// Metric views. Safe to call during and after the run.
+  std::vector<TaskStats> AllTasks() const;
+  std::vector<TaskStats> TasksOf(const std::string& component) const;
+
+  /// Number of simulated workers tasks were placed on.
+  int num_workers() const;
+
+ private:
+  friend class TopologyBuilder;
+  explicit Topology(std::unique_ptr<internal_topology::TopologyImpl> impl);
+  std::unique_ptr<internal_topology::TopologyImpl> impl_;
+};
+
+/// Declarative construction of a topology: components with parallelism and
+/// factories, subscriptions with groupings, worker count, queue capacity.
+/// Configuration errors abort via CHECK (they are programming errors).
+class TopologyBuilder {
+ public:
+  TopologyBuilder();
+  ~TopologyBuilder();
+
+  /// Adds a spout component. The factory is invoked once per task at
+  /// Build().
+  SpoutDeclarer SetSpout(const std::string& name, SpoutFactory factory, int parallelism = 1);
+
+  /// Adds a bolt component. Declare its inputs on the returned declarer.
+  BoltDeclarer SetBolt(const std::string& name, BoltFactory factory, int parallelism = 1);
+
+  /// Number of simulated workers tasks are placed on (default 1). Tuples
+  /// crossing workers are counted as remote messages/bytes.
+  TopologyBuilder& SetNumWorkers(int workers);
+
+  /// Inbound queue capacity per task (default 1024 tuples); the backpressure
+  /// bound.
+  TopologyBuilder& SetQueueCapacity(size_t capacity);
+
+  /// Simulated serialization/deserialization cost, in CPU-nanoseconds per
+  /// byte, charged to the busy time of both endpoints of every tuple that
+  /// crosses simulated workers (default 0 = free, as within one process).
+  /// Real stream processors pay this with actual CPU (Kryo/JSON encode on
+  /// the producer, decode on the consumer); the charge lets the
+  /// cluster-model throughput reflect message volume. Accounting only — no
+  /// time is actually burned.
+  TopologyBuilder& SetRemoteByteCostNanos(double nanos_per_byte);
+
+  /// Validates the dataflow (existing sources, a DAG, bolts have inputs),
+  /// instantiates components, and returns the runnable topology. The
+  /// builder is consumed.
+  std::unique_ptr<Topology> Build();
+
+ private:
+  std::unique_ptr<internal_topology::TopologyImpl> impl_;
+};
+
+}  // namespace dssj::stream
+
+#endif  // DSSJ_STREAM_TOPOLOGY_H_

@@ -1,0 +1,84 @@
+#ifndef DSSJ_STREAM_VALUE_H_
+#define DSSJ_STREAM_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dssj::stream {
+
+/// One field of a tuple. Opaque application payloads (e.g., records) travel
+/// as shared_ptr<const void>; within one process that is a pointer copy, and
+/// the communication model charges the payload's declared byte size when the
+/// edge crosses simulated workers.
+using Value = std::variant<int64_t, double, std::string, std::shared_ptr<const void>>;
+
+/// The unit of data flowing through a topology. A tuple is an ordered list
+/// of fields plus a serialized-size estimate used by the network accounting.
+/// Copyable (copies share opaque payloads).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t num_fields() const { return values_.size(); }
+  const Value& field(size_t i) const {
+    DCHECK_LT(i, values_.size());
+    return values_[i];
+  }
+
+  int64_t Int(size_t i) const { return std::get<int64_t>(field(i)); }
+  double Double(size_t i) const { return std::get<double>(field(i)); }
+  const std::string& Str(size_t i) const { return std::get<std::string>(field(i)); }
+
+  /// Typed view of an opaque payload field. The caller asserts the type; a
+  /// mismatched cast is undefined behaviour exactly like static_pointer_cast.
+  template <typename T>
+  std::shared_ptr<const T> Ptr(size_t i) const {
+    return std::static_pointer_cast<const T>(std::get<std::shared_ptr<const void>>(field(i)));
+  }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Declares the wire size of opaque payload fields (bytes). Scalar and
+  /// string fields are sized automatically; call this once per tuple whose
+  /// payloads should count more than a pointer.
+  void set_payload_bytes(size_t bytes) { payload_bytes_ = bytes; }
+
+  /// Estimated bytes on the (simulated) wire: 8 per scalar, 4+len per
+  /// string, declared payload bytes for opaque fields, plus a fixed header.
+  size_t SerializedBytes() const {
+    size_t bytes = 16;  // frame header
+    for (const Value& v : values_) {
+      if (const auto* s = std::get_if<std::string>(&v)) {
+        bytes += 4 + s->size();
+      } else {
+        bytes += 8;
+      }
+    }
+    return bytes + payload_bytes_;
+  }
+
+ private:
+  std::vector<Value> values_;
+  size_t payload_bytes_ = 0;
+};
+
+/// Builds a tuple from values with terse call sites:
+/// MakeTuple(int64_t{1}, 2.0, std::string("x"), payload_ptr).
+template <typename... Args>
+Tuple MakeTuple(Args&&... args) {
+  std::vector<Value> values;
+  values.reserve(sizeof...(Args));
+  (values.push_back(Value(std::forward<Args>(args))), ...);
+  return Tuple(std::move(values));
+}
+
+}  // namespace dssj::stream
+
+#endif  // DSSJ_STREAM_VALUE_H_

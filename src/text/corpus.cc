@@ -1,0 +1,141 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dssj {
+namespace {
+
+constexpr uint32_t kRecordsMagic = 0x44534A31;  // "DSJ1"
+
+template <typename T>
+void WritePod(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Corpus BuildCorpusFromLines(const std::vector<std::string>& lines, const Tokenizer& tokenizer) {
+  Corpus corpus;
+  // First pass: raw token ids in first-seen order + document frequencies.
+  std::vector<std::vector<TokenId>> raw;
+  raw.reserve(lines.size());
+  std::vector<std::string> scratch;
+  for (const std::string& line : lines) {
+    scratch.clear();
+    tokenizer.Tokenize(line, scratch);
+    std::vector<TokenId> ids;
+    ids.reserve(scratch.size());
+    for (const std::string& tok : scratch) ids.push_back(corpus.dictionary.GetOrAdd(tok));
+    NormalizeTokens(ids);
+    for (TokenId id : ids) corpus.dictionary.CountDocumentOccurrence(id);
+    raw.push_back(std::move(ids));
+  }
+  // Second pass: remap ids so ascending id = ascending document frequency.
+  const std::vector<TokenId> remap = corpus.dictionary.ReorderByFrequency();
+  corpus.dictionary.ApplyRemap(remap);
+  corpus.records.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    RemapTokens(remap, raw[i]);
+    corpus.records.push_back(
+        std::make_shared<const Record>(/*id=*/i, /*seq=*/i, /*timestamp=*/0, std::move(raw[i])));
+  }
+  return corpus;
+}
+
+StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open corpus file: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return BuildCorpusFromLines(lines, tokenizer);
+}
+
+CorpusStats ComputeCorpusStats(const std::vector<RecordPtr>& records) {
+  CorpusStats stats;
+  stats.num_records = records.size();
+  if (records.empty()) return stats;
+  stats.min_length = ~0ULL;
+  uint64_t total_tokens = 0;
+  std::unordered_map<TokenId, uint64_t> freq;
+  for (const RecordPtr& r : records) {
+    const uint64_t len = r->size();
+    total_tokens += len;
+    stats.min_length = std::min(stats.min_length, len);
+    stats.max_length = std::max(stats.max_length, len);
+    for (TokenId t : r->tokens) ++freq[t];
+  }
+  stats.vocabulary_size = freq.size();
+  stats.avg_length =
+      static_cast<double>(total_tokens) / static_cast<double>(stats.num_records);
+  if (stats.min_length == ~0ULL) stats.min_length = 0;
+  if (total_tokens > 0 && !freq.empty()) {
+    std::vector<uint64_t> counts;
+    counts.reserve(freq.size());
+    for (const auto& [_, c] : freq) counts.push_back(c);
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    const size_t top = std::max<size_t>(1, counts.size() / 100);
+    uint64_t mass = 0;
+    for (size_t i = 0; i < top; ++i) mass += counts[i];
+    stats.top1pct_token_mass = static_cast<double>(mass) / static_cast<double>(total_tokens);
+  }
+  return stats;
+}
+
+Status SaveRecordsBinary(const std::string& path, const std::vector<RecordPtr>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  WritePod(out, kRecordsMagic);
+  WritePod(out, static_cast<uint64_t>(records.size()));
+  for (const RecordPtr& r : records) {
+    WritePod(out, r->id);
+    WritePod(out, r->seq);
+    WritePod(out, r->timestamp);
+    WritePod(out, static_cast<uint32_t>(r->tokens.size()));
+    out.write(reinterpret_cast<const char*>(r->tokens.data()),
+              static_cast<std::streamsize>(r->tokens.size() * sizeof(TokenId)));
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<RecordPtr>> LoadRecordsBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &magic) || magic != kRecordsMagic) {
+    return Status::InvalidArgument("bad magic in: " + path);
+  }
+  if (!ReadPod(in, &count)) return Status::InvalidArgument("truncated header: " + path);
+  std::vector<RecordPtr> records;
+  records.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0, seq = 0;
+    int64_t ts = 0;
+    uint32_t len = 0;
+    if (!ReadPod(in, &id) || !ReadPod(in, &seq) || !ReadPod(in, &ts) || !ReadPod(in, &len)) {
+      return Status::InvalidArgument("truncated record header: " + path);
+    }
+    std::vector<TokenId> tokens(len);
+    in.read(reinterpret_cast<char*>(tokens.data()),
+            static_cast<std::streamsize>(len * sizeof(TokenId)));
+    if (!in) return Status::InvalidArgument("truncated record body: " + path);
+    records.push_back(std::make_shared<const Record>(id, seq, ts, std::move(tokens)));
+  }
+  return records;
+}
+
+}  // namespace dssj

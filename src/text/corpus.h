@@ -1,0 +1,55 @@
+#ifndef DSSJ_TEXT_CORPUS_H_
+#define DSSJ_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/record.h"
+#include "text/token_dictionary.h"
+#include "text/tokenizer.h"
+
+namespace dssj {
+
+/// A fully ingested corpus: records (token arrays frequency-ordered) plus
+/// the dictionary that produced them. Records carry seq = their position,
+/// so a corpus can be replayed as a stream directly.
+struct Corpus {
+  std::vector<RecordPtr> records;
+  TokenDictionary dictionary;
+};
+
+/// Summary statistics of a record collection; experiment E1 reports these.
+struct CorpusStats {
+  uint64_t num_records = 0;
+  uint64_t vocabulary_size = 0;
+  double avg_length = 0.0;
+  uint64_t min_length = 0;
+  uint64_t max_length = 0;
+  /// Fraction of all token occurrences contributed by the 1% most frequent
+  /// tokens — a scale-free skew indicator.
+  double top1pct_token_mass = 0.0;
+};
+
+/// Builds a corpus from text lines: tokenize each line, build the
+/// dictionary, count document frequencies, reorder token ids by ascending
+/// frequency, and emit normalized records. Empty lines produce empty
+/// records and are kept (record ids align with line numbers).
+Corpus BuildCorpusFromLines(const std::vector<std::string>& lines, const Tokenizer& tokenizer);
+
+/// Reads `path` as one document per line and builds a corpus.
+StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer);
+
+/// Computes summary statistics over `records`. `vocabulary_size` is the
+/// number of distinct token ids observed.
+CorpusStats ComputeCorpusStats(const std::vector<RecordPtr>& records);
+
+/// Binary round-trip of a record collection (little-endian, versioned
+/// header). The dictionary is not persisted; token ids are opaque.
+Status SaveRecordsBinary(const std::string& path, const std::vector<RecordPtr>& records);
+StatusOr<std::vector<RecordPtr>> LoadRecordsBinary(const std::string& path);
+
+}  // namespace dssj
+
+#endif  // DSSJ_TEXT_CORPUS_H_

@@ -1,0 +1,33 @@
+#include "text/record.h"
+
+#include <algorithm>
+
+namespace dssj {
+
+void NormalizeTokens(std::vector<TokenId>& tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+}
+
+size_t OverlapSize(const std::vector<TokenId>& a, const std::vector<TokenId>& b) {
+  size_t i = 0, j = 0, overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+RecordPtr MakeRecord(uint64_t id, uint64_t seq, std::vector<TokenId> tokens, int64_t timestamp) {
+  NormalizeTokens(tokens);
+  return std::make_shared<const Record>(id, seq, timestamp, std::move(tokens));
+}
+
+}  // namespace dssj

@@ -1,0 +1,58 @@
+#ifndef DSSJ_TEXT_RECORD_H_
+#define DSSJ_TEXT_RECORD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dssj {
+
+/// Dense token identifier. The *numeric order of TokenId is the global token
+/// order* used by prefix filtering: smaller id = earlier in every record's
+/// sorted token array. Dictionaries that reorder tokens by ascending
+/// frequency therefore make prefixes maximally selective (rarest first), but
+/// correctness only needs the order to be consistent across records.
+using TokenId = uint32_t;
+
+/// A set record in the stream: a deduplicated, ascending-sorted array of
+/// token ids plus stream metadata. Records are immutable after construction
+/// and shared across topology tasks via shared_ptr<const Record>.
+struct Record {
+  /// External identifier (line number, document id, ...).
+  uint64_t id = 0;
+  /// Global arrival sequence number, assigned by the stream source. The
+  /// distributed join's exactly-once emission rule compares seq values.
+  uint64_t seq = 0;
+  /// Stream timestamp in microseconds (for time-based windows).
+  int64_t timestamp = 0;
+  /// Token ids, strictly ascending (set semantics).
+  std::vector<TokenId> tokens;
+
+  Record() = default;
+  Record(uint64_t id_in, uint64_t seq_in, int64_t ts, std::vector<TokenId> tokens_in)
+      : id(id_in), seq(seq_in), timestamp(ts), tokens(std::move(tokens_in)) {}
+
+  /// Set size |r|.
+  size_t size() const { return tokens.size(); }
+
+  /// Bytes this record occupies on the (simulated) wire: fixed header plus
+  /// 4 bytes per token. Used by the stream substrate's communication
+  /// accounting.
+  size_t SerializedBytes() const { return 24 + 4 * tokens.size(); }
+};
+
+using RecordPtr = std::shared_ptr<const Record>;
+
+/// Sorts and deduplicates `tokens` in place, establishing Record's invariant.
+void NormalizeTokens(std::vector<TokenId>& tokens);
+
+/// Exact size of the intersection of two ascending token arrays.
+size_t OverlapSize(const std::vector<TokenId>& a, const std::vector<TokenId>& b);
+
+/// Convenience constructor used throughout tests and generators.
+RecordPtr MakeRecord(uint64_t id, uint64_t seq, std::vector<TokenId> tokens,
+                     int64_t timestamp = 0);
+
+}  // namespace dssj
+
+#endif  // DSSJ_TEXT_RECORD_H_

@@ -1,0 +1,75 @@
+#include "text/token_dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+TokenId TokenDictionary::GetOrAdd(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(strings_.size());
+  strings_.emplace_back(token);
+  doc_freq_.push_back(0);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+TokenId TokenDictionary::Find(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kNoToken : it->second;
+}
+
+void TokenDictionary::CountDocumentOccurrence(TokenId id) {
+  CHECK_LT(id, doc_freq_.size());
+  ++doc_freq_[id];
+}
+
+const std::string& TokenDictionary::TokenString(TokenId id) const {
+  CHECK_LT(id, strings_.size());
+  return strings_[id];
+}
+
+uint64_t TokenDictionary::DocumentFrequency(TokenId id) const {
+  CHECK_LT(id, doc_freq_.size());
+  return doc_freq_[id];
+}
+
+std::vector<TokenId> TokenDictionary::ReorderByFrequency() const {
+  std::vector<TokenId> order(strings_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](TokenId a, TokenId b) {
+    if (doc_freq_[a] != doc_freq_[b]) return doc_freq_[a] < doc_freq_[b];
+    return a < b;
+  });
+  // order[rank] = old id at that rank; invert to remap[old_id] = rank.
+  std::vector<TokenId> remap(strings_.size());
+  for (TokenId rank = 0; rank < order.size(); ++rank) remap[order[rank]] = rank;
+  return remap;
+}
+
+void TokenDictionary::ApplyRemap(const std::vector<TokenId>& remap) {
+  CHECK_EQ(remap.size(), strings_.size());
+  std::vector<std::string> new_strings(strings_.size());
+  std::vector<uint64_t> new_freq(strings_.size());
+  for (TokenId old_id = 0; old_id < remap.size(); ++old_id) {
+    new_strings[remap[old_id]] = std::move(strings_[old_id]);
+    new_freq[remap[old_id]] = doc_freq_[old_id];
+  }
+  strings_ = std::move(new_strings);
+  doc_freq_ = std::move(new_freq);
+  ids_.clear();
+  for (TokenId id = 0; id < strings_.size(); ++id) ids_.emplace(strings_[id], id);
+}
+
+void RemapTokens(const std::vector<TokenId>& remap, std::vector<TokenId>& tokens) {
+  for (auto& t : tokens) {
+    CHECK_LT(t, remap.size());
+    t = remap[t];
+  }
+  std::sort(tokens.begin(), tokens.end());
+}
+
+}  // namespace dssj

@@ -1,0 +1,73 @@
+#ifndef DSSJ_TEXT_TOKEN_DICTIONARY_H_
+#define DSSJ_TEXT_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/record.h"
+
+namespace dssj {
+
+/// Maps token strings to dense TokenIds and tracks document frequencies.
+///
+/// Ids are assigned in first-seen order during ingestion. Because prefix
+/// filtering is most selective when the global token order is ascending
+/// document frequency (rarest first), call ReorderByFrequency() after a
+/// corpus pass (or on a sample of the stream) to obtain a remapping, then
+/// translate records with it. The remapping is stable: ties broken by old
+/// id, so rebuilding from the same corpus is reproducible.
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  // Movable but not copyable: the instance can be large.
+  TokenDictionary(TokenDictionary&&) = default;
+  TokenDictionary& operator=(TokenDictionary&&) = default;
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+
+  /// Returns the id of `token`, inserting it if new.
+  TokenId GetOrAdd(std::string_view token);
+
+  /// Returns the id of `token` or kNoToken if absent.
+  static constexpr TokenId kNoToken = ~static_cast<TokenId>(0);
+  TokenId Find(std::string_view token) const;
+
+  /// Bumps the document frequency of `id` by one. Call once per distinct
+  /// token per document.
+  void CountDocumentOccurrence(TokenId id);
+
+  /// Number of distinct tokens.
+  size_t size() const { return strings_.size(); }
+
+  /// The string for `id`. Requires id < size().
+  const std::string& TokenString(TokenId id) const;
+
+  /// Document frequency recorded for `id`.
+  uint64_t DocumentFrequency(TokenId id) const;
+
+  /// Computes a permutation new_id = remap[old_id] such that new ids are
+  /// ascending in (document frequency, old id). Applying it makes sorted
+  /// records begin with their rarest tokens.
+  std::vector<TokenId> ReorderByFrequency() const;
+
+  /// Applies a remapping produced by ReorderByFrequency to this dictionary
+  /// (strings and frequencies move to their new ids).
+  void ApplyRemap(const std::vector<TokenId>& remap);
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> strings_;
+  std::vector<uint64_t> doc_freq_;
+};
+
+/// Remaps and re-sorts a token array in place with `remap` from
+/// TokenDictionary::ReorderByFrequency.
+void RemapTokens(const std::vector<TokenId>& remap, std::vector<TokenId>& tokens);
+
+}  // namespace dssj
+
+#endif  // DSSJ_TEXT_TOKEN_DICTIONARY_H_

@@ -1,0 +1,59 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace dssj {
+namespace {
+
+bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
+
+char ToLowerAscii(unsigned char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : static_cast<char>(c);
+}
+
+}  // namespace
+
+void WordTokenizer::Tokenize(std::string_view text, std::vector<std::string>& out) const {
+  std::string current;
+  for (unsigned char c : text) {
+    if (IsTokenChar(c)) {
+      current.push_back(ToLowerAscii(c));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+}
+
+QGramTokenizer::QGramTokenizer(int q) : q_(q) { CHECK_GE(q, 1); }
+
+void QGramTokenizer::Tokenize(std::string_view text, std::vector<std::string>& out) const {
+  // Normalize: lower-case, collapse whitespace runs to single spaces, trim.
+  std::string norm;
+  norm.reserve(text.size());
+  bool pending_space = false;
+  for (unsigned char c : text) {
+    if (std::isspace(c) != 0) {
+      pending_space = !norm.empty();
+    } else {
+      if (pending_space) {
+        norm.push_back(' ');
+        pending_space = false;
+      }
+      norm.push_back(ToLowerAscii(c));
+    }
+  }
+  if (norm.empty()) return;
+  if (norm.size() < static_cast<size_t>(q_)) {
+    out.push_back(norm);
+    return;
+  }
+  for (size_t i = 0; i + q_ <= norm.size(); ++i) {
+    out.emplace_back(norm.substr(i, q_));
+  }
+}
+
+}  // namespace dssj

@@ -1,0 +1,56 @@
+#ifndef DSSJ_TEXT_TOKENIZER_H_
+#define DSSJ_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dssj {
+
+/// Splits text into token strings. Implementations must be deterministic;
+/// the set-similarity semantics of the join come entirely from the token
+/// multiset produced here (duplicates are collapsed downstream).
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  /// Appends the tokens of `text` to `out` (not cleared, not deduplicated).
+  virtual void Tokenize(std::string_view text, std::vector<std::string>& out) const = 0;
+
+  /// Convenience wrapper returning a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view text) const {
+    std::vector<std::string> out;
+    Tokenize(text, out);
+    return out;
+  }
+};
+
+/// Lower-cases and splits on any non-alphanumeric byte. "Data, Engineering!"
+/// -> {"data", "engineering"}. ASCII-only case folding (non-ASCII bytes are
+/// treated as separators), which matches the corpora this system targets.
+class WordTokenizer : public Tokenizer {
+ public:
+  using Tokenizer::Tokenize;
+  void Tokenize(std::string_view text, std::vector<std::string>& out) const override;
+};
+
+/// Sliding character q-grams of the lower-cased text (whitespace collapsed
+/// to single spaces). Texts shorter than q yield the whole text as one
+/// token. Standard choice for string-similarity joins over short strings.
+class QGramTokenizer : public Tokenizer {
+ public:
+  /// Requires q >= 1.
+  explicit QGramTokenizer(int q);
+
+  using Tokenizer::Tokenize;
+  void Tokenize(std::string_view text, std::vector<std::string>& out) const override;
+
+  int q() const { return q_; }
+
+ private:
+  int q_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_TEXT_TOKENIZER_H_

@@ -1,0 +1,46 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+DriftingGenerator::DriftingGenerator(const DriftOptions& options)
+    : options_(options), inner_(options.base) {
+  CHECK_GE(options_.drift_records, 1u);
+}
+
+double DriftingGenerator::Progress() const {
+  return std::min(1.0, static_cast<double>(produced_) /
+                           static_cast<double>(options_.drift_records));
+}
+
+RecordPtr DriftingGenerator::Next() {
+  const double p = Progress();
+  if (options_.end_length_mean > 0.0) {
+    LengthModel model = options_.base.length;
+    model.mean = options_.base.length.mean +
+                 (options_.end_length_mean - options_.base.length.mean) * p;
+    // Keep the bounds wide enough for the drifted mean.
+    model.max_length =
+        std::max(model.max_length, static_cast<size_t>(std::ceil(model.mean * 4)));
+    inner_.set_length_model(model);
+  }
+  if (options_.token_rotation > 0) {
+    inner_.set_token_rotation(
+        static_cast<uint64_t>(p * static_cast<double>(options_.token_rotation)));
+  }
+  ++produced_;
+  return inner_.Next();
+}
+
+std::vector<RecordPtr> DriftingGenerator::Generate(size_t n) {
+  std::vector<RecordPtr> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) records.push_back(Next());
+  return records;
+}
+
+}  // namespace dssj

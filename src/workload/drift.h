@@ -1,0 +1,45 @@
+#ifndef DSSJ_WORKLOAD_DRIFT_H_
+#define DSSJ_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace dssj {
+
+/// Non-stationary stream generator: the record-length distribution and the
+/// token-popularity mapping drift over the stream's lifetime. Exercises
+/// the repartitioning advisor — a static length partition planned from the
+/// stream's head degrades as the distribution moves.
+struct DriftOptions {
+  WorkloadOptions base;
+
+  /// Mean record length moves linearly from base.length.mean to
+  /// end_length_mean over `drift_records` records (then stays).
+  double end_length_mean = 0.0;  ///< 0 = no length drift
+  /// The token-id mapping rotates by this many positions over the drift,
+  /// shifting which tokens are popular (topic drift).
+  uint64_t token_rotation = 0;
+  size_t drift_records = 100000;
+};
+
+class DriftingGenerator {
+ public:
+  explicit DriftingGenerator(const DriftOptions& options);
+
+  RecordPtr Next();
+  std::vector<RecordPtr> Generate(size_t n);
+
+  /// Drift progress in [0, 1] at the current position.
+  double Progress() const;
+
+ private:
+  DriftOptions options_;
+  WorkloadGenerator inner_;
+  uint64_t produced_ = 0;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_WORKLOAD_DRIFT_H_

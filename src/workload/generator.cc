@@ -1,0 +1,168 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+size_t LengthModel::Sample(Rng& rng) const {
+  CHECK_GE(max_length, min_length);
+  double value = 0.0;
+  switch (kind) {
+    case Kind::kUniform:
+      return static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(min_length), static_cast<int64_t>(max_length)));
+    case Kind::kLogNormal: {
+      // Parameterize so that E[length] == mean: mu = ln(mean) - sigma²/2.
+      const double mu = std::log(std::max(1.0, mean)) - 0.5 * sigma * sigma;
+      value = std::exp(mu + sigma * rng.Gaussian());
+      break;
+    }
+    case Kind::kNormal:
+      value = mean + sigma * rng.Gaussian();
+      break;
+  }
+  value = std::round(value);
+  value = std::max(value, static_cast<double>(min_length));
+  value = std::min(value, static_cast<double>(max_length));
+  return static_cast<size_t>(value);
+}
+
+const char* DatasetPresetName(DatasetPreset preset) {
+  switch (preset) {
+    case DatasetPreset::kAol:
+      return "AOL";
+    case DatasetPreset::kTweet:
+      return "TWEET";
+    case DatasetPreset::kEnron:
+      return "ENRON";
+    case DatasetPreset::kDblp:
+      return "DBLP";
+  }
+  return "unknown";
+}
+
+WorkloadOptions PresetOptions(DatasetPreset preset) {
+  WorkloadOptions o;
+  switch (preset) {
+    case DatasetPreset::kAol:
+      // Web-search queries: very short, huge vocabulary, strong skew.
+      o.token_universe = 1u << 19;
+      o.zipf_skew = 1.0;
+      o.length = LengthModel::LogNormal(3.0, 0.55, 1, 20);
+      o.duplicate_fraction = 0.30;  // queries repeat heavily
+      o.mutation_rate = 0.15;
+      break;
+    case DatasetPreset::kTweet:
+      // Micro-blog posts: short-to-medium, moderate skew, many near-dups
+      // (retweets).
+      o.token_universe = 1u << 19;
+      o.zipf_skew = 0.85;
+      o.length = LengthModel::LogNormal(11.0, 0.45, 2, 40);
+      o.duplicate_fraction = 0.25;
+      o.mutation_rate = 0.10;
+      break;
+    case DatasetPreset::kEnron:
+      // E-mail bodies: long records, wide length spread.
+      o.token_universe = 1u << 18;
+      o.zipf_skew = 0.8;
+      o.length = LengthModel::LogNormal(90.0, 0.8, 10, 1500);
+      o.duplicate_fraction = 0.15;  // forwarded threads
+      o.mutation_rate = 0.05;
+      break;
+    case DatasetPreset::kDblp:
+      // Paper titles: short-to-medium, mild skew, few near-dups.
+      o.token_universe = 1u << 18;
+      o.zipf_skew = 0.7;
+      o.length = LengthModel::LogNormal(10.0, 0.35, 3, 30);
+      o.duplicate_fraction = 0.08;
+      o.mutation_rate = 0.12;
+      break;
+  }
+  return o;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(options.token_universe, options.zipf_skew) {
+  CHECK_GE(options_.token_universe, 1u);
+  CHECK_GE(options_.duplicate_fraction, 0.0);
+  CHECK_LE(options_.duplicate_fraction, 1.0);
+}
+
+TokenId WorkloadGenerator::SampleToken() {
+  // Zipf rank 0 is most frequent; invert so that small ids are rare,
+  // giving the frequency-ascending global token order prefix filtering
+  // expects.
+  const uint64_t rank = zipf_.Sample(rng_);
+  return static_cast<TokenId>((options_.token_universe - 1 - rank + token_rotation_) %
+                              options_.token_universe);
+}
+
+std::vector<TokenId> WorkloadGenerator::FreshTokens(size_t target_length) {
+  std::vector<TokenId> tokens;
+  tokens.reserve(target_length);
+  // Collect distinct tokens; cap the attempts so adversarial configs
+  // (universe smaller than length) terminate.
+  size_t attempts = 0;
+  const size_t max_attempts = target_length * 20 + 64;
+  while (tokens.size() < target_length && attempts < max_attempts) {
+    ++attempts;
+    const TokenId t = SampleToken();
+    if (std::find(tokens.begin(), tokens.end(), t) == tokens.end()) tokens.push_back(t);
+  }
+  NormalizeTokens(tokens);
+  return tokens;
+}
+
+std::vector<TokenId> WorkloadGenerator::MutateTokens(const std::vector<TokenId>& base) {
+  std::vector<TokenId> tokens;
+  tokens.reserve(base.size() + 1);
+  for (const TokenId t : base) {
+    if (rng_.Bernoulli(options_.mutation_rate)) {
+      tokens.push_back(SampleToken());  // substitution
+    } else {
+      tokens.push_back(t);
+    }
+  }
+  if (rng_.Bernoulli(0.5)) {
+    if (rng_.Bernoulli(0.5) || tokens.size() < 2) {
+      tokens.push_back(SampleToken());  // insertion
+    } else {
+      tokens.erase(tokens.begin() +
+                   static_cast<ptrdiff_t>(rng_.Uniform(tokens.size())));  // deletion
+    }
+  }
+  NormalizeTokens(tokens);
+  return tokens;
+}
+
+RecordPtr WorkloadGenerator::Next() {
+  std::vector<TokenId> tokens;
+  if (!recent_.empty() && rng_.Bernoulli(options_.duplicate_fraction)) {
+    const size_t pick = rng_.Uniform(recent_.size());
+    tokens = MutateTokens(recent_[pick]);
+  } else {
+    tokens = FreshTokens(options_.length.Sample(rng_));
+  }
+  if (options_.dup_locality > 0) {
+    recent_.push_back(tokens);
+    if (recent_.size() > options_.dup_locality) recent_.pop_front();
+  }
+  const uint64_t seq = next_seq_++;
+  return std::make_shared<const Record>(
+      /*id=*/seq, seq, static_cast<int64_t>(seq) * options_.timestamp_step_us,
+      std::move(tokens));
+}
+
+std::vector<RecordPtr> WorkloadGenerator::Generate(size_t n) {
+  std::vector<RecordPtr> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) records.push_back(Next());
+  return records;
+}
+
+}  // namespace dssj

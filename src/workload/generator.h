@@ -1,0 +1,113 @@
+#ifndef DSSJ_WORKLOAD_GENERATOR_H_
+#define DSSJ_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "text/record.h"
+
+namespace dssj {
+
+/// Record-length distribution of a synthetic workload.
+struct LengthModel {
+  enum class Kind { kUniform, kLogNormal, kNormal };
+
+  Kind kind = Kind::kUniform;
+  double mean = 10.0;    ///< arithmetic mean (kLogNormal/kNormal)
+  double sigma = 0.5;    ///< log-space sigma (kLogNormal) or stddev (kNormal)
+  size_t min_length = 1;
+  size_t max_length = 64;
+
+  static LengthModel Uniform(size_t min_len, size_t max_len) {
+    LengthModel m;
+    m.kind = Kind::kUniform;
+    m.min_length = min_len;
+    m.max_length = max_len;
+    return m;
+  }
+  static LengthModel LogNormal(double mean, double sigma, size_t min_len, size_t max_len) {
+    LengthModel m{Kind::kLogNormal, mean, sigma, min_len, max_len};
+    return m;
+  }
+  static LengthModel Normal(double mean, double stddev, size_t min_len, size_t max_len) {
+    LengthModel m{Kind::kNormal, mean, stddev, min_len, max_len};
+    return m;
+  }
+
+  size_t Sample(Rng& rng) const;
+};
+
+/// Parameters of the synthetic stream generator. Token ids are assigned so
+/// that *smaller id = rarer token*, matching the frequency-ordered
+/// dictionaries produced from real corpora (prefix filtering depends on
+/// that order being meaningful).
+struct WorkloadOptions {
+  uint64_t token_universe = 1u << 20;
+  /// Zipf exponent of token popularity (0 = uniform; ~1 = natural text).
+  double zipf_skew = 0.9;
+  LengthModel length = LengthModel::LogNormal(10.0, 0.6, 1, 100);
+
+  /// Fraction of records generated as near-duplicates of a recent record —
+  /// the knob controlling join-result density and bundle opportunities.
+  double duplicate_fraction = 0.2;
+  /// When cloning, each token is independently replaced with probability
+  /// `mutation_rate` (plus a 50% chance of one extra token add/drop).
+  double mutation_rate = 0.08;
+  /// Near-duplicates copy a record among the last `dup_locality` generated,
+  /// so partners fall inside realistic stream windows.
+  size_t dup_locality = 10000;
+
+  /// Stream-time spacing between consecutive records (drives time windows).
+  int64_t timestamp_step_us = 1000;
+
+  uint64_t seed = 42;
+};
+
+/// Statistical profiles matching the corpora customarily used to evaluate
+/// set-similarity joins (see DESIGN.md §2 on this substitution).
+enum class DatasetPreset { kAol, kTweet, kEnron, kDblp };
+const char* DatasetPresetName(DatasetPreset preset);
+WorkloadOptions PresetOptions(DatasetPreset preset);
+
+/// Deterministic synthetic stream generator: equal options produce equal
+/// streams on every platform. Records carry seq = position and timestamps
+/// spaced by timestamp_step_us.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadOptions& options);
+
+  /// Generates the next record of the stream.
+  RecordPtr Next();
+
+  /// Generates the next `n` records.
+  std::vector<RecordPtr> Generate(size_t n);
+
+  /// Replaces the length model for records generated from now on (used by
+  /// DriftingGenerator to model non-stationary streams).
+  void set_length_model(const LengthModel& model) { options_.length = model; }
+
+  /// Rotates the token-id mapping: sampled ids shift by `rotation` mod the
+  /// universe, moving which tokens are popular (topic drift).
+  void set_token_rotation(uint64_t rotation) { token_rotation_ = rotation; }
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  std::vector<TokenId> FreshTokens(size_t target_length);
+  std::vector<TokenId> MutateTokens(const std::vector<TokenId>& base);
+  TokenId SampleToken();
+
+  WorkloadOptions options_;
+  Rng rng_;
+  uint64_t next_seq_ = 0;
+  uint64_t token_rotation_ = 0;
+  ZipfDistribution zipf_;
+  std::deque<std::vector<TokenId>> recent_;  ///< clone sources (bounded)
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,68 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dssj {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto parsed = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).value();
+}
+
+TEST(FlagsTest, KeyEqualsValue) {
+  const Flags f = MustParse({"--threshold=800", "--strategy=length"});
+  EXPECT_EQ(f.GetInt("threshold", 0), 800);
+  EXPECT_EQ(f.GetString("strategy", ""), "length");
+  EXPECT_EQ(f.GetInt("absent", 42), 42);
+}
+
+TEST(FlagsTest, KeySpaceValue) {
+  const Flags f = MustParse({"--joiners", "8", "--rate", "2.5"});
+  EXPECT_EQ(f.GetInt("joiners", 0), 8);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 2.5);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  const Flags f = MustParse({"--verbose", "--collect=false"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("collect", true));
+  EXPECT_TRUE(f.GetBool("absent", true));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = MustParse({"input.txt", "--k=3", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, UnusedKeysDetectTypos) {
+  const Flags f = MustParse({"--threshold=800", "--thresold=900"});
+  EXPECT_EQ(f.GetInt("threshold", 0), 800);
+  const auto unused = f.UnusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "thresold");
+}
+
+TEST(FlagsTest, HasMarksUsed) {
+  const Flags f = MustParse({"--opt=1"});
+  EXPECT_TRUE(f.Has("opt"));
+  EXPECT_TRUE(f.UnusedKeys().empty());
+}
+
+TEST(FlagsTest, MalformedInput) {
+  const char* argv[] = {"prog", "--=x"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+TEST(FlagsDeathTest, TypeErrorsFailLoudly) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Flags f = MustParse({"--n=abc"});
+  EXPECT_DEATH(f.GetInt("n", 0), "expects an integer");
+}
+
+}  // namespace
+}  // namespace dssj

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_joiner.h"
+#include "core/bundle_joiner.h"
+#include "core/join_topology.h"
+#include "core/record_joiner.h"
+#include "workload/generator.h"
+
+namespace dssj {
+namespace {
+
+std::vector<ResultPair> Canonical(std::vector<ResultPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(), [](const ResultPair& a, const ResultPair& b) {
+    return std::tie(a.probe_seq, a.partner_seq) < std::tie(b.probe_seq, b.partner_seq);
+  });
+  return pairs;
+}
+
+std::vector<RecordPtr> MakeStream(uint64_t seed, size_t n, double dup_fraction,
+                                  size_t max_len = 24) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.token_universe = 400;  // small universe → dense overlaps
+  options.zipf_skew = 0.6;
+  options.length = LengthModel::Uniform(1, max_len);
+  options.duplicate_fraction = dup_fraction;
+  options.mutation_rate = 0.15;
+  options.dup_locality = 200;
+  options.timestamp_step_us = 1000;
+  return WorkloadGenerator(options).Generate(n);
+}
+
+// (function, threshold, window, dup_fraction, algorithm)
+using JoinerParam = std::tuple<SimilarityFunction, int64_t, int, double, LocalAlgorithm>;
+
+WindowSpec WindowFromCode(int code) {
+  switch (code) {
+    case 0:
+      return WindowSpec::Unbounded();
+    case 1:
+      return WindowSpec::ByCount(64);
+    default:
+      return WindowSpec::ByTime(150 * 1000);  // 150 stream-steps
+  }
+}
+
+class JoinerEquivalenceTest : public ::testing::TestWithParam<JoinerParam> {
+ protected:
+  SimilaritySpec spec() const {
+    return SimilaritySpec(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+  WindowSpec window() const { return WindowFromCode(std::get<2>(GetParam())); }
+  double dup_fraction() const { return std::get<3>(GetParam()); }
+  LocalAlgorithm algorithm() const { return std::get<4>(GetParam()); }
+
+  std::unique_ptr<LocalJoiner> MakeJoiner() const {
+    switch (algorithm()) {
+      case LocalAlgorithm::kRecord:
+        return std::make_unique<RecordJoiner>(spec(), window());
+      case LocalAlgorithm::kBundle:
+        return std::make_unique<BundleJoiner>(spec(), window());
+      case LocalAlgorithm::kBruteForce:
+        return std::make_unique<BruteForceJoiner>(spec(), window());
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(JoinerEquivalenceTest, MatchesBruteForceOnRandomStream) {
+  const std::vector<RecordPtr> stream = MakeStream(/*seed=*/17, /*n=*/600, dup_fraction());
+  BruteForceJoiner reference(spec(), window());
+  auto joiner = MakeJoiner();
+  const auto expected = Canonical(SingleNodeJoin(stream, reference));
+  const auto actual = Canonical(SingleNodeJoin(stream, *joiner));
+  ASSERT_EQ(actual.size(), expected.size())
+      << spec().ToString() << " " << window().ToString();
+  EXPECT_EQ(actual, expected);
+  // Sanity: the streams are engineered to produce some results at moderate
+  // thresholds; guard against vacuous tests.
+  if (std::get<1>(GetParam()) <= 800 && dup_fraction() >= 0.3 &&
+      spec().function() != SimilarityFunction::kOverlap) {
+    EXPECT_GT(expected.size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinerEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(SimilarityFunction::kJaccard, SimilarityFunction::kCosine,
+                          SimilarityFunction::kDice),
+        ::testing::Values<int64_t>(600, 800, 950, 1000), ::testing::Values(0, 1, 2),
+        ::testing::Values(0.0, 0.4), ::testing::Values(LocalAlgorithm::kRecord,
+                                                       LocalAlgorithm::kBundle)),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(SimilarityFunctionName(std::get<0>(p))) + "_t" +
+             std::to_string(std::get<1>(p)) + "_w" + std::to_string(std::get<2>(p)) + "_d" +
+             std::to_string(static_cast<int>(std::get<3>(p) * 10)) + "_" +
+             LocalAlgorithmName(std::get<4>(p));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlapSweep, JoinerEquivalenceTest,
+    ::testing::Combine(::testing::Values(SimilarityFunction::kOverlap),
+                       ::testing::Values<int64_t>(3, 6), ::testing::Values(0, 1, 2),
+                       ::testing::Values(0.4),
+                       ::testing::Values(LocalAlgorithm::kRecord, LocalAlgorithm::kBundle)),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string("overlap_c") + std::to_string(std::get<1>(p)) + "_w" +
+             std::to_string(std::get<2>(p)) + "_" + LocalAlgorithmName(std::get<4>(p));
+    });
+
+TEST(RecordJoinerTest, NoSelfMatchAndNoDuplicatePairs) {
+  const auto stream = MakeStream(3, 400, 0.5);
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 700),
+                      WindowSpec::Unbounded());
+  const auto pairs = SingleNodeJoin(stream, joiner);
+  for (const ResultPair& p : pairs) {
+    EXPECT_NE(p.probe_seq, p.partner_seq);
+    EXPECT_LT(p.partner_seq, p.probe_seq) << "partner must precede probe";
+  }
+  auto canon = Canonical(pairs);
+  EXPECT_TRUE(std::adjacent_find(canon.begin(), canon.end()) == canon.end())
+      << "duplicate pair emitted";
+}
+
+TEST(RecordJoinerTest, ExactDuplicatesAlwaysFound) {
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 1000),
+                      WindowSpec::Unbounded());
+  std::vector<ResultPair> pairs;
+  const auto cb = [&pairs](const ResultPair& p) { pairs.push_back(p); };
+  joiner.Process(MakeRecord(0, 0, {1, 5, 9}), true, true, cb);
+  joiner.Process(MakeRecord(1, 1, {2, 5, 9}), true, true, cb);
+  joiner.Process(MakeRecord(2, 2, {1, 5, 9}), true, true, cb);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].probe_seq, 2u);
+  EXPECT_EQ(pairs[0].partner_seq, 0u);
+}
+
+TEST(RecordJoinerTest, EmptyRecordsAreIgnored) {
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 500),
+                      WindowSpec::Unbounded());
+  std::vector<ResultPair> pairs;
+  const auto cb = [&pairs](const ResultPair& p) { pairs.push_back(p); };
+  joiner.Process(MakeRecord(0, 0, {}), true, true, cb);
+  joiner.Process(MakeRecord(1, 1, {}), true, true, cb);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(joiner.StoredCount(), 0u);
+}
+
+TEST(RecordJoinerTest, CountWindowEvictsOldest) {
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 1000),
+                      WindowSpec::ByCount(2));
+  std::vector<ResultPair> pairs;
+  const auto cb = [&pairs](const ResultPair& p) { pairs.push_back(p); };
+  joiner.Process(MakeRecord(0, 0, {1, 2, 3}), true, true, cb);
+  joiner.Process(MakeRecord(1, 1, {4, 5, 6}), true, true, cb);
+  joiner.Process(MakeRecord(2, 2, {7, 8, 9}), true, true, cb);  // evicts seq 0
+  EXPECT_EQ(joiner.StoredCount(), 2u);
+  joiner.Process(MakeRecord(3, 3, {1, 2, 3}), true, true, cb);  // seq 0 gone
+  EXPECT_TRUE(pairs.empty());
+  joiner.Process(MakeRecord(4, 4, {7, 8, 9}), true, true, cb);  // seq 2 still in
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].partner_seq, 2u);
+  EXPECT_EQ(joiner.stats().evictions, 3u);
+}
+
+TEST(RecordJoinerTest, TimeWindowEvictsByTimestamp) {
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 1000),
+                      WindowSpec::ByTime(100));
+  std::vector<ResultPair> pairs;
+  const auto cb = [&pairs](const ResultPair& p) { pairs.push_back(p); };
+  joiner.Process(MakeRecord(0, 0, {1, 2, 3}, /*timestamp=*/0), true, true, cb);
+  joiner.Process(MakeRecord(1, 1, {1, 2, 3}, /*timestamp=*/90), true, true, cb);
+  EXPECT_EQ(pairs.size(), 1u);
+  pairs.clear();
+  joiner.Process(MakeRecord(2, 2, {1, 2, 3}, /*timestamp=*/250), true, true, cb);
+  // Record at t=0 expired (250-100=150 > 0); record at t=90 expired too.
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(joiner.StoredCount(), 1u);
+}
+
+TEST(RecordJoinerTest, ProbeOnlyRecordsAreNotStored) {
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 1000),
+                      WindowSpec::Unbounded());
+  std::vector<ResultPair> pairs;
+  const auto cb = [&pairs](const ResultPair& p) { pairs.push_back(p); };
+  joiner.Process(MakeRecord(0, 0, {1, 2}), /*store=*/false, /*probe=*/true, cb);
+  joiner.Process(MakeRecord(1, 1, {1, 2}), /*store=*/true, /*probe=*/true, cb);
+  EXPECT_TRUE(pairs.empty());  // seq 0 was never stored
+  EXPECT_EQ(joiner.StoredCount(), 1u);
+}
+
+TEST(RecordJoinerTest, PositionalFilterPrunesButPreservesResults) {
+  const auto stream = MakeStream(11, 500, 0.4);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 700);
+  RecordJoinerOptions with, without;
+  with.positional_filter = true;
+  without.positional_filter = false;
+  RecordJoiner a(sim, WindowSpec::Unbounded(), with);
+  RecordJoiner b(sim, WindowSpec::Unbounded(), without);
+  const auto pa = Canonical(SingleNodeJoin(stream, a));
+  const auto pb = Canonical(SingleNodeJoin(stream, b));
+  EXPECT_EQ(pa, pb);
+  EXPECT_LE(a.stats().candidates, b.stats().candidates);
+  EXPECT_GT(a.stats().position_filtered, 0u);
+}
+
+TEST(RecordJoinerTest, CompactIndexDropsDeadPostings) {
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 800),
+                      WindowSpec::ByCount(4));
+  const auto cb = [](const ResultPair&) {};
+  for (uint64_t i = 0; i < 64; ++i) {
+    joiner.Process(MakeRecord(i, i, {static_cast<TokenId>(i % 7), 100, 101, 102}), true, true,
+                   cb);
+  }
+  const size_t before = joiner.MemoryBytes();
+  joiner.CompactIndex();
+  EXPECT_LE(joiner.MemoryBytes(), before);
+  EXPECT_GT(joiner.stats().dead_postings_purged, 0u);
+}
+
+TEST(LocalJoinerStatsTest, FiltersActuallyFire) {
+  const auto stream = MakeStream(23, 800, 0.4);
+  RecordJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 800),
+                      WindowSpec::Unbounded());
+  SingleNodeJoin(stream, joiner);
+  const JoinerStats& s = joiner.stats();
+  size_t non_empty = 0;
+  for (const RecordPtr& r : stream) non_empty += r->size() > 0 ? 1 : 0;
+  EXPECT_EQ(s.probes, non_empty);
+  EXPECT_GT(s.postings_scanned, 0u);
+  EXPECT_GT(s.length_filtered, 0u);
+  EXPECT_GT(s.candidates, 0u);
+  EXPECT_GE(s.verify.full_verifications, s.candidates);
+}
+
+}  // namespace
+}  // namespace dssj

@@ -1,0 +1,105 @@
+#include "stream/queue.h"
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dssj::stream {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop(), i);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPopOnEmpty) {
+  BoundedQueue<int> q(2);
+  int out = -1;
+  EXPECT_FALSE(q.TryPop(&out));
+  q.Push(7);
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueueTest, PushBlocksAtCapacityUntilPop) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load()) << "push did not block at capacity";
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, MpmcStressDeliversEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 20000;
+  BoundedQueue<std::pair<int, int>> q(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push({p, i});
+    });
+  }
+  std::mutex mu;
+  std::map<int, std::vector<int>> received;  // producer -> sequence seen
+  std::vector<std::thread> consumers;
+  std::atomic<int> remaining{kProducers * kPerProducer};
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (remaining.fetch_sub(1) > 0) {
+        const auto [p, i] = q.Pop();
+        std::lock_guard<std::mutex> lock(mu);
+        received[p].push_back(i);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  size_t total = 0;
+  for (auto& [p, seqs] : received) {
+    total += seqs.size();
+    std::sort(seqs.begin(), seqs.end());
+    for (int i = 0; i < static_cast<int>(seqs.size()); ++i) {
+      ASSERT_EQ(seqs[i], i) << "producer " << p << " lost or duplicated an item";
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kProducers) * kPerProducer);
+}
+
+TEST(BoundedQueueTest, PerProducerOrderPreservedWithSingleConsumer) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 10000;
+  BoundedQueue<std::pair<int, int>> q(32);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push({p, i});
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  for (int n = 0; n < kProducers * kPerProducer; ++n) {
+    const auto [p, i] = q.Pop();
+    ASSERT_EQ(i, next[p]) << "per-producer FIFO violated";
+    ++next[p];
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace dssj::stream

@@ -1,0 +1,172 @@
+#include "core/repartition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/join_topology.h"
+#include "workload/drift.h"
+#include "workload/generator.h"
+
+namespace dssj {
+namespace {
+
+TEST(DecayingLengthHistogramTest, TracksRecentDistribution) {
+  DecayingLengthHistogram h(/*half_life_records=*/100);
+  // Old regime: length 10.
+  for (int i = 0; i < 2000; ++i) h.Add(10);
+  // New regime: length 50; after many half-lives the old mass is gone.
+  for (int i = 0; i < 2000; ++i) h.Add(50);
+  const LengthHistogram snapshot = h.Snapshot();
+  ASSERT_GT(snapshot.TotalRecords(), 0u);
+  EXPECT_GT(snapshot.CountAt(50), snapshot.CountAt(10) * 100);
+}
+
+TEST(DecayingLengthHistogramTest, RenormalizationKeepsShape) {
+  DecayingLengthHistogram h(/*half_life_records=*/4);  // aggressive growth
+  for (int i = 0; i < 100000; ++i) h.Add(static_cast<size_t>(5 + i % 2));
+  const LengthHistogram snapshot = h.Snapshot();
+  // Both lengths alternate, so their decayed masses are within a factor ~2.
+  EXPECT_GT(snapshot.CountAt(5), 0u);
+  EXPECT_GT(snapshot.CountAt(6), 0u);
+  const double ratio = static_cast<double>(snapshot.CountAt(6)) /
+                       static_cast<double>(snapshot.CountAt(5));
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(DecayingLengthHistogramTest, EffectiveCountSaturatesNearHalfLifeBudget) {
+  DecayingLengthHistogram h(/*half_life_records=*/1000);
+  for (int i = 0; i < 100000; ++i) h.Add(7);
+  // Σ 2^(-i/1000) → 1/(1−2^(−1/1000)) ≈ 1443.
+  EXPECT_NEAR(h.EffectiveCount(), 1443.0, 30.0);
+}
+
+TEST(RepartitionAdvisorTest, RecommendsReplanAfterDrift) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  WorkloadOptions base = PresetOptions(DatasetPreset::kTweet);
+  base.seed = 51;
+  WorkloadGenerator gen(base);
+  const auto head = gen.Generate(10000);
+  const LengthPartition initial =
+      PlanLengthPartition(head, sim, 8, PartitionMethod::kLoadAwareGreedy);
+
+  RepartitionAdvisor advisor(sim, 8);
+  // Feed a drifted stream: lengths tripled.
+  WorkloadOptions drifted = base;
+  drifted.seed = 52;
+  drifted.length = LengthModel::LogNormal(base.length.mean * 3, 0.45, 2, 160);
+  WorkloadGenerator gen2(drifted);
+  LengthHistogram stored;
+  for (int i = 0; i < 20000; ++i) {
+    const RecordPtr r = gen2.Next();
+    advisor.ObserveLength(r->size());
+    stored.Add(r->size());
+  }
+  const MigrationPlan plan = advisor.Evaluate(initial, stored);
+  EXPECT_GT(plan.improvement_factor, 1.2) << "drift should make the old partition bad";
+  EXPECT_GT(plan.records_to_move, 0u);
+  EXPECT_GT(plan.bytes_to_move, plan.records_to_move * 24);
+  EXPECT_LE(plan.new_bottleneck, plan.current_bottleneck);
+}
+
+TEST(RepartitionAdvisorTest, NoReplanOnStationaryStream) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  WorkloadOptions base = PresetOptions(DatasetPreset::kTweet);
+  base.seed = 53;
+  WorkloadGenerator gen(base);
+  const auto head = gen.Generate(15000);
+  const LengthPartition initial =
+      PlanLengthPartition(head, sim, 8, PartitionMethod::kLoadAwareGreedy);
+
+  RepartitionAdvisor advisor(sim, 8);
+  LengthHistogram stored;
+  for (int i = 0; i < 15000; ++i) {
+    const RecordPtr r = gen.Next();
+    advisor.ObserveLength(r->size());
+    stored.Add(r->size());
+  }
+  const MigrationPlan plan = advisor.Evaluate(initial, stored);
+  EXPECT_LT(plan.improvement_factor, 1.2);
+  EXPECT_FALSE(plan.recommended);
+}
+
+TEST(RepartitionAdvisorTest, PolicyVetoesExpensiveMoves) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  RepartitionPolicy strict;
+  strict.max_move_fraction = 0.0;  // never move anything
+  RepartitionAdvisor advisor(sim, 4, strict);
+  for (int i = 0; i < 5000; ++i) advisor.ObserveLength(10 + i % 40);
+  LengthHistogram stored;
+  for (int i = 0; i < 5000; ++i) stored.Add(10 + i % 40);
+  // A terrible current partition: everything in one interval.
+  const MigrationPlan plan = advisor.Evaluate(LengthPartition({0, 1, 2, 3, 1000}), stored);
+  EXPECT_GT(plan.improvement_factor, 1.2);
+  EXPECT_FALSE(plan.recommended) << "policy must veto despite the improvement";
+}
+
+TEST(RepartitionAdvisorTest, EmptyMonitorIsInert) {
+  RepartitionAdvisor advisor(SimilaritySpec(SimilarityFunction::kJaccard, 800), 4);
+  const LengthPartition current({0, 5, 10, 15, 100});
+  const MigrationPlan plan = advisor.Evaluate(current, LengthHistogram());
+  EXPECT_FALSE(plan.recommended);
+  EXPECT_EQ(plan.new_partition.bounds(), current.bounds());
+}
+
+// --- Drifting generator -------------------------------------------------------
+
+TEST(DriftingGeneratorTest, LengthMeanMoves) {
+  DriftOptions options;
+  options.base = PresetOptions(DatasetPreset::kTweet);
+  options.base.seed = 54;
+  options.base.duplicate_fraction = 0.0;
+  options.end_length_mean = options.base.length.mean * 4;
+  options.drift_records = 20000;
+  DriftingGenerator gen(options);
+  double head_mean = 0, tail_mean = 0;
+  for (int i = 0; i < 25000; ++i) {
+    const RecordPtr r = gen.Next();
+    if (i < 3000) head_mean += static_cast<double>(r->size());
+    if (i >= 22000) tail_mean += static_cast<double>(r->size());
+  }
+  head_mean /= 3000;
+  tail_mean /= 3000;
+  EXPECT_GT(tail_mean, head_mean * 2.5);
+  EXPECT_DOUBLE_EQ(gen.Progress(), 1.0);
+}
+
+TEST(DriftingGeneratorTest, TokenRotationShiftsPopularTokens) {
+  DriftOptions options;
+  options.base.seed = 55;
+  options.base.token_universe = 10000;
+  options.base.zipf_skew = 1.0;
+  options.base.duplicate_fraction = 0.0;
+  options.token_rotation = 5000;
+  options.drift_records = 20000;
+  DriftingGenerator gen(options);
+  std::vector<uint64_t> head_freq(10000, 0), tail_freq(10000, 0);
+  for (int i = 0; i < 22000; ++i) {
+    const RecordPtr r = gen.Next();
+    auto& freq = i < 2000 ? head_freq : (i >= 20000 ? tail_freq : head_freq);
+    if (i < 2000 || i >= 20000) {
+      for (TokenId t : r->tokens) ++freq[t];
+    }
+  }
+  // The head's hottest token should no longer be the tail's hottest.
+  const size_t head_top =
+      std::max_element(head_freq.begin(), head_freq.end()) - head_freq.begin();
+  const size_t tail_top =
+      std::max_element(tail_freq.begin(), tail_freq.end()) - tail_freq.begin();
+  EXPECT_NE(head_top, tail_top);
+}
+
+TEST(DriftingGeneratorTest, NoDriftReducesToBaseGenerator) {
+  DriftOptions options;
+  options.base.seed = 56;
+  DriftingGenerator drifting(options);
+  WorkloadGenerator plain(options.base);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(drifting.Next()->tokens, plain.Next()->tokens);
+  }
+}
+
+}  // namespace
+}  // namespace dssj

@@ -1,0 +1,186 @@
+#include "core/router.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/join_topology.h"
+#include "text/record.h"
+#include "workload/generator.h"
+
+namespace dssj {
+namespace {
+
+RecordPtr RecordOfLength(size_t len, uint64_t seq = 0) {
+  std::vector<TokenId> tokens;
+  for (size_t i = 0; i < len; ++i) tokens.push_back(static_cast<TokenId>(i * 3 + 1));
+  return MakeRecord(seq, seq, std::move(tokens));
+}
+
+TEST(LengthRouterTest, StoresExactlyOnceAtTheOwner) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  LengthRouter router(sim, LengthPartition({0, 8, 16, 32}));
+  std::vector<RouteTarget> targets;
+  for (size_t len = 1; len <= 40; ++len) {
+    router.Route(*RecordOfLength(len), targets);
+    ASSERT_FALSE(targets.empty()) << "len=" << len;
+    int stores = 0;
+    for (const RouteTarget& t : targets) {
+      EXPECT_TRUE(t.probe);
+      if (t.store) {
+        ++stores;
+        EXPECT_EQ(t.partition, router.partition().PartitionOf(len));
+      }
+    }
+    EXPECT_EQ(stores, 1) << "len=" << len;
+  }
+}
+
+TEST(LengthRouterTest, ProbeSetCoversEveryPotentialPartnerPartition) {
+  // For any two records that could satisfy the predicate, the later one's
+  // probe targets must include the partition storing the earlier one.
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 700);
+  LengthRouter router(sim, LengthPartition({0, 5, 9, 14, 22}));
+  std::vector<RouteTarget> targets_r, targets_s;
+  for (size_t lr = 1; lr <= 30; ++lr) {
+    router.Route(*RecordOfLength(lr), targets_r);
+    for (size_t ls = 1; ls <= 30; ++ls) {
+      if (!sim.Satisfies(std::min(lr, ls), lr, ls)) continue;  // infeasible pair
+      router.Route(*RecordOfLength(ls), targets_s);
+      int owner_s = -1;
+      for (const RouteTarget& t : targets_s) {
+        if (t.store) owner_s = t.partition;
+      }
+      ASSERT_NE(owner_s, -1);
+      bool covered = false;
+      for (const RouteTarget& t : targets_r) covered = covered || t.partition == owner_s;
+      EXPECT_TRUE(covered) << "lr=" << lr << " ls=" << ls;
+    }
+  }
+}
+
+TEST(LengthRouterTest, DegenerateRecordsGetNoTargets) {
+  const SimilaritySpec overlap(SimilarityFunction::kOverlap, 5);
+  LengthRouter router(overlap, LengthPartition({0, 8, 64}));
+  std::vector<RouteTarget> targets;
+  router.Route(*RecordOfLength(0), targets);
+  EXPECT_TRUE(targets.empty());
+  router.Route(*RecordOfLength(3), targets);  // shorter than the overlap bound
+  EXPECT_TRUE(targets.empty());
+  router.Route(*RecordOfLength(6), targets);
+  EXPECT_FALSE(targets.empty());
+}
+
+TEST(BroadcastRouterTest, ProbesEverywhereStoresRoundRobin) {
+  BroadcastRouter router(4);
+  std::vector<RouteTarget> targets;
+  std::vector<int> owners;
+  for (int i = 0; i < 8; ++i) {
+    router.Route(*RecordOfLength(5, i), targets);
+    ASSERT_EQ(targets.size(), 4u);
+    int owner = -1;
+    for (const RouteTarget& t : targets) {
+      EXPECT_TRUE(t.probe);
+      if (t.store) owner = t.partition;
+    }
+    owners.push_back(owner);
+  }
+  // Round-robin store placement.
+  EXPECT_EQ(owners, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(ReplicatedRouterTest, StoresEverywhereProbesRoundRobin) {
+  ReplicatedRouter router(3);
+  std::vector<RouteTarget> targets;
+  std::vector<int> probers;
+  for (int i = 0; i < 6; ++i) {
+    router.Route(*RecordOfLength(5, i), targets);
+    ASSERT_EQ(targets.size(), 3u);
+    int prober = -1;
+    for (const RouteTarget& t : targets) {
+      EXPECT_TRUE(t.store);
+      if (t.probe) prober = t.partition;
+    }
+    probers.push_back(prober);
+  }
+  EXPECT_EQ(probers, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+  router.Route(*RecordOfLength(0), targets);
+  EXPECT_TRUE(targets.empty());
+}
+
+TEST(PrefixRouterTest, TargetsAreOwnersOfPrefixTokens) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  PrefixRouter router(sim, 5);
+  const RecordPtr r = RecordOfLength(20);
+  std::vector<RouteTarget> targets;
+  router.Route(*r, targets);
+  const size_t prefix = sim.PrefixLength(r->size());
+  std::set<int> expected;
+  for (size_t i = 0; i < prefix; ++i) expected.insert(router.OwnerOf(r->tokens[i]));
+  std::set<int> actual;
+  for (const RouteTarget& t : targets) {
+    EXPECT_TRUE(t.store);
+    EXPECT_TRUE(t.probe);
+    actual.insert(t.partition);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(PrefixRouterTest, TokenFilterAgreesWithOwnerOf) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  PrefixRouter router(sim, 7);
+  for (int p = 0; p < 7; ++p) {
+    const auto filter = router.TokenFilterFor(p);
+    for (TokenId t = 0; t < 500; ++t) {
+      EXPECT_EQ(filter(t), router.OwnerOf(t) == p);
+    }
+  }
+}
+
+TEST(PrefixRouterTest, ReplicationGrowsWithLowerThreshold) {
+  // Lower thresholds → longer prefixes → more target partitions.
+  WorkloadOptions wo = PresetOptions(DatasetPreset::kTweet);
+  wo.seed = 77;
+  const auto records = WorkloadGenerator(wo).Generate(2000);
+  double avg_high = 0, avg_low = 0;
+  for (const auto& [threshold, avg] :
+       std::vector<std::pair<int64_t, double*>>{{900, &avg_high}, {600, &avg_low}}) {
+    PrefixRouter router(SimilaritySpec(SimilarityFunction::kJaccard, threshold), 8);
+    std::vector<RouteTarget> targets;
+    size_t total = 0, routed = 0;
+    for (const RecordPtr& r : records) {
+      router.Route(*r, targets);
+      if (!targets.empty()) {
+        total += targets.size();
+        ++routed;
+      }
+    }
+    *avg = static_cast<double>(total) / static_cast<double>(routed);
+  }
+  EXPECT_GT(avg_low, avg_high);
+}
+
+TEST(MakeRouterTest, BuildsTheConfiguredStrategy) {
+  DistributedJoinOptions options;
+  options.num_joiners = 3;
+  options.strategy = DistributionStrategy::kBroadcast;
+  EXPECT_EQ(MakeRouter(options)->num_partitions(), 3);
+  options.strategy = DistributionStrategy::kPrefixBased;
+  EXPECT_EQ(MakeRouter(options)->num_partitions(), 3);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.length_partition = LengthPartition({0, 4, 9, 30});
+  EXPECT_EQ(MakeRouter(options)->num_partitions(), 3);
+}
+
+TEST(MakeRouterTest, RejectsMismatchedPartition) {
+  DistributedJoinOptions options;
+  options.num_joiners = 4;
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.length_partition = LengthPartition({0, 4, 30});  // 2 partitions
+  EXPECT_DEATH(MakeRouter(options), "must match num_joiners");
+}
+
+}  // namespace
+}  // namespace dssj

@@ -1,0 +1,226 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "text/record.h"
+
+namespace dssj {
+namespace {
+
+using ::testing::TestWithParam;
+
+// Reference similarity as exact rational comparisons, independent of the
+// implementation under test.
+bool ReferenceSatisfies(SimilarityFunction fn, int64_t p, size_t o, size_t l1, size_t l2) {
+  if (l1 == 0 || l2 == 0) return false;
+  const long double P = 1000.0L;
+  const long double oo = static_cast<long double>(o);
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return oo * (P + static_cast<long double>(p)) >=
+             static_cast<long double>(p) * static_cast<long double>(l1 + l2);
+    case SimilarityFunction::kCosine:
+      return oo * oo * P * P >= static_cast<long double>(p) * static_cast<long double>(p) *
+                                    static_cast<long double>(l1) *
+                                    static_cast<long double>(l2);
+    case SimilarityFunction::kDice:
+      return 2.0L * P * oo >=
+             static_cast<long double>(p) * static_cast<long double>(l1 + l2);
+    case SimilarityFunction::kOverlap:
+      return o >= static_cast<size_t>(p);
+  }
+  return false;
+}
+
+class SimilaritySweepTest
+    : public TestWithParam<std::tuple<SimilarityFunction, int64_t>> {
+ protected:
+  SimilarityFunction fn() const { return std::get<0>(GetParam()); }
+  int64_t threshold() const { return std::get<1>(GetParam()); }
+  SimilaritySpec spec() const { return SimilaritySpec(fn(), threshold()); }
+};
+
+TEST_P(SimilaritySweepTest, SatisfiesMatchesReference) {
+  const SimilaritySpec s = spec();
+  for (size_t l1 = 0; l1 <= 40; ++l1) {
+    for (size_t l2 = 0; l2 <= 40; ++l2) {
+      for (size_t o = 0; o <= std::min(l1, l2); ++o) {
+        EXPECT_EQ(s.Satisfies(o, l1, l2), ReferenceSatisfies(fn(), threshold(), o, l1, l2))
+            << "o=" << o << " l1=" << l1 << " l2=" << l2;
+      }
+    }
+  }
+}
+
+TEST_P(SimilaritySweepTest, MinOverlapIsThresholdOfSatisfies) {
+  const SimilaritySpec s = spec();
+  for (size_t l1 = 1; l1 <= 50; ++l1) {
+    for (size_t l2 = 1; l2 <= 50; ++l2) {
+      const size_t alpha = s.MinOverlap(l1, l2);
+      // Every overlap >= alpha (and feasible) satisfies; below alpha never.
+      for (size_t o = 0; o <= std::min(l1, l2); ++o) {
+        EXPECT_EQ(o >= alpha, s.Satisfies(o, l1, l2))
+            << "o=" << o << " alpha=" << alpha << " l1=" << l1 << " l2=" << l2;
+      }
+    }
+  }
+}
+
+TEST_P(SimilaritySweepTest, LengthBoundsAreTightAndSymmetric) {
+  const SimilaritySpec s = spec();
+  for (size_t l1 = 1; l1 <= 60; ++l1) {
+    // Records that cannot be in any pair (PrefixLength 0, e.g. shorter than
+    // an absolute Overlap threshold) are filtered before length bounds
+    // apply.
+    if (s.PrefixLength(l1) == 0) continue;
+    const size_t lo = s.LengthLowerBound(l1);
+    const size_t hi = s.LengthUpperBound(l1);
+    for (size_t l2 = 1; l2 <= 80; ++l2) {
+      if (s.PrefixLength(l2) == 0) continue;
+      const bool in_range = l2 >= lo && l2 <= hi;
+      // Feasible ⇔ the best-case overlap min(l1,l2) satisfies.
+      const bool feasible = s.Satisfies(std::min(l1, l2), l1, l2);
+      EXPECT_EQ(in_range, feasible) << "l1=" << l1 << " l2=" << l2;
+      // Symmetry of eligibility.
+      const bool symmetric =
+          l1 >= s.LengthLowerBound(l2) && l1 <= s.LengthUpperBound(l2);
+      EXPECT_EQ(in_range, symmetric) << "l1=" << l1 << " l2=" << l2;
+    }
+  }
+}
+
+TEST_P(SimilaritySweepTest, PrefixLengthCoversAllEligiblePartners) {
+  const SimilaritySpec s = spec();
+  for (size_t l = 1; l <= 60; ++l) {
+    const size_t prefix = s.PrefixLength(l);
+    if (prefix == 0) {
+      // No partner length may be feasible.
+      for (size_t l2 = 1; l2 <= 80; ++l2) {
+        EXPECT_FALSE(s.Satisfies(std::min(l, l2), l, l2));
+      }
+      continue;
+    }
+    EXPECT_LE(prefix, l);
+    // prefix = l - alpha_min + 1 where alpha_min is the loosest requirement.
+    size_t alpha_min = l + 1;
+    for (size_t l2 = s.LengthLowerBound(l); l2 <= std::min<size_t>(s.LengthUpperBound(l), 200);
+         ++l2) {
+      alpha_min = std::min(alpha_min, s.MinOverlap(l, l2));
+    }
+    ASSERT_LE(alpha_min, l);
+    EXPECT_EQ(prefix, l - alpha_min + 1) << "l=" << l;
+  }
+}
+
+TEST_P(SimilaritySweepTest, PrefixFilterNeverMissesASatisfyingPair) {
+  // Random pairs engineered to often satisfy the predicate: if sim(r,s)>=t
+  // then the first PrefixLength tokens of each must intersect.
+  const SimilaritySpec s = spec();
+  Rng rng(1234 + static_cast<uint64_t>(threshold()));
+  int satisfying = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t l1 = 1 + rng.Uniform(30);
+    std::vector<TokenId> a;
+    for (size_t i = 0; i < l1; ++i) a.push_back(static_cast<TokenId>(rng.Uniform(60)));
+    NormalizeTokens(a);
+    // Mutate a into b.
+    std::vector<TokenId> b = a;
+    const size_t mutations = rng.Uniform(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      if (!b.empty() && rng.Bernoulli(0.5)) b.erase(b.begin() + rng.Uniform(b.size()));
+      if (rng.Bernoulli(0.5)) b.push_back(static_cast<TokenId>(rng.Uniform(60)));
+    }
+    NormalizeTokens(b);
+    if (a.empty() || b.empty()) continue;
+    const size_t o = OverlapSize(a, b);
+    if (!s.Satisfies(o, a.size(), b.size())) continue;
+    ++satisfying;
+    const size_t pa = s.PrefixLength(a.size());
+    const size_t pb = s.PrefixLength(b.size());
+    ASSERT_GE(pa, 1u);
+    ASSERT_GE(pb, 1u);
+    std::vector<TokenId> prefix_a(a.begin(), a.begin() + pa);
+    std::vector<TokenId> prefix_b(b.begin(), b.begin() + pb);
+    EXPECT_GT(OverlapSize(prefix_a, prefix_b), 0u)
+        << "satisfying pair with disjoint prefixes";
+  }
+  EXPECT_GT(satisfying, 10) << "test workload generated too few satisfying pairs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatioFunctions, SimilaritySweepTest,
+    ::testing::Combine(::testing::Values(SimilarityFunction::kJaccard,
+                                         SimilarityFunction::kCosine,
+                                         SimilarityFunction::kDice),
+                       ::testing::Values<int64_t>(500, 600, 700, 750, 800, 900, 950, 1000)),
+    [](const auto& info) {
+      return std::string(SimilarityFunctionName(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlapFunction, SimilaritySweepTest,
+    ::testing::Combine(::testing::Values(SimilarityFunction::kOverlap),
+                       ::testing::Values<int64_t>(1, 2, 3, 5, 8)),
+    [](const auto& info) {
+      return std::string("overlap_") + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SimilaritySpecTest, JaccardKnownValues) {
+  const SimilaritySpec s(SimilarityFunction::kJaccard, 800);
+  // |r|=|s|=10, o=9: J = 9/11 = 0.818... >= 0.8.
+  EXPECT_TRUE(s.Satisfies(9, 10, 10));
+  // o=8: J = 8/12 = 0.666 < 0.8.
+  EXPECT_FALSE(s.Satisfies(8, 10, 10));
+  EXPECT_EQ(s.MinOverlap(10, 10), 9u);
+  // Classic prefix formula: l - ceil(t l) + 1 = 10 - 8 + 1 = 3.
+  EXPECT_EQ(s.PrefixLength(10), 3u);
+  EXPECT_EQ(s.LengthLowerBound(10), 8u);
+  EXPECT_EQ(s.LengthUpperBound(10), 12u);
+}
+
+TEST(SimilaritySpecTest, ThresholdOneKeepsOnlyExactDuplicates) {
+  for (const SimilarityFunction fn :
+       {SimilarityFunction::kJaccard, SimilarityFunction::kCosine, SimilarityFunction::kDice}) {
+    const SimilaritySpec s(fn, 1000);
+    for (size_t l = 1; l <= 30; ++l) {
+      EXPECT_TRUE(s.Satisfies(l, l, l));
+      if (l > 1) {
+        EXPECT_FALSE(s.Satisfies(l - 1, l, l));
+      }
+      EXPECT_EQ(s.LengthLowerBound(l), l);
+      EXPECT_EQ(s.LengthUpperBound(l), l);
+      EXPECT_EQ(s.PrefixLength(l), 1u);
+    }
+  }
+}
+
+TEST(SimilaritySpecTest, EmptySetsNeverMatch) {
+  const SimilaritySpec s(SimilarityFunction::kJaccard, 500);
+  EXPECT_FALSE(s.Satisfies(0, 0, 0));
+  EXPECT_FALSE(s.Satisfies(0, 0, 5));
+  EXPECT_EQ(s.PrefixLength(0), 0u);
+}
+
+TEST(SimilaritySpecTest, EvaluateSimilarityMatchesDefinition) {
+  const SimilaritySpec j(SimilarityFunction::kJaccard, 500);
+  EXPECT_DOUBLE_EQ(j.EvaluateSimilarity(3, 5, 4), 3.0 / 6.0);
+  const SimilaritySpec c(SimilarityFunction::kCosine, 500);
+  EXPECT_DOUBLE_EQ(c.EvaluateSimilarity(3, 4, 9), 3.0 / 6.0);
+  const SimilaritySpec d(SimilarityFunction::kDice, 500);
+  EXPECT_DOUBLE_EQ(d.EvaluateSimilarity(3, 5, 7), 6.0 / 12.0);
+}
+
+TEST(SimilaritySpecTest, ToStringIsInformative) {
+  EXPECT_EQ(SimilaritySpec(SimilarityFunction::kJaccard, 800).ToString(), "jaccard>=800/1000");
+  EXPECT_EQ(SimilaritySpec(SimilarityFunction::kOverlap, 4).ToString(), "overlap>=4");
+}
+
+}  // namespace
+}  // namespace dssj

@@ -1,0 +1,203 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/record.h"
+#include "text/token_dictionary.h"
+#include "text/tokenizer.h"
+
+namespace dssj {
+namespace {
+
+// --- Record -----------------------------------------------------------------
+
+TEST(RecordTest, NormalizeSortsAndDedups) {
+  std::vector<TokenId> tokens{5, 1, 5, 3, 1};
+  NormalizeTokens(tokens);
+  EXPECT_EQ(tokens, (std::vector<TokenId>{1, 3, 5}));
+}
+
+TEST(RecordTest, OverlapSize) {
+  EXPECT_EQ(OverlapSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(OverlapSize({1, 2, 3}, {4, 5}), 0u);
+  EXPECT_EQ(OverlapSize({}, {1}), 0u);
+  EXPECT_EQ(OverlapSize({1, 2, 3}, {1, 2, 3}), 3u);
+}
+
+TEST(RecordTest, MakeRecordNormalizesAndStamps) {
+  const RecordPtr r = MakeRecord(7, 9, {4, 4, 1}, 123);
+  EXPECT_EQ(r->id, 7u);
+  EXPECT_EQ(r->seq, 9u);
+  EXPECT_EQ(r->timestamp, 123);
+  EXPECT_EQ(r->tokens, (std::vector<TokenId>{1, 4}));
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->SerializedBytes(), 24u + 8u);
+}
+
+// --- Tokenizers ---------------------------------------------------------------
+
+TEST(WordTokenizerTest, LowercasesAndSplits) {
+  WordTokenizer t;
+  EXPECT_EQ(t.Tokenize("Data, Engineering!  42"),
+            (std::vector<std::string>{"data", "engineering", "42"}));
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  ,.!  ").empty());
+  EXPECT_EQ(t.Tokenize("a-b_c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(QGramTokenizerTest, SlidingGrams) {
+  QGramTokenizer t(3);
+  EXPECT_EQ(t.Tokenize("abcde"),
+            (std::vector<std::string>{"abc", "bcd", "cde"}));
+  // Whitespace collapsed, case folded.
+  EXPECT_EQ(t.Tokenize("A  b"), (std::vector<std::string>{"a b"}));
+  // Shorter than q: whole string.
+  EXPECT_EQ(t.Tokenize("ab"), (std::vector<std::string>{"ab"}));
+  EXPECT_TRUE(t.Tokenize("   ").empty());
+}
+
+// --- TokenDictionary ----------------------------------------------------------
+
+TEST(TokenDictionaryTest, AssignsDenseIdsFirstSeen) {
+  TokenDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.TokenString(1), "beta");
+  EXPECT_EQ(dict.Find("beta"), 1u);
+  EXPECT_EQ(dict.Find("gamma"), TokenDictionary::kNoToken);
+}
+
+TEST(TokenDictionaryTest, ReorderByFrequencyPutsRareFirst) {
+  TokenDictionary dict;
+  const TokenId common = dict.GetOrAdd("common");
+  const TokenId rare = dict.GetOrAdd("rare");
+  const TokenId mid = dict.GetOrAdd("mid");
+  for (int i = 0; i < 10; ++i) dict.CountDocumentOccurrence(common);
+  for (int i = 0; i < 5; ++i) dict.CountDocumentOccurrence(mid);
+  dict.CountDocumentOccurrence(rare);
+  const auto remap = dict.ReorderByFrequency();
+  EXPECT_EQ(remap[rare], 0u);
+  EXPECT_EQ(remap[mid], 1u);
+  EXPECT_EQ(remap[common], 2u);
+  dict.ApplyRemap(remap);
+  EXPECT_EQ(dict.TokenString(0), "rare");
+  EXPECT_EQ(dict.Find("common"), 2u);
+  EXPECT_EQ(dict.DocumentFrequency(0), 1u);
+}
+
+TEST(TokenDictionaryTest, RemapTokensResorts) {
+  std::vector<TokenId> remap{2, 0, 1};  // old 0->2, 1->0, 2->1
+  std::vector<TokenId> tokens{0, 2};
+  RemapTokens(remap, tokens);
+  EXPECT_EQ(tokens, (std::vector<TokenId>{1, 2}));
+}
+
+// --- Corpus ---------------------------------------------------------------------
+
+TEST(CorpusTest, BuildFromLinesProducesFrequencyOrderedRecords) {
+  const std::vector<std::string> lines{
+      "the quick fox",
+      "the lazy dog",
+      "the quick dog",
+  };
+  WordTokenizer tokenizer;
+  const Corpus corpus = BuildCorpusFromLines(lines, tokenizer);
+  ASSERT_EQ(corpus.records.size(), 3u);
+  EXPECT_EQ(corpus.dictionary.size(), 5u);
+  // "the" occurs in all 3 documents → highest id.
+  const TokenId the_id = corpus.dictionary.Find("the");
+  EXPECT_EQ(the_id, 4u);
+  // Every record's tokens ascend and end with "the".
+  for (const RecordPtr& r : corpus.records) {
+    ASSERT_EQ(r->size(), 3u);
+    EXPECT_TRUE(std::is_sorted(r->tokens.begin(), r->tokens.end()));
+    EXPECT_EQ(r->tokens.back(), the_id);
+  }
+  // seq == position.
+  EXPECT_EQ(corpus.records[2]->seq, 2u);
+}
+
+TEST(CorpusTest, EmptyLinesYieldEmptyRecords) {
+  WordTokenizer tokenizer;
+  const Corpus corpus = BuildCorpusFromLines({"a b", "", "c"}, tokenizer);
+  ASSERT_EQ(corpus.records.size(), 3u);
+  EXPECT_EQ(corpus.records[1]->size(), 0u);
+}
+
+TEST(CorpusTest, StatsSummarizeCollection) {
+  WordTokenizer tokenizer;
+  const Corpus corpus = BuildCorpusFromLines(
+      {"a b c", "a b", "a a a", "d e f g"}, tokenizer);
+  const CorpusStats stats = ComputeCorpusStats(corpus.records);
+  EXPECT_EQ(stats.num_records, 4u);
+  EXPECT_EQ(stats.vocabulary_size, 7u);
+  EXPECT_EQ(stats.min_length, 1u);  // "a a a" collapses to {a}
+  EXPECT_EQ(stats.max_length, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_length, (3 + 2 + 1 + 4) / 4.0);
+  EXPECT_GT(stats.top1pct_token_mass, 0.0);
+}
+
+TEST(CorpusTest, EmptyStats) {
+  const CorpusStats stats = ComputeCorpusStats({});
+  EXPECT_EQ(stats.num_records, 0u);
+  EXPECT_EQ(stats.min_length, 0u);
+}
+
+TEST(CorpusTest, BinaryRoundTrip) {
+  WordTokenizer tokenizer;
+  const Corpus corpus =
+      BuildCorpusFromLines({"alpha beta", "", "gamma delta epsilon"}, tokenizer);
+  const std::string path = ::testing::TempDir() + "/records_roundtrip.bin";
+  ASSERT_TRUE(SaveRecordsBinary(path, corpus.records).ok());
+  auto loaded = LoadRecordsBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), corpus.records.size());
+  for (size_t i = 0; i < corpus.records.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i]->id, corpus.records[i]->id);
+    EXPECT_EQ(loaded.value()[i]->seq, corpus.records[i]->seq);
+    EXPECT_EQ(loaded.value()[i]->tokens, corpus.records[i]->tokens);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, LoadErrorsAreStatuses) {
+  EXPECT_EQ(LoadRecordsBinary("/nonexistent/path.bin").status().code(),
+            StatusCode::kNotFound);
+  WordTokenizer tokenizer;
+  EXPECT_EQ(LoadCorpusFromFile("/nonexistent/corpus.txt", tokenizer).status().code(),
+            StatusCode::kNotFound);
+  // Corrupt magic.
+  const std::string path = ::testing::TempDir() + "/bad_magic.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("nope", 1, 4, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadRecordsBinary(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, FileRoundTripThroughLoadCorpusFromFile) {
+  const std::string path = ::testing::TempDir() + "/corpus_lines.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("hello world\nhello again\n", f);
+    std::fclose(f);
+  }
+  WordTokenizer tokenizer;
+  auto corpus = LoadCorpusFromFile(path, tokenizer);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.value().records.size(), 2u);
+  EXPECT_EQ(corpus.value().dictionary.size(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dssj

@@ -1,0 +1,166 @@
+#include "core/two_stream_joiner.h"
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace dssj {
+namespace {
+
+using Side = TwoStreamJoiner::Side;
+using RsPair = TwoStreamJoiner::RsPair;
+
+std::vector<RsPair> Canonical(std::vector<RsPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(), [](const RsPair& a, const RsPair& b) {
+    return std::tie(a.r_seq, a.s_seq) < std::tie(b.r_seq, b.s_seq);
+  });
+  return pairs;
+}
+
+/// Brute-force reference over an interleaved (side, record) sequence.
+std::vector<RsPair> BruteForceRs(
+    const std::vector<std::pair<Side, RecordPtr>>& interleaved, const SimilaritySpec& sim,
+    const WindowSpec& r_window, const WindowSpec& s_window) {
+  std::vector<RsPair> pairs;
+  std::vector<RecordPtr> r_store, s_store;
+  for (const auto& [side, rec] : interleaved) {
+    if (rec->size() == 0) continue;
+    // Evict by time against the arriving record's timestamp (both sides,
+    // matching the joiner's behaviour of evicting the probed side too).
+    auto evict = [&](std::vector<RecordPtr>& store, const WindowSpec& w) {
+      store.erase(std::remove_if(store.begin(), store.end(),
+                                 [&](const RecordPtr& s) {
+                                   return w.ExpiredByTime(s->timestamp, rec->timestamp);
+                                 }),
+                  store.end());
+    };
+    evict(r_store, r_window);
+    evict(s_store, s_window);
+    const auto& partners = side == Side::kR ? s_store : r_store;
+    for (const RecordPtr& partner : partners) {
+      const size_t o = OverlapSize(rec->tokens, partner->tokens);
+      if (sim.Satisfies(o, rec->size(), partner->size())) {
+        if (side == Side::kR) {
+          pairs.push_back(RsPair{rec->id, rec->seq, partner->id, partner->seq});
+        } else {
+          pairs.push_back(RsPair{partner->id, partner->seq, rec->id, rec->seq});
+        }
+      }
+    }
+    auto& own = side == Side::kR ? r_store : s_store;
+    own.push_back(rec);
+    // Count windows: evict oldest beyond capacity.
+    const WindowSpec& w = side == Side::kR ? r_window : s_window;
+    while (w.OverCount(own.size() - 1)) own.erase(own.begin());
+  }
+  return pairs;
+}
+
+std::vector<std::pair<Side, RecordPtr>> InterleavedStreams(uint64_t seed, size_t n) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.token_universe = 400;
+  options.length = LengthModel::Uniform(2, 24);
+  options.duplicate_fraction = 0.4;
+  options.mutation_rate = 0.12;
+  options.dup_locality = 200;
+  WorkloadGenerator gen(options);
+  Rng side_rng(seed + 99);
+  std::vector<std::pair<Side, RecordPtr>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(side_rng.Bernoulli(0.5) ? Side::kR : Side::kS, gen.Next());
+  }
+  return out;
+}
+
+TEST(TwoStreamJoinerTest, MatchesBruteForceUnbounded) {
+  for (uint64_t seed : {81u, 82u, 83u}) {
+    const auto interleaved = InterleavedStreams(seed, 700);
+    const SimilaritySpec sim(SimilarityFunction::kJaccard, 700);
+    TwoStreamJoiner joiner(sim, WindowSpec::Unbounded(), WindowSpec::Unbounded());
+    std::vector<RsPair> pairs;
+    for (const auto& [side, rec] : interleaved) {
+      joiner.Process(side, rec, [&pairs](const RsPair& p) { pairs.push_back(p); });
+    }
+    const auto expected = Canonical(
+        BruteForceRs(interleaved, sim, WindowSpec::Unbounded(), WindowSpec::Unbounded()));
+    EXPECT_EQ(Canonical(pairs), expected) << "seed=" << seed;
+    EXPECT_GT(expected.size(), 0u);
+  }
+}
+
+TEST(TwoStreamJoinerTest, NoSameStreamPairsEver) {
+  const auto interleaved = InterleavedStreams(84, 800);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 600);
+  TwoStreamJoiner joiner(sim, WindowSpec::Unbounded(), WindowSpec::Unbounded());
+  std::vector<uint64_t> r_seqs, s_seqs;
+  for (const auto& [side, rec] : interleaved) {
+    (side == Side::kR ? r_seqs : s_seqs).push_back(rec->seq);
+  }
+  joiner.Process(Side::kR, MakeRecord(9999, 9999, {1, 2, 3}),
+                 [](const RsPair&) {});  // warm-up no-op
+  std::vector<RsPair> pairs;
+  TwoStreamJoiner fresh(sim, WindowSpec::Unbounded(), WindowSpec::Unbounded());
+  for (const auto& [side, rec] : interleaved) {
+    fresh.Process(side, rec, [&pairs](const RsPair& p) { pairs.push_back(p); });
+  }
+  for (const RsPair& p : pairs) {
+    EXPECT_TRUE(std::count(r_seqs.begin(), r_seqs.end(), p.r_seq) == 1)
+        << "r side of pair not from stream R";
+    EXPECT_TRUE(std::count(s_seqs.begin(), s_seqs.end(), p.s_seq) == 1)
+        << "s side of pair not from stream S";
+  }
+}
+
+TEST(TwoStreamJoinerTest, AsymmetricWindows) {
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 1000);
+  // R keeps 1 record, S keeps plenty.
+  TwoStreamJoiner joiner(sim, WindowSpec::ByCount(1), WindowSpec::ByCount(100));
+  std::vector<RsPair> pairs;
+  const auto cb = [&pairs](const RsPair& p) { pairs.push_back(p); };
+  joiner.Process(Side::kR, MakeRecord(0, 0, {1, 2, 3}), cb);
+  joiner.Process(Side::kR, MakeRecord(1, 1, {4, 5, 6}), cb);  // evicts R seq 0
+  EXPECT_EQ(joiner.StoredCount(Side::kR), 1u);
+  joiner.Process(Side::kS, MakeRecord(2, 2, {1, 2, 3}), cb);
+  EXPECT_TRUE(pairs.empty()) << "matched an evicted R record";
+  joiner.Process(Side::kS, MakeRecord(3, 3, {4, 5, 6}), cb);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].r_seq, 1u);
+  EXPECT_EQ(pairs[0].s_seq, 3u);
+}
+
+TEST(TwoStreamJoinerTest, TimeWindowsMatchBruteForce) {
+  const auto interleaved = InterleavedStreams(85, 900);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 700);
+  const WindowSpec r_window = WindowSpec::ByTime(120 * 1000);
+  const WindowSpec s_window = WindowSpec::ByTime(300 * 1000);
+  TwoStreamJoiner joiner(sim, r_window, s_window);
+  std::vector<RsPair> pairs;
+  for (const auto& [side, rec] : interleaved) {
+    joiner.Process(side, rec, [&pairs](const RsPair& p) { pairs.push_back(p); });
+  }
+  EXPECT_EQ(Canonical(pairs),
+            Canonical(BruteForceRs(interleaved, sim, r_window, s_window)));
+}
+
+TEST(TwoStreamJoinerTest, StatsSplitPerSide) {
+  TwoStreamJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 800),
+                         WindowSpec::Unbounded(), WindowSpec::Unbounded());
+  const auto cb = [](const RsPair&) {};
+  joiner.Process(Side::kR, MakeRecord(0, 0, {1, 2}), cb);
+  joiner.Process(Side::kR, MakeRecord(1, 1, {3, 4}), cb);
+  joiner.Process(Side::kS, MakeRecord(2, 2, {1, 2}), cb);
+  EXPECT_EQ(joiner.StoredCount(Side::kR), 2u);
+  EXPECT_EQ(joiner.StoredCount(Side::kS), 1u);
+  EXPECT_EQ(joiner.stats(Side::kR).stores, 2u);
+  EXPECT_EQ(joiner.stats(Side::kS).stores, 1u);
+  EXPECT_GT(joiner.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dssj

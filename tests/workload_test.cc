@@ -1,0 +1,140 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/brute_force_joiner.h"
+#include "core/join_topology.h"
+#include "text/corpus.h"
+
+namespace dssj {
+namespace {
+
+TEST(LengthModelTest, SamplesRespectBounds) {
+  Rng rng(1);
+  for (const LengthModel model :
+       {LengthModel::Uniform(3, 9), LengthModel::LogNormal(10, 0.8, 3, 9),
+        LengthModel::Normal(6, 4, 3, 9)}) {
+    for (int i = 0; i < 5000; ++i) {
+      const size_t l = model.Sample(rng);
+      ASSERT_GE(l, 3u);
+      ASSERT_LE(l, 9u);
+    }
+  }
+}
+
+TEST(LengthModelTest, LogNormalMeanIsApproximatelyRight) {
+  Rng rng(2);
+  const LengthModel model = LengthModel::LogNormal(20, 0.5, 1, 1000);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(static_cast<double>(model.Sample(rng)));
+  EXPECT_NEAR(stat.mean(), 20.0, 1.5);
+}
+
+TEST(WorkloadGeneratorTest, DeterministicGivenSeed) {
+  WorkloadOptions options;
+  options.seed = 99;
+  const auto a = WorkloadGenerator(options).Generate(200);
+  const auto b = WorkloadGenerator(options).Generate(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->tokens, b[i]->tokens);
+    EXPECT_EQ(a[i]->seq, i);
+    EXPECT_EQ(a[i]->timestamp, static_cast<int64_t>(i) * options.timestamp_step_us);
+  }
+  WorkloadOptions other = options;
+  other.seed = 100;
+  const auto c = WorkloadGenerator(other).Generate(200);
+  size_t differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) differing += a[i]->tokens != c[i]->tokens;
+  EXPECT_GT(differing, 150u);
+}
+
+TEST(WorkloadGeneratorTest, RecordsAreNormalizedSets) {
+  WorkloadOptions options;
+  options.seed = 3;
+  options.duplicate_fraction = 0.5;
+  for (const RecordPtr& r : WorkloadGenerator(options).Generate(2000)) {
+    EXPECT_TRUE(std::is_sorted(r->tokens.begin(), r->tokens.end()));
+    EXPECT_TRUE(std::adjacent_find(r->tokens.begin(), r->tokens.end()) == r->tokens.end());
+    for (TokenId t : r->tokens) EXPECT_LT(t, options.token_universe);
+  }
+}
+
+TEST(WorkloadGeneratorTest, SmallTokenIdsAreRare) {
+  WorkloadOptions options;
+  options.seed = 4;
+  options.zipf_skew = 1.0;
+  options.token_universe = 10000;
+  options.duplicate_fraction = 0.0;
+  std::vector<uint64_t> freq(10000, 0);
+  for (const RecordPtr& r : WorkloadGenerator(options).Generate(5000)) {
+    for (TokenId t : r->tokens) ++freq[t];
+  }
+  // The top id (most frequent rank) must dominate the bottom id.
+  uint64_t low_mass = 0, high_mass = 0;
+  for (size_t i = 0; i < 100; ++i) low_mass += freq[i];
+  for (size_t i = 9900; i < 10000; ++i) high_mass += freq[i];
+  EXPECT_GT(high_mass, low_mass * 5);
+}
+
+TEST(WorkloadGeneratorTest, DuplicateFractionDrivesJoinDensity) {
+  auto count_results = [](double dup_fraction) {
+    WorkloadOptions options;
+    options.seed = 5;
+    options.token_universe = 5000;
+    options.length = LengthModel::Uniform(5, 20);
+    options.duplicate_fraction = dup_fraction;
+    options.mutation_rate = 0.05;
+    const auto stream = WorkloadGenerator(options).Generate(3000);
+    BruteForceJoiner joiner(SimilaritySpec(SimilarityFunction::kJaccard, 800),
+                            WindowSpec::Unbounded());
+    return SingleNodeJoin(stream, joiner).size();
+  };
+  const size_t none = count_results(0.0);
+  const size_t some = count_results(0.3);
+  const size_t many = count_results(0.6);
+  EXPECT_LT(none, some);
+  EXPECT_LT(some, many);
+  EXPECT_GT(many, 100u);
+}
+
+TEST(WorkloadGeneratorTest, PresetsHaveDistinctProfiles) {
+  CorpusStats stats[4];
+  int i = 0;
+  for (const DatasetPreset preset : {DatasetPreset::kAol, DatasetPreset::kTweet,
+                                     DatasetPreset::kEnron, DatasetPreset::kDblp}) {
+    WorkloadOptions options = PresetOptions(preset);
+    options.seed = 6;
+    stats[i++] = ComputeCorpusStats(WorkloadGenerator(options).Generate(4000));
+  }
+  // AOL: very short; ENRON: much longer than everything else.
+  EXPECT_LT(stats[0].avg_length, 6.0);
+  EXPECT_GT(stats[2].avg_length, 4 * stats[1].avg_length);
+  EXPECT_GT(stats[2].max_length, 300u);
+  // DBLP and TWEET sit between.
+  EXPECT_GT(stats[1].avg_length, stats[0].avg_length);
+  EXPECT_GT(stats[3].avg_length, stats[0].avg_length);
+}
+
+TEST(WorkloadGeneratorTest, PresetNamesAreStable) {
+  EXPECT_STREQ(DatasetPresetName(DatasetPreset::kAol), "AOL");
+  EXPECT_STREQ(DatasetPresetName(DatasetPreset::kEnron), "ENRON");
+}
+
+TEST(WorkloadGeneratorTest, NextAndGenerateAgree) {
+  WorkloadOptions options;
+  options.seed = 7;
+  WorkloadGenerator a(options);
+  WorkloadGenerator b(options);
+  const auto batch = b.Generate(50);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next()->tokens, batch[i]->tokens);
+  }
+}
+
+}  // namespace
+}  // namespace dssj
