@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_repartition"
+  "../bench/bench_repartition.pdb"
+  "CMakeFiles/bench_repartition.dir/bench_repartition.cc.o"
+  "CMakeFiles/bench_repartition.dir/bench_repartition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

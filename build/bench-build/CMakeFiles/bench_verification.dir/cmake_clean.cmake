@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_verification"
+  "../bench/bench_verification.pdb"
+  "CMakeFiles/bench_verification.dir/bench_verification.cc.o"
+  "CMakeFiles/bench_verification.dir/bench_verification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

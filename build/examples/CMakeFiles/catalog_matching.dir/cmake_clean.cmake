@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_matching.dir/catalog_matching.cc.o"
+  "CMakeFiles/catalog_matching.dir/catalog_matching.cc.o.d"
+  "catalog_matching"
+  "catalog_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

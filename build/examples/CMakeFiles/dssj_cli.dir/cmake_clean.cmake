@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssj_cli.dir/dssj_cli.cc.o"
+  "CMakeFiles/dssj_cli.dir/dssj_cli.cc.o.d"
+  "dssj_cli"
+  "dssj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_duplicate_news.dir/near_duplicate_news.cc.o"
+  "CMakeFiles/near_duplicate_news.dir/near_duplicate_news.cc.o.d"
+  "near_duplicate_news"
+  "near_duplicate_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_duplicate_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

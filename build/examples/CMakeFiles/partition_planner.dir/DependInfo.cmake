@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/partition_planner.cc" "examples/CMakeFiles/partition_planner.dir/partition_planner.cc.o" "gcc" "examples/CMakeFiles/partition_planner.dir/partition_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dssj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dssj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dssj_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dssj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dssj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_log_dedup.dir/query_log_dedup.cc.o"
+  "CMakeFiles/query_log_dedup.dir/query_log_dedup.cc.o.d"
+  "query_log_dedup"
+  "query_log_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_log_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

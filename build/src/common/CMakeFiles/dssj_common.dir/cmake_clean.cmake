@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssj_common.dir/flags.cc.o"
+  "CMakeFiles/dssj_common.dir/flags.cc.o.d"
+  "CMakeFiles/dssj_common.dir/logging.cc.o"
+  "CMakeFiles/dssj_common.dir/logging.cc.o.d"
+  "CMakeFiles/dssj_common.dir/random.cc.o"
+  "CMakeFiles/dssj_common.dir/random.cc.o.d"
+  "CMakeFiles/dssj_common.dir/stats.cc.o"
+  "CMakeFiles/dssj_common.dir/stats.cc.o.d"
+  "CMakeFiles/dssj_common.dir/status.cc.o"
+  "CMakeFiles/dssj_common.dir/status.cc.o.d"
+  "libdssj_common.a"
+  "libdssj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

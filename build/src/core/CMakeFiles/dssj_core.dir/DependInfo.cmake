@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_router.cc" "src/core/CMakeFiles/dssj_core.dir/adaptive_router.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/adaptive_router.cc.o.d"
+  "/root/repo/src/core/brute_force_joiner.cc" "src/core/CMakeFiles/dssj_core.dir/brute_force_joiner.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/brute_force_joiner.cc.o.d"
+  "/root/repo/src/core/bundle_joiner.cc" "src/core/CMakeFiles/dssj_core.dir/bundle_joiner.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/bundle_joiner.cc.o.d"
+  "/root/repo/src/core/join_topology.cc" "src/core/CMakeFiles/dssj_core.dir/join_topology.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/join_topology.cc.o.d"
+  "/root/repo/src/core/minhash_joiner.cc" "src/core/CMakeFiles/dssj_core.dir/minhash_joiner.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/minhash_joiner.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/dssj_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/record_joiner.cc" "src/core/CMakeFiles/dssj_core.dir/record_joiner.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/record_joiner.cc.o.d"
+  "/root/repo/src/core/repartition.cc" "src/core/CMakeFiles/dssj_core.dir/repartition.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/repartition.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/dssj_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/router.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/dssj_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/two_stream_joiner.cc" "src/core/CMakeFiles/dssj_core.dir/two_stream_joiner.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/two_stream_joiner.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/core/CMakeFiles/dssj_core.dir/verify.cc.o" "gcc" "src/core/CMakeFiles/dssj_core.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dssj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dssj_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dssj_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

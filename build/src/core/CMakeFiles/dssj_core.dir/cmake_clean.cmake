@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssj_core.dir/adaptive_router.cc.o"
+  "CMakeFiles/dssj_core.dir/adaptive_router.cc.o.d"
+  "CMakeFiles/dssj_core.dir/brute_force_joiner.cc.o"
+  "CMakeFiles/dssj_core.dir/brute_force_joiner.cc.o.d"
+  "CMakeFiles/dssj_core.dir/bundle_joiner.cc.o"
+  "CMakeFiles/dssj_core.dir/bundle_joiner.cc.o.d"
+  "CMakeFiles/dssj_core.dir/join_topology.cc.o"
+  "CMakeFiles/dssj_core.dir/join_topology.cc.o.d"
+  "CMakeFiles/dssj_core.dir/minhash_joiner.cc.o"
+  "CMakeFiles/dssj_core.dir/minhash_joiner.cc.o.d"
+  "CMakeFiles/dssj_core.dir/partition.cc.o"
+  "CMakeFiles/dssj_core.dir/partition.cc.o.d"
+  "CMakeFiles/dssj_core.dir/record_joiner.cc.o"
+  "CMakeFiles/dssj_core.dir/record_joiner.cc.o.d"
+  "CMakeFiles/dssj_core.dir/repartition.cc.o"
+  "CMakeFiles/dssj_core.dir/repartition.cc.o.d"
+  "CMakeFiles/dssj_core.dir/router.cc.o"
+  "CMakeFiles/dssj_core.dir/router.cc.o.d"
+  "CMakeFiles/dssj_core.dir/similarity.cc.o"
+  "CMakeFiles/dssj_core.dir/similarity.cc.o.d"
+  "CMakeFiles/dssj_core.dir/two_stream_joiner.cc.o"
+  "CMakeFiles/dssj_core.dir/two_stream_joiner.cc.o.d"
+  "CMakeFiles/dssj_core.dir/verify.cc.o"
+  "CMakeFiles/dssj_core.dir/verify.cc.o.d"
+  "libdssj_core.a"
+  "libdssj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdssj_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssj_stream.dir/metrics.cc.o"
+  "CMakeFiles/dssj_stream.dir/metrics.cc.o.d"
+  "CMakeFiles/dssj_stream.dir/topology.cc.o"
+  "CMakeFiles/dssj_stream.dir/topology.cc.o.d"
+  "libdssj_stream.a"
+  "libdssj_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssj_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

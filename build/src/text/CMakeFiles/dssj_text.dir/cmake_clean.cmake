@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssj_text.dir/corpus.cc.o"
+  "CMakeFiles/dssj_text.dir/corpus.cc.o.d"
+  "CMakeFiles/dssj_text.dir/record.cc.o"
+  "CMakeFiles/dssj_text.dir/record.cc.o.d"
+  "CMakeFiles/dssj_text.dir/token_dictionary.cc.o"
+  "CMakeFiles/dssj_text.dir/token_dictionary.cc.o.d"
+  "CMakeFiles/dssj_text.dir/tokenizer.cc.o"
+  "CMakeFiles/dssj_text.dir/tokenizer.cc.o.d"
+  "libdssj_text.a"
+  "libdssj_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssj_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssj_workload.dir/drift.cc.o"
+  "CMakeFiles/dssj_workload.dir/drift.cc.o.d"
+  "CMakeFiles/dssj_workload.dir/generator.cc.o"
+  "CMakeFiles/dssj_workload.dir/generator.cc.o.d"
+  "libdssj_workload.a"
+  "libdssj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_router_test.dir/adaptive_router_test.cc.o"
+  "CMakeFiles/adaptive_router_test.dir/adaptive_router_test.cc.o.d"
+  "adaptive_router_test"
+  "adaptive_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_joiner_test.dir/bundle_joiner_test.cc.o"
+  "CMakeFiles/bundle_joiner_test.dir/bundle_joiner_test.cc.o.d"
+  "bundle_joiner_test"
+  "bundle_joiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_joiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

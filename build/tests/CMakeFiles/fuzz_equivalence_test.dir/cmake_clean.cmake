@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_equivalence_test.dir/fuzz_equivalence_test.cc.o"
+  "CMakeFiles/fuzz_equivalence_test.dir/fuzz_equivalence_test.cc.o.d"
+  "fuzz_equivalence_test"
+  "fuzz_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_topology_test.dir/join_topology_test.cc.o"
+  "CMakeFiles/join_topology_test.dir/join_topology_test.cc.o.d"
+  "join_topology_test"
+  "join_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

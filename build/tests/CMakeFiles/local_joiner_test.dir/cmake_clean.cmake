@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_joiner_test.dir/local_joiner_test.cc.o"
+  "CMakeFiles/local_joiner_test.dir/local_joiner_test.cc.o.d"
+  "local_joiner_test"
+  "local_joiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_joiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repartition_test.dir/repartition_test.cc.o"
+  "CMakeFiles/repartition_test.dir/repartition_test.cc.o.d"
+  "repartition_test"
+  "repartition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repartition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

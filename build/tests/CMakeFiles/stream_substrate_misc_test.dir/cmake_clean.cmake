@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_substrate_misc_test.dir/stream_substrate_misc_test.cc.o"
+  "CMakeFiles/stream_substrate_misc_test.dir/stream_substrate_misc_test.cc.o.d"
+  "stream_substrate_misc_test"
+  "stream_substrate_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_substrate_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stream_joiner_test.dir/two_stream_joiner_test.cc.o"
+  "CMakeFiles/two_stream_joiner_test.dir/two_stream_joiner_test.cc.o.d"
+  "two_stream_joiner_test"
+  "two_stream_joiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stream_joiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
