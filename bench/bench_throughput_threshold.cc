@@ -9,10 +9,31 @@
 //
 // rec_per_s_scaled models a cluster (records / busiest-task time); on this
 // single-core host wall clock merely sums all tasks (see EXPERIMENTS.md).
+//
+// Usage: bench_throughput_threshold [--emit_json=PATH] [--runs=N]
+//                                   [google-benchmark flags]
+//   --emit_json=PATH  skip the benchmark harness and instead measure the
+//                     hot-path optimizations before/after (batch_size=1 +
+//                     scalar verify kernel vs batch_size=32 + block kernel)
+//                     at threshold 0.8 on the TWEET and DBLP presets, plus
+//                     the local joiners, and write machine-readable JSON
+//                     (median of --runs runs, default 3) to PATH.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/bundle_joiner.h"
+#include "core/record_joiner.h"
+#include "core/verify.h"
 
 namespace dssj::bench {
 namespace {
@@ -66,6 +87,27 @@ void BM_Broadcast_Enron(benchmark::State& state) {
   RunStrategy(state, DistributionStrategy::kBroadcast, DatasetPreset::kEnron);
 }
 
+// Transport batch-size sweep at the headline configuration (length-based,
+// TWEET, t=0.8): how much of the wall-clock win batching delivers, and
+// where it saturates.
+void BM_Length_Tweet_BatchSize(benchmark::State& state) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.batch_size = static_cast<size_t>(state.range(0));
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) *
+                          static_cast<int64_t>(state.iterations()));
+  ReportJoinResult(state, result);
+}
+
 #define DSSJ_THRESHOLDS ->Arg(600)->Arg(700)->Arg(800)->Arg(900)->Arg(950)
 
 BENCHMARK(BM_Length_Tweet) DSSJ_THRESHOLDS
@@ -85,7 +127,200 @@ BENCHMARK(BM_Broadcast_Enron) DSSJ_THRESHOLDS
 
 #undef DSSJ_THRESHOLDS
 
+BENCHMARK(BM_Length_Tweet_BatchSize)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// --emit_json mode: before/after measurement of the hot-path optimizations.
+// ---------------------------------------------------------------------------
+
+struct DistMeasurement {
+  double wall_rps = 0.0;
+  double scaled_rps = 0.0;
+  uint64_t results = 0;
+};
+
+DistMeasurement MeasureDistributedOnce(DatasetPreset preset, size_t batch_size,
+                                       VerifyKernel kernel) {
+  const size_t n = RecordsFor(preset);
+  const auto& stream = CachedStream(preset, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.batch_size = batch_size;
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  SetVerifyKernel(kernel);
+  const DistributedJoinResult r = RunDistributedJoin(stream, options);
+  SetVerifyKernel(VerifyKernel::kBlock);
+  return {r.throughput_rps, r.scaled_throughput_rps, r.result_count};
+}
+
+struct LocalMeasurement {
+  double rps = 0.0;
+  uint64_t results = 0;
+};
+
+LocalMeasurement MeasureLocalOnce(LocalAlgorithm algorithm, VerifyKernel kernel,
+                                  size_t records) {
+  const auto& stream = CachedDupStream(0.4, records);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  const WindowSpec window = WindowSpec::ByCount(20000);
+  SetVerifyKernel(kernel);
+  std::unique_ptr<LocalJoiner> joiner;
+  if (algorithm == LocalAlgorithm::kRecord) {
+    joiner = std::make_unique<RecordJoiner>(sim, window);
+  } else {
+    joiner = std::make_unique<BundleJoiner>(sim, window);
+  }
+  uint64_t sink = 0;
+  const auto begin = std::chrono::steady_clock::now();
+  for (const RecordPtr& r : stream) {
+    joiner->Process(r, /*store=*/true, /*probe=*/true,
+                    [&sink](const ResultPair&) { ++sink; });
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  SetVerifyKernel(VerifyKernel::kBlock);
+  benchmark::DoNotOptimize(sink);
+  return {seconds > 0.0 ? static_cast<double>(records) / seconds : 0.0,
+          joiner->stats().results};
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0);
+}
+
+const char* PresetName(DatasetPreset preset) {
+  switch (preset) {
+    case DatasetPreset::kAol:
+      return "aol";
+    case DatasetPreset::kTweet:
+      return "tweet";
+    case DatasetPreset::kEnron:
+      return "enron";
+    case DatasetPreset::kDblp:
+      return "dblp";
+  }
+  return "unknown";
+}
+
+int EmitJson(const std::string& path, int runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"hot_path_before_after\",\n"
+               "  \"threshold_permille\": 800,\n"
+               "  \"joiners\": %d,\n"
+               "  \"runs_per_config\": %d,\n"
+               "  \"baseline_config\": {\"batch_size\": 1, \"verify_kernel\": \"scalar\"},\n"
+               "  \"optimized_config\": {\"batch_size\": 32, \"verify_kernel\": \"block\"},\n",
+               kJoiners, runs);
+
+  std::fprintf(f, "  \"distributed\": [\n");
+  const DatasetPreset presets[] = {DatasetPreset::kTweet, DatasetPreset::kDblp};
+  for (size_t p = 0; p < 2; ++p) {
+    const DatasetPreset preset = presets[p];
+    std::vector<double> base_wall, base_scaled, opt_wall, opt_scaled;
+    uint64_t base_results = 0, opt_results = 0;
+    for (int i = 0; i < runs; ++i) {
+      const DistMeasurement b =
+          MeasureDistributedOnce(preset, 1, VerifyKernel::kScalar);
+      base_wall.push_back(b.wall_rps);
+      base_scaled.push_back(b.scaled_rps);
+      base_results = b.results;
+      const DistMeasurement o =
+          MeasureDistributedOnce(preset, 32, VerifyKernel::kBlock);
+      opt_wall.push_back(o.wall_rps);
+      opt_scaled.push_back(o.scaled_rps);
+      opt_results = o.results;
+    }
+    const double bw = Median(base_wall), ow = Median(opt_wall);
+    const double bs = Median(base_scaled), os = Median(opt_scaled);
+    std::fprintf(f,
+                 "    {\"preset\": \"%s\", \"records\": %zu,\n"
+                 "     \"baseline\": {\"rec_per_s_wall\": %.1f, \"rec_per_s_scaled\": %.1f, "
+                 "\"results\": %llu},\n"
+                 "     \"optimized\": {\"rec_per_s_wall\": %.1f, \"rec_per_s_scaled\": %.1f, "
+                 "\"results\": %llu},\n"
+                 "     \"speedup_wall\": %.3f, \"speedup_scaled\": %.3f}%s\n",
+                 PresetName(preset), RecordsFor(preset), bw, bs,
+                 static_cast<unsigned long long>(base_results), ow, os,
+                 static_cast<unsigned long long>(opt_results),
+                 bw > 0.0 ? ow / bw : 0.0, bs > 0.0 ? os / bs : 0.0,
+                 p + 1 < 2 ? "," : "");
+    std::fprintf(stderr, "[distributed %s] baseline %.0f rec/s wall -> optimized %.0f "
+                 "rec/s wall (%.2fx); results %llu vs %llu\n",
+                 PresetName(preset), bw, ow, bw > 0.0 ? ow / bw : 0.0,
+                 static_cast<unsigned long long>(base_results),
+                 static_cast<unsigned long long>(opt_results));
+  }
+  std::fprintf(f, "  ],\n");
+
+  std::fprintf(f, "  \"local\": [\n");
+  const LocalAlgorithm algos[] = {LocalAlgorithm::kRecord, LocalAlgorithm::kBundle};
+  const char* algo_names[] = {"record", "bundle"};
+  const size_t local_records = 30000;
+  for (size_t a = 0; a < 2; ++a) {
+    std::vector<double> base_rps, opt_rps;
+    uint64_t base_results = 0, opt_results = 0;
+    for (int i = 0; i < runs; ++i) {
+      const LocalMeasurement b =
+          MeasureLocalOnce(algos[a], VerifyKernel::kScalar, local_records);
+      base_rps.push_back(b.rps);
+      base_results = b.results;
+      const LocalMeasurement o =
+          MeasureLocalOnce(algos[a], VerifyKernel::kBlock, local_records);
+      opt_rps.push_back(o.rps);
+      opt_results = o.results;
+    }
+    const double br = Median(base_rps), orr = Median(opt_rps);
+    std::fprintf(f,
+                 "    {\"joiner\": \"%s\", \"dup_fraction\": 0.4, \"records\": %zu,\n"
+                 "     \"baseline\": {\"rec_per_s\": %.1f, \"results\": %llu},\n"
+                 "     \"optimized\": {\"rec_per_s\": %.1f, \"results\": %llu},\n"
+                 "     \"speedup\": %.3f}%s\n",
+                 algo_names[a], local_records, br,
+                 static_cast<unsigned long long>(base_results), orr,
+                 static_cast<unsigned long long>(opt_results),
+                 br > 0.0 ? orr / br : 0.0, a + 1 < 2 ? "," : "");
+    std::fprintf(stderr, "[local %s] scalar %.0f rec/s -> block %.0f rec/s (%.2fx)\n",
+                 algo_names[a], br, orr, br > 0.0 ? orr / br : 0.0);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace dssj::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  int runs = 3;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit_json=", 12) == 0) {
+      json_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--runs=", 7) == 0) {
+      runs = std::atoi(argv[i] + 7);
+      if (runs < 1) runs = 1;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return dssj::bench::EmitJson(json_path, runs);
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,7 +4,7 @@
 //   ./build/examples/dssj_cli <file> [--function=jaccard|cosine|dice]
 //       [--threshold=800] [--joiners=4]
 //       [--strategy=length|prefix|broadcast] [--local=record|bundle]
-//       [--window=N] [--qgram=Q] [--max-pairs=20]
+//       [--window=N] [--qgram=Q] [--max-pairs=20] [--batch_size=32]
 //
 // Example:
 //   printf 'hello world\nhello there world\nbye now\n' > /tmp/docs.txt
@@ -25,7 +25,7 @@ int Usage(const char* argv0) {
                "usage: %s <file> [--function=jaccard|cosine|dice] [--threshold=permille]\n"
                "          [--joiners=N] [--strategy=length|prefix|broadcast]\n"
                "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
-               "          [--max-pairs=N]\n",
+               "          [--max-pairs=N] [--batch_size=N]\n",
                argv0);
   return 2;
 }
@@ -46,6 +46,11 @@ int main(int argc, char** argv) {
   const int64_t window = flags.GetInt("window", 0);
   const int64_t qgram = flags.GetInt("qgram", 0);
   const int64_t max_pairs = flags.GetInt("max-pairs", 20);
+  const int64_t batch_size = flags.GetInt("batch_size", 32);
+  if (batch_size < 1) {
+    std::fprintf(stderr, "--batch_size must be >= 1\n");
+    return Usage(argv[0]);
+  }
   for (const std::string& key : flags.UnusedKeys()) {
     std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
     return Usage(argv[0]);
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
   options.sim = dssj::SimilaritySpec(fn, threshold);
   options.num_joiners = joiners;
   options.collect_results = true;
+  options.batch_size = static_cast<size_t>(batch_size);
   if (window > 0) options.window = dssj::WindowSpec::ByCount(static_cast<size_t>(window));
   if (strategy == "length") {
     options.strategy = dssj::DistributionStrategy::kLengthBased;

@@ -32,9 +32,12 @@ void BundleJoiner::EvictOldest() {
   store_order_.pop_front();
   auto it = bundles_.find(entry.bundle_id);
   CHECK(it != bundles_.end());
-  const size_t erased = it->second.members.erase(entry.uid);
-  CHECK_EQ(erased, 1u);
-  if (it->second.members.empty()) bundles_.erase(it);
+  auto& members = it->second.members;
+  const auto pos = std::find_if(members.begin(), members.end(),
+                                [&](const auto& m) { return m.first == entry.uid; });
+  CHECK(pos != members.end());
+  members.erase(pos);
+  if (members.empty()) bundles_.erase(it);
   --alive_members_;
   ++stats_.evictions;
 }
@@ -98,8 +101,9 @@ void BundleJoiner::ProbeBundle(const Record& r, uint64_t bundle_id, Bundle& bund
       }
     } else {
       // Individual-verification baseline: reconstruct and merge fully.
-      const std::vector<TokenId> tokens = ReconstructMember(bundle, m);
-      const size_t o = VerifyOverlap(r.tokens, tokens, alpha, &stats_.verify);
+      ReconstructMemberInto(bundle, m, &scratch_member_);
+      const size_t o = VerifyOverlap(r.tokens.data(), r.tokens.size(), scratch_member_.data(),
+                                     scratch_member_.size(), alpha, &stats_.verify);
       if (o >= alpha) {
         ++stats_.results;
         cb(ResultPair{r.id, r.seq, m.id, m.seq});
@@ -132,9 +136,16 @@ void BundleJoiner::Probe(const Record& r, const ResultCallback& cb,
   ++probe_stamp_;
   for (size_t i = 0; i < prefix_len; ++i) {
     const TokenId w = r.tokens[i];
-    auto it = index_.find(w);
-    if (it == index_.end()) continue;
-    std::vector<uint64_t>& list = it->second;
+    std::vector<uint64_t>* list_ptr;
+    if (options_.direct_index) {
+      if (w >= dense_index_.size() || dense_index_[w].empty()) continue;
+      list_ptr = &dense_index_[w];
+    } else {
+      const auto it = sparse_index_.find(w);
+      if (it == sparse_index_.end()) continue;
+      list_ptr = &it->second;
+    }
+    std::vector<uint64_t>& list = *list_ptr;
     size_t write = 0;
     for (size_t read = 0; read < list.size(); ++read) {
       const uint64_t bundle_id = list[read];
@@ -151,34 +162,45 @@ void BundleJoiner::Probe(const Record& r, const ResultCallback& cb,
       ProbeBundle(r, bundle_id, bundle, cb, admission);
     }
     list.resize(write);
-    if (list.empty()) index_.erase(it);
   }
 }
 
 void BundleJoiner::AddMemberTokensToIndex(uint64_t bundle_id, Bundle& bundle,
                                           const Record& member) {
   const size_t prefix_len = sim_.PrefixLength(member.size());
+  if (bundle.indexed.capacity() < prefix_len) bundle.indexed.reserve(2 * prefix_len);
   for (size_t i = 0; i < prefix_len; ++i) {
     const TokenId w = member.tokens[i];
     auto pos = std::lower_bound(bundle.indexed.begin(), bundle.indexed.end(), w);
     if (pos != bundle.indexed.end() && *pos == w) continue;
     bundle.indexed.insert(pos, w);
-    index_[w].push_back(bundle_id);
+    std::vector<uint64_t>* list;
+    if (options_.direct_index) {
+      if (w >= dense_index_.size()) {
+        dense_index_.resize(
+            std::max<size_t>(w + 1, dense_index_.size() + dense_index_.size() / 2));
+      }
+      list = &dense_index_[w];
+    } else {
+      list = &sparse_index_[w];
+    }
+    // One allocation per list instead of the 1->2->4 growth chain: most
+    // lists stay short (Zipf tail), and malloc would dominate otherwise.
+    if (list->capacity() == 0) list->reserve(4);
+    list->push_back(bundle_id);
   }
 }
 
-std::vector<TokenId> BundleJoiner::ReconstructMember(const Bundle& bundle,
-                                                     const Member& m) const {
+void BundleJoiner::ReconstructMemberInto(const Bundle& bundle, const Member& m,
+                                         std::vector<TokenId>* out) {
   // tokens = (pivot ∖ removed) ∪ added, all arrays ascending.
-  std::vector<TokenId> kept;
-  kept.reserve(bundle.pivot.size() - m.removed.size() + m.added.size());
+  std::vector<TokenId>& kept = scratch_kept_;
+  kept.clear();
   std::set_difference(bundle.pivot.begin(), bundle.pivot.end(), m.removed.begin(),
                       m.removed.end(), std::back_inserter(kept));
-  std::vector<TokenId> out;
-  out.reserve(kept.size() + m.added.size());
+  out->clear();
   std::set_union(kept.begin(), kept.end(), m.added.begin(), m.added.end(),
-                 std::back_inserter(out));
-  return out;
+                 std::back_inserter(*out));
 }
 
 void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission) {
@@ -196,11 +218,17 @@ void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission
   if (admit_it != bundles_.end()) {
     bundle_id = admission.bundle_id;
     bundle = &admit_it->second;
-    // Diff against the pivot (both ascending).
+    // Diff against the pivot (both ascending). Diff into reusable scratch
+    // first, then copy at exact size: one allocation per diff instead of
+    // the back_inserter growth chain.
+    scratch_member_.clear();
     std::set_difference(r->tokens.begin(), r->tokens.end(), bundle->pivot.begin(),
-                        bundle->pivot.end(), std::back_inserter(member.added));
+                        bundle->pivot.end(), std::back_inserter(scratch_member_));
+    member.added = scratch_member_;
+    scratch_kept_.clear();
     std::set_difference(bundle->pivot.begin(), bundle->pivot.end(), r->tokens.begin(),
-                        r->tokens.end(), std::back_inserter(member.removed));
+                        r->tokens.end(), std::back_inserter(scratch_kept_));
+    member.removed = scratch_kept_;
     bundle->min_size = std::min(bundle->min_size, member.size);
     bundle->max_size = std::max(bundle->max_size, member.size);
     bundle->max_added =
@@ -215,7 +243,8 @@ void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission
   }
 
   const uint32_t uid = bundle->next_uid++;
-  bundle->members.emplace(uid, std::move(member));
+  if (bundle->members.capacity() == 0) bundle->members.reserve(4);
+  bundle->members.emplace_back(uid, std::move(member));
   AddMemberTokensToIndex(bundle_id, *bundle, *r);
   store_order_.push_back(OrderEntry{bundle_id, uid, r->timestamp});
   ++alive_members_;
@@ -245,13 +274,18 @@ size_t BundleJoiner::MemoryBytes() const {
   for (const auto& [_, b] : bundles_) {
     bytes += sizeof(Bundle) + b.pivot.capacity() * sizeof(TokenId) +
              b.indexed.capacity() * sizeof(TokenId);
+    bytes += b.members.capacity() * sizeof(std::pair<uint32_t, Member>);
     for (const auto& [__, m] : b.members) {
-      bytes += sizeof(Member) + 48 /* map node */ +
-               (m.added.capacity() + m.removed.capacity()) * sizeof(TokenId);
+      bytes += (m.added.capacity() + m.removed.capacity()) * sizeof(TokenId);
     }
   }
-  for (const auto& [_, list] : index_) {
-    bytes += sizeof(TokenId) + 48 + list.capacity() * sizeof(uint64_t);
+  bytes += dense_index_.capacity() * sizeof(std::vector<uint64_t>);
+  for (const std::vector<uint64_t>& list : dense_index_) {
+    bytes += list.capacity() * sizeof(uint64_t);
+  }
+  bytes += sparse_index_.size() * (sizeof(TokenId) + sizeof(std::vector<uint64_t>) + 16);
+  for (const auto& [_, list] : sparse_index_) {
+    bytes += list.capacity() * sizeof(uint64_t);
   }
   bytes += store_order_.size() * sizeof(OrderEntry);
   return bytes;

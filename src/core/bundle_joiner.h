@@ -3,8 +3,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/local_joiner.h"
@@ -31,6 +31,12 @@ struct BundleJoinerOptions {
   /// and running a full merge verification — the "individual verification"
   /// baseline of the batch-verification experiment (E7).
   bool batch_verify = true;
+
+  /// Index layout; same tradeoff as RecordJoinerOptions::direct_index.
+  /// Direct addressing wins for a joiner holding a dense share of the
+  /// token space, a hash map wins for partitioned joiners whose sparse
+  /// slice still spans the full token-id range.
+  bool direct_index = true;
 };
 
 /// Bundle-based streaming joiner. Stored records that are similar to each
@@ -66,8 +72,11 @@ class BundleJoiner : public LocalJoiner {
   };
 
   struct Bundle {
-    std::vector<TokenId> pivot;       ///< founding record's tokens
-    std::map<uint32_t, Member> members;  ///< uid -> member, insertion order
+    std::vector<TokenId> pivot;  ///< founding record's tokens
+    /// (uid, member), insertion-ordered. A flat vector: the member sweep in
+    /// ProbeBundle is the joiner's hottest loop, and uids are removed by
+    /// linear search only on eviction (bundles stay small, see max_diff).
+    std::vector<std::pair<uint32_t, Member>> members;
     uint32_t next_uid = 0;
     std::vector<TokenId> indexed;     ///< tokens posted for this bundle, ascending
     uint32_t min_size = 0;            ///< over members ever added
@@ -96,7 +105,8 @@ class BundleJoiner : public LocalJoiner {
                    const ResultCallback& cb, AdmissionCandidate* admission);
   void Store(const RecordPtr& r, const AdmissionCandidate& admission);
   void AddMemberTokensToIndex(uint64_t bundle_id, Bundle& bundle, const Record& member);
-  std::vector<TokenId> ReconstructMember(const Bundle& bundle, const Member& m) const;
+  void ReconstructMemberInto(const Bundle& bundle, const Member& m,
+                             std::vector<TokenId>* out);
 
   SimilaritySpec sim_;
   SimilaritySpec admission_sim_;
@@ -104,11 +114,20 @@ class BundleJoiner : public LocalJoiner {
   BundleJoinerOptions options_;
 
   std::unordered_map<uint64_t, Bundle> bundles_;
-  std::unordered_map<TokenId, std::vector<uint64_t>> index_;
+  // Inverted index over indexed prefix tokens; exactly one layout is
+  // populated, per options_.direct_index. In the dense layout lists that
+  // fall empty keep their 24-byte header.
+  std::vector<std::vector<uint64_t>> dense_index_;
+  std::unordered_map<TokenId, std::vector<uint64_t>> sparse_index_;
   std::deque<OrderEntry> store_order_;
   uint64_t next_bundle_id_ = 0;
   uint64_t probe_stamp_ = 0;
   size_t alive_members_ = 0;
+
+  /// Reused across individual verifications (batch_verify == false) so the
+  /// E7 baseline measures merge cost, not per-member allocation.
+  std::vector<TokenId> scratch_member_;
+  std::vector<TokenId> scratch_kept_;
 
   JoinerStats stats_;
 };

@@ -93,6 +93,17 @@ class DispatcherBolt : public stream::Bolt {
   }
 
   void Execute(stream::Tuple tuple, stream::OutputCollector& out) override {
+    Dispatch(tuple, out);
+  }
+
+  void ExecuteBatch(stream::TupleBatch batch, stream::OutputCollector& out) override {
+    // Whole inbound batch routed without per-tuple virtual dispatch; the
+    // collector coalesces the resulting EmitDirects per joiner task.
+    for (stream::Tuple& tuple : batch) Dispatch(tuple, out);
+  }
+
+ private:
+  void Dispatch(stream::Tuple& tuple, stream::OutputCollector& out) {
     const auto record = tuple.Ptr<Record>(0);
     const int64_t emit_us = tuple.Int(1);
     router_->Route(*record, targets_);
@@ -106,7 +117,6 @@ class DispatcherBolt : public stream::Bolt {
     }
   }
 
- private:
   const DistributedJoinOptions* options_;
   std::shared_ptr<SharedState> shared_;
   std::unique_ptr<Router> router_;
@@ -126,6 +136,20 @@ class JoinerBolt : public stream::Bolt {
   }
 
   void Execute(stream::Tuple tuple, stream::OutputCollector& out) override {
+    Process(tuple, out);
+  }
+
+  void ExecuteBatch(stream::TupleBatch batch, stream::OutputCollector& out) override {
+    for (stream::Tuple& tuple : batch) Process(tuple, out);
+  }
+
+  void Finish(stream::OutputCollector& /*out*/) override {
+    shared_->joiner_stats[partition_] = joiner_->stats();
+    shared_->joiner_stored[partition_] = joiner_->StoredCount();
+  }
+
+ private:
+  void Process(stream::Tuple& tuple, stream::OutputCollector& out) {
     const auto record = tuple.Ptr<Record>(0);
     const int64_t flags = tuple.Int(1);
     const int64_t emit_us = tuple.Int(2);
@@ -147,12 +171,6 @@ class JoinerBolt : public stream::Bolt {
     }
   }
 
-  void Finish(stream::OutputCollector& /*out*/) override {
-    shared_->joiner_stats[partition_] = joiner_->stats();
-    shared_->joiner_stored[partition_] = joiner_->StoredCount();
-  }
-
- private:
   const DistributedJoinOptions* options_;
   std::shared_ptr<SharedState> shared_;
   int partition_ = 0;
@@ -293,10 +311,15 @@ std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options) {
 std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& options,
                                              int partition) {
   const bool prefix_strategy = options.strategy == DistributionStrategy::kPrefixBased;
+  // Partitioned joiners each hold a sparse slice of the full token-id
+  // range; a direct-addressed table would cost every joiner the whole
+  // range, so they index with a hash map instead.
+  const bool direct_index = options.num_joiners <= 1;
   switch (options.local) {
     case LocalAlgorithm::kRecord: {
       RecordJoinerOptions ro;
       ro.positional_filter = options.positional_filter;
+      ro.direct_index = direct_index;
       if (prefix_strategy) {
         ro.token_filter =
             PrefixRouter(options.sim, options.num_joiners).TokenFilterFor(partition);
@@ -304,10 +327,13 @@ std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& optio
       }
       return std::make_unique<RecordJoiner>(options.sim, options.window, std::move(ro));
     }
-    case LocalAlgorithm::kBundle:
+    case LocalAlgorithm::kBundle: {
       CHECK(!prefix_strategy)
           << "bundle joiner is not defined for the prefix distribution strategy";
-      return std::make_unique<BundleJoiner>(options.sim, options.window, options.bundle);
+      BundleJoinerOptions bo = options.bundle;
+      bo.direct_index = direct_index;
+      return std::make_unique<BundleJoiner>(options.sim, options.window, bo);
+    }
     case LocalAlgorithm::kBruteForce:
       CHECK(!prefix_strategy)
           << "brute-force joiner cannot apply the prefix dedup rule";
@@ -329,6 +355,7 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   stream::TopologyBuilder builder;
   builder.SetNumWorkers(workers)
       .SetQueueCapacity(options.queue_capacity)
+      .SetBatchSize(options.batch_size)
       .SetRemoteByteCostNanos(options.remote_byte_cost_ns);
   builder.SetSpout(
       kSourceName,

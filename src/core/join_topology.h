@@ -80,6 +80,14 @@ struct DistributedJoinOptions {
   /// Per-task inbound queue capacity (backpressure bound).
   size_t queue_capacity = 4096;
 
+  /// Tuple-transport batch size (see TopologyBuilder::SetBatchSize): tuples
+  /// are moved between tasks in groups of up to this many under one lock
+  /// and one wakeup. 1 restores strict per-tuple transport. Batching never
+  /// reorders a (producer task → consumer task) link, so the seq-order
+  /// exactly-once rule is unaffected; the result set is identical for every
+  /// batch size.
+  size_t batch_size = 32;
+
   /// Simulated workers for communication accounting; 0 = num_joiners.
   int num_workers = 0;
 

@@ -62,17 +62,42 @@ void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
   const size_t lo = sim_.LengthLowerBound(r.size());
   const size_t hi = sim_.LengthUpperBound(r.size());
 
-  cand_overlap_.clear();
+  ++probe_stamp_;
+  if (cand_overlap_.size() < store_.size()) {
+    cand_overlap_.resize(store_.size());
+    cand_stamp_.resize(store_.size(), 0);
+  }
   cand_order_.clear();
+  // Memoize MinOverlap per eligible partner length: it is asked for a few
+  // distinct lengths per probe but several times each (posting scan +
+  // verification), and each computation is an integer division. Lazy fill
+  // so lengths never seen cost nothing; skipped when the eligible window
+  // is huge (kOverlap allows any length).
+  constexpr uint32_t kAlphaUnset = ~0u;
+  const bool cache_alpha = hi - lo < 4096;
+  if (cache_alpha) alpha_cache_.assign(hi - lo + 1, kAlphaUnset);
+  const auto alpha_for = [&](size_t s_size) -> size_t {
+    if (!cache_alpha) return sim_.MinOverlap(r.size(), s_size);
+    uint32_t& slot = alpha_cache_[s_size - lo];
+    if (slot == kAlphaUnset) slot = static_cast<uint32_t>(sim_.MinOverlap(r.size(), s_size));
+    return slot;
+  };
 
   // Candidate generation over the probe prefix's posting lists. Dead
   // postings are compacted away in passing.
   for (size_t i = 0; i < prefix_len; ++i) {
     const TokenId w = r.tokens[i];
     if (options_.token_filter != nullptr && !options_.token_filter(w)) continue;
-    auto it = index_.find(w);
-    if (it == index_.end()) continue;
-    std::vector<Posting>& list = it->second;
+    std::vector<Posting>* list_ptr;
+    if (options_.direct_index) {
+      if (w >= dense_index_.size() || dense_index_[w].empty()) continue;
+      list_ptr = &dense_index_[w];
+    } else {
+      const auto it = sparse_index_.find(w);
+      if (it == sparse_index_.end()) continue;
+      list_ptr = &it->second;
+    }
+    std::vector<Posting>& list = *list_ptr;
     size_t write = 0;
     for (size_t read = 0; read < list.size(); ++read) {
       const Posting p = list[read];
@@ -82,19 +107,23 @@ void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
       }
       list[write++] = p;
       ++stats_.postings_scanned;
-      const RecordPtr& s = StoredAt(p.local_id);
-      if (s->size() < lo || s->size() > hi) {
+      const size_t s_size = p.size;
+      if (s_size < lo || s_size > hi) {
         ++stats_.length_filtered;
         continue;
       }
-      auto [cit, inserted] = cand_overlap_.try_emplace(p.local_id, 0);
-      if (inserted) cand_order_.push_back(p.local_id);
-      int32_t& ov = cit->second;
+      const size_t slot = static_cast<size_t>(p.local_id - base_);
+      int32_t& ov = cand_overlap_[slot];
+      if (cand_stamp_[slot] != probe_stamp_) {
+        cand_stamp_[slot] = probe_stamp_;
+        ov = 0;
+        cand_order_.push_back(p.local_id);
+      }
       if (ov < 0) continue;  // already pruned by the positional filter
       if (options_.positional_filter) {
-        const size_t alpha = sim_.MinOverlap(r.size(), s->size());
+        const size_t alpha = alpha_for(s_size);
         const size_t upper = static_cast<size_t>(ov) + 1 +
-                             std::min(r.size() - i - 1, s->size() - p.position - 1);
+                             std::min(r.size() - i - 1, s_size - p.position - 1);
         if (upper < alpha) {
           ov = -1;
           ++stats_.position_filtered;
@@ -104,16 +133,15 @@ void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
       ++ov;
     }
     list.resize(write);
-    if (list.empty()) index_.erase(it);
   }
 
   // Verification.
   for (const uint64_t lid : cand_order_) {
-    const int32_t ov = cand_overlap_[lid];
+    const int32_t ov = cand_overlap_[static_cast<size_t>(lid - base_)];
     if (ov < 0) continue;
     const RecordPtr& s = StoredAt(lid);
     ++stats_.candidates;
-    const size_t alpha = sim_.MinOverlap(r.size(), s->size());
+    const size_t alpha = alpha_for(s->size());
     if (options_.suffix_filter) {
       // overlap = (|r| + |s| − |r △ s|) / 2, so overlap >= alpha requires
       // |r △ s| <= |r| + |s| − 2·alpha.
@@ -147,7 +175,21 @@ void RecordJoiner::Store(const RecordPtr& r) {
   for (size_t i = 0; i < prefix_len; ++i) {
     const TokenId w = r->tokens[i];
     if (options_.token_filter != nullptr && !options_.token_filter(w)) continue;
-    index_[w].push_back(Posting{local_id, static_cast<uint32_t>(i)});
+    std::vector<Posting>* list;
+    if (options_.direct_index) {
+      if (w >= dense_index_.size()) {
+        dense_index_.resize(
+            std::max<size_t>(w + 1, dense_index_.size() + dense_index_.size() / 2));
+      }
+      list = &dense_index_[w];
+    } else {
+      list = &sparse_index_[w];
+    }
+    // One allocation per list instead of the 1->2->4 growth chain: most
+    // lists stay short (Zipf tail), and malloc dominates Store otherwise.
+    if (list->capacity() == 0) list->reserve(4);
+    list->push_back(
+        Posting{local_id, static_cast<uint32_t>(i), static_cast<uint32_t>(r->size())});
   }
   ++stats_.stores;
 }
@@ -161,8 +203,7 @@ void RecordJoiner::Process(const RecordPtr& r, bool store, bool probe,
 }
 
 void RecordJoiner::CompactIndex() {
-  for (auto it = index_.begin(); it != index_.end();) {
-    std::vector<Posting>& list = it->second;
+  const auto compact = [this](std::vector<Posting>& list) {
     size_t write = 0;
     for (size_t read = 0; read < list.size(); ++read) {
       if (Alive(list[read].local_id)) {
@@ -172,15 +213,23 @@ void RecordJoiner::CompactIndex() {
       }
     }
     list.resize(write);
-    it = list.empty() ? index_.erase(it) : std::next(it);
-  }
+    if (list.empty()) std::vector<Posting>().swap(list);  // free the storage
+  };
+  for (std::vector<Posting>& list : dense_index_) compact(list);
+  for (auto& [w, list] : sparse_index_) compact(list);
 }
 
 size_t RecordJoiner::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const RecordPtr& s : store_) bytes += sizeof(Record) + s->tokens.size() * sizeof(TokenId);
-  for (const auto& [_, list] : index_) {
-    bytes += sizeof(TokenId) + 48 + list.capacity() * sizeof(Posting);
+  bytes += dense_index_.capacity() * sizeof(std::vector<Posting>);
+  for (const std::vector<Posting>& list : dense_index_) {
+    bytes += list.capacity() * sizeof(Posting);
+  }
+  // ~per-node overhead of the hash map: key + list header + bucket/next.
+  bytes += sparse_index_.size() * (sizeof(TokenId) + sizeof(std::vector<Posting>) + 16);
+  for (const auto& [w, list] : sparse_index_) {
+    bytes += list.capacity() * sizeof(Posting);
   }
   return bytes;
 }

@@ -35,6 +35,15 @@ struct RecordJoinerOptions {
   /// prefix-distribution dedup rule ensuring each pair is reported by
   /// exactly one worker. Requires token_filter.
   bool dedup_by_min_prefix_token = false;
+
+  /// Index layout. Direct addressing (a vector indexed by TokenId) makes
+  /// every posting-list lookup one load, but its table spans the whole
+  /// token-id range this joiner ever sees. That wins when the joiner holds
+  /// a dense share of the token space (single node) and loses badly when
+  /// many partitions each hold a sparse slice of the same id range — k
+  /// joiners then pay k full-range tables for 1/k of the postings each.
+  /// The distributed topology turns this off for partitioned joiners.
+  bool direct_index = true;
 };
 
 /// Streaming PPJoin-style joiner: an inverted index over the prefix tokens
@@ -64,6 +73,9 @@ class RecordJoiner : public LocalJoiner {
   struct Posting {
     uint64_t local_id;  ///< store slot; dead iff < base_
     uint32_t position;  ///< token position within the stored record
+    uint32_t size;      ///< stored record's token count, denormalized so the
+                        ///< candidate scan length-filters without touching
+                        ///< the record store (fits the former padding)
   };
 
   struct Candidate {
@@ -88,11 +100,27 @@ class RecordJoiner : public LocalJoiner {
   std::deque<RecordPtr> store_;
   uint64_t base_ = 0;
 
-  std::unordered_map<TokenId, std::vector<Posting>> index_;
+  // Inverted index over prefix tokens; exactly one of the two layouts is
+  // populated, per options_.direct_index (see that flag for the tradeoff).
+  // In the dense layout lists that fall empty stay as 24-byte headers
+  // until CompactIndex frees them.
+  std::vector<std::vector<Posting>> dense_index_;
+  std::unordered_map<TokenId, std::vector<Posting>> sparse_index_;
 
-  // Scratch for candidate accumulation, reused across probes.
-  std::unordered_map<uint64_t, int32_t> cand_overlap_;
+  // Scratch for candidate accumulation, reused across probes. Candidates
+  // are addressed by store slot (local_id - base_, stable for the duration
+  // of one probe): cand_overlap_[slot] is the accumulated prefix overlap,
+  // valid only when cand_stamp_[slot] == probe_stamp_. Stamping makes
+  // per-probe reset O(1) instead of hashing every posting.
+  std::vector<int32_t> cand_overlap_;
+  std::vector<uint64_t> cand_stamp_;
+  uint64_t probe_stamp_ = 0;
   std::vector<uint64_t> cand_order_;
+
+  // Per-probe cache of MinOverlap(|r|, s) for eligible partner lengths
+  // s in [LengthLowerBound, LengthUpperBound]; keeps the permille division
+  // out of the posting scan and verification loops.
+  std::vector<uint32_t> alpha_cache_;
 
   JoinerStats stats_;
 };

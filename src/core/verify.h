@@ -10,23 +10,51 @@ namespace dssj {
 
 /// Counters shared by verification routines so benches can attribute cost.
 struct VerifyCounters {
-  uint64_t merge_steps = 0;      ///< token comparisons performed
+  uint64_t merge_steps = 0;      ///< kernel loop iterations (blocks/searches)
   uint64_t full_verifications = 0;
   uint64_t diff_verifications = 0;
   uint64_t early_exits = 0;
 };
 
+/// Which implementation the verification routines dispatch to. kBlock is
+/// the optimized default: a branch-light 4-token block merge (SIMD when the
+/// CPU supports it) with galloping binary search once the input lengths are
+/// skewed >= 16x. kScalar is the pre-optimization reference loop — kept
+/// callable so equivalence tests and before/after benchmarks can pin it.
+enum class VerifyKernel { kScalar, kBlock };
+
+/// Process-wide kernel selection (benches/tests; default kBlock). Not
+/// intended to be toggled while joiners are running.
+void SetVerifyKernel(VerifyKernel kernel);
+VerifyKernel GetVerifyKernel();
+
 /// Merge-counts the overlap of two ascending token arrays with early
 /// termination: returns the exact overlap if it is >= `required`; otherwise
 /// returns some value < `required` (callers only compare against
 /// `required`). `required` == 0 disables early exit and the result is exact.
+///
+/// The span form is the hot-path entry point: joiners hand in raw
+/// `const TokenId*` ranges (stored records, bundle pivots, diff-decoded
+/// members) without materializing vectors.
+size_t VerifyOverlap(const TokenId* a, size_t na, const TokenId* b, size_t nb,
+                     size_t required, VerifyCounters* counters = nullptr);
+
 size_t VerifyOverlap(const std::vector<TokenId>& a, const std::vector<TokenId>& b,
                      size_t required, VerifyCounters* counters = nullptr);
+
+/// The reference scalar merge loop (pre-optimization behaviour), exposed so
+/// fuzz tests can cross-check the block/SIMD kernel and benches can measure
+/// the baseline. Identical contract to VerifyOverlap.
+size_t VerifyOverlapScalar(const TokenId* a, size_t na, const TokenId* b, size_t nb,
+                           size_t required, VerifyCounters* counters = nullptr);
 
 /// Counts |probe ∩ diff| where both arrays are ascending. Used by bundle
 /// batch verification: a member's overlap with the probe is derived from
 /// the pivot overlap plus intersections with the (small) added/removed
 /// token diffs instead of a full merge.
+size_t IntersectCount(const TokenId* probe, size_t nprobe, const TokenId* diff,
+                      size_t ndiff, VerifyCounters* counters = nullptr);
+
 size_t IntersectCount(const std::vector<TokenId>& probe, const std::vector<TokenId>& diff,
                       VerifyCounters* counters = nullptr);
 

@@ -65,6 +65,15 @@ class Bolt {
   /// Process one tuple; emit any outputs via `out`.
   virtual void Execute(Tuple tuple, OutputCollector& out) = 0;
 
+  /// Process a batch of tuples popped from the inbound queue under one lock
+  /// (FIFO order within the batch). The default forwards to Execute per
+  /// tuple; override to hoist per-batch work. Correctness must not depend
+  /// on batch boundaries — the executor may deliver any split, including
+  /// one tuple per batch (`batch_size=1`).
+  virtual void ExecuteBatch(TupleBatch batch, OutputCollector& out) {
+    for (Tuple& t : batch) Execute(std::move(t), out);
+  }
+
   /// Called once after every upstream task has finished; flush state here.
   virtual void Finish(OutputCollector& /*out*/) {}
 };

@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -14,6 +15,16 @@ namespace dssj::stream {
 /// when full (this is the topology's backpressure mechanism) and Pop blocks
 /// when empty. FIFO over all producers, which implies per-producer FIFO —
 /// the property the distributed join's exactly-once rule relies on.
+///
+/// Batch transfers (PushBatch/PopBatch/Drain) move many items under a
+/// single lock acquisition and at most one wakeup, which is what makes the
+/// tuple hot path cheap: the per-item cost of the queue drops from one
+/// mutex round-trip + condvar syscall to a deque append.
+///
+/// Wakeups are suppressed unless a thread is actually waiting on the
+/// relevant edge (empty→non-empty for consumers, full→non-full for
+/// producers). Waiter counts are maintained under the mutex, so a waiter
+/// is always visible to the thread that makes its predicate true.
 template <typename T>
 class BoundedQueue {
  public:
@@ -27,23 +38,91 @@ class BoundedQueue {
   /// right after the push (for high-watermark accounting).
   size_t Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+    WaitForRoom(lock);
     items_.push_back(std::move(item));
     const size_t depth = items_.size();
+    const bool wake = waiting_consumers_ > 0;
     lock.unlock();
-    not_empty_.notify_one();
+    if (wake) not_empty_.notify_one();
+    return depth;
+  }
+
+  /// Enqueues every element of `*items` in order, draining the vector.
+  /// Blocks while the queue is full; a batch larger than the remaining
+  /// capacity is delivered in contiguous chunks as space frees up (batch
+  /// boundaries are NOT atomic — other producers may interleave between
+  /// chunks, which preserves per-producer FIFO, the only ordering the
+  /// topology relies on). Returns the queue depth right after the last
+  /// element lands.
+  size_t PushBatch(std::vector<T>* items) {
+    if (items->empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return items_.size();
+    }
+    const size_t n = items->size();
+    size_t i = 0;
+    size_t depth = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (i < n) {
+      if (items_.size() >= capacity_) {
+        // Hand the partial chunk to any waiting consumer before sleeping,
+        // or the two sides could wait on each other's wakeup.
+        if (waiting_consumers_ > 0 && !items_.empty()) not_empty_.notify_one();
+        WaitForRoom(lock);
+      }
+      while (i < n && items_.size() < capacity_) items_.push_back(std::move((*items)[i++]));
+      depth = items_.size();
+    }
+    const int waiters = waiting_consumers_;
+    lock.unlock();
+    if (waiters > 0) {
+      // A batch can satisfy several blocked consumers.
+      if (n > 1 && waiters > 1) {
+        not_empty_.notify_all();
+      } else {
+        not_empty_.notify_one();
+      }
+    }
+    items->clear();
     return depth;
   }
 
   /// Blocks until an item is available, then dequeues it.
   T Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return !items_.empty(); });
+    WaitForItem(lock);
     T item = std::move(items_.front());
     items_.pop_front();
+    const bool wake = waiting_producers_ > 0;
     lock.unlock();
-    not_full_.notify_one();
+    if (wake) not_full_.notify_one();
     return item;
+  }
+
+  /// Blocks until at least one item is available, then appends up to
+  /// `max_items` to `*out` under one lock. Returns the number popped.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    CHECK_GE(max_items, 1u);
+    std::unique_lock<std::mutex> lock(mu_);
+    WaitForItem(lock);
+    const size_t n = std::min(max_items, items_.size());
+    MoveOut(out, n);
+    const int waiters = waiting_producers_;
+    lock.unlock();
+    NotifyProducers(waiters, n);
+    return n;
+  }
+
+  /// Non-blocking: appends everything currently queued to `*out`. Returns
+  /// the number drained (possibly zero).
+  size_t Drain(std::vector<T>* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const size_t n = items_.size();
+    MoveOut(out, n);
+    const int waiters = waiting_producers_;
+    lock.unlock();
+    NotifyProducers(waiters, n);
+    return n;
   }
 
   /// Non-blocking pop; returns false if the queue is empty.
@@ -52,8 +131,9 @@ class BoundedQueue {
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
+    const bool wake = waiting_producers_ > 0;
     lock.unlock();
-    not_full_.notify_one();
+    if (wake) not_full_.notify_one();
     return true;
   }
 
@@ -65,11 +145,46 @@ class BoundedQueue {
   size_t capacity() const { return capacity_; }
 
  private:
+  void WaitForRoom(std::unique_lock<std::mutex>& lock) {
+    while (items_.size() >= capacity_) {
+      ++waiting_producers_;
+      not_full_.wait(lock);
+      --waiting_producers_;
+    }
+  }
+
+  void WaitForItem(std::unique_lock<std::mutex>& lock) {
+    while (items_.empty()) {
+      ++waiting_consumers_;
+      not_empty_.wait(lock);
+      --waiting_consumers_;
+    }
+  }
+
+  // Caller holds mu_ and guarantees n <= items_.size().
+  void MoveOut(std::vector<T>* out, size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+
+  void NotifyProducers(int waiters, size_t freed) {
+    if (waiters <= 0 || freed == 0) return;
+    if (freed > 1 && waiters > 1) {
+      not_full_.notify_all();
+    } else {
+      not_full_.notify_one();
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  int waiting_producers_ = 0;
+  int waiting_consumers_ = 0;
 };
 
 }  // namespace dssj::stream

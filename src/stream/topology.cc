@@ -76,6 +76,7 @@ struct TopologyImpl {
   std::vector<Task> tasks;
   int num_workers = 1;
   size_t queue_capacity = 1024;
+  size_t batch_size = 32;
   double remote_byte_cost_ns = 0.0;
   bool built = false;
   bool submitted = false;
@@ -91,11 +92,33 @@ struct TopologyImpl {
 /// OutputCollector bound to one producer task. Owns per-subscription
 /// round-robin counters for shuffle grouping; used only from the task's
 /// executor thread.
+///
+/// With batch_size > 1, outbound envelopes are staged in per-consumer-task
+/// buffers and handed to the consumer's queue via PushBatch once a buffer
+/// reaches batch_size (one lock + one wakeup per batch instead of per
+/// tuple). Buffering never reorders tuples headed to the same consumer
+/// task, so per-link FIFO — the exactly-once rule's foundation — holds.
+/// The executor flushes all buffers before emitting end-of-stream.
 class CollectorImpl : public OutputCollector {
  public:
   CollectorImpl(TopologyImpl* topo, Task* task)
-      : topo_(topo), task_(task), comp_(*topo->comps[task->comp]) {
+      : topo_(topo), task_(task), comp_(*topo->comps[task->comp]),
+        batch_size_(topo->batch_size) {
     rr_.assign(comp_.subs_out.size(), static_cast<uint64_t>(task->local_index));
+    if (batch_size_ > 1) {
+      pending_.resize(topo->tasks.size());
+      in_dirty_.assign(topo->tasks.size(), 0);
+    }
+  }
+
+  /// Pushes every staged envelope to its consumer queue. Must be called
+  /// before the producer sends EOS (and is harmless otherwise).
+  void FlushAll() {
+    for (const int task_id : dirty_) {
+      if (!pending_[task_id].empty()) FlushTarget(task_id);
+      in_dirty_[task_id] = 0;
+    }
+    dirty_.clear();
   }
 
   void Emit(Tuple tuple) override {
@@ -176,16 +199,36 @@ class CollectorImpl : public OutputCollector {
         extra_busy_ns = cost;
       }
     }
-    const size_t depth =
-        target.queue->Push(Envelope{std::move(tuple), task_->id, /*eos=*/false, extra_busy_ns});
+    Envelope env{std::move(tuple), task_->id, /*eos=*/false, extra_busy_ns};
+    if (batch_size_ <= 1) {
+      const size_t depth = target.queue->Push(std::move(env));
+      target.metrics->queue_highwater.Update(depth);
+      return;
+    }
+    std::vector<Envelope>& buffer = pending_[task_id];
+    if (!in_dirty_[task_id]) {
+      in_dirty_[task_id] = 1;
+      dirty_.push_back(task_id);
+    }
+    buffer.push_back(std::move(env));
+    if (buffer.size() >= batch_size_) FlushTarget(task_id);
+  }
+
+  void FlushTarget(int task_id) {
+    Task& target = topo_->tasks[task_id];
+    const size_t depth = target.queue->PushBatch(&pending_[task_id]);
     target.metrics->queue_highwater.Update(depth);
   }
 
   TopologyImpl* topo_;
   Task* task_;
   const ComponentSpec& comp_;
+  const size_t batch_size_;
   std::vector<uint64_t> rr_;
   std::vector<int> targets_;
+  std::vector<std::vector<Envelope>> pending_;  ///< staged per consumer task
+  std::vector<int> dirty_;                      ///< consumer tasks staged since last FlushAll
+  std::vector<uint8_t> in_dirty_;               ///< dirty_ membership flags
 };
 
 void TopologyImpl::SendEos(const Task& task) {
@@ -215,6 +258,7 @@ void TopologyImpl::RunSpoutTask(Task& task) {
   while (task.spout->NextTuple(collector)) {
   }
   task.spout->Close();
+  collector.FlushAll();
   SendEos(task);
   task.metrics->busy_nanos.Add(static_cast<uint64_t>(ThreadCpuNanos() - cpu_start));
   NoteTaskExit();
@@ -229,19 +273,42 @@ void TopologyImpl::RunBoltTask(Task& task) {
   int64_t simulated_busy_ns = 0;
   task.bolt->Prepare(ctx);
   int remaining = comp.upstream_tasks;
+  std::vector<Envelope> inbox;
+  inbox.reserve(batch_size);
+  TupleBatch batch;
   while (remaining > 0) {
-    Envelope env = task.queue->Pop();
-    if (env.eos) {
-      --remaining;
-      continue;
+    inbox.clear();
+    task.queue->PopBatch(&inbox, batch_size);
+    size_t idx = 0;
+    while (idx < inbox.size()) {
+      // Gather the run of data envelopes up to the next EOS marker,
+      // preserving queue order (EOS never overtakes a link's data because
+      // the queue is FIFO).
+      batch.clear();
+      int64_t batch_extra_ns = 0;
+      while (idx < inbox.size() && !inbox[idx].eos) {
+        batch_extra_ns += inbox[idx].extra_busy_ns;
+        batch.push_back(std::move(inbox[idx].tuple));
+        ++idx;
+      }
+      if (!batch.empty()) {
+        const size_t executed = batch.size();
+        const int64_t begin = NowNanos();
+        task.bolt->ExecuteBatch(std::move(batch), collector);
+        task.metrics->executed.Add(executed);
+        // One sample per batch (per-tuple timing would dominate small
+        // Execute bodies at large batch sizes).
+        task.metrics->execute_nanos.Add(static_cast<uint64_t>(NowNanos() - begin));
+        simulated_busy_ns += batch_extra_ns;
+      }
+      while (idx < inbox.size() && inbox[idx].eos) {
+        --remaining;
+        ++idx;
+      }
     }
-    const int64_t begin = NowNanos();
-    task.bolt->Execute(std::move(env.tuple), collector);
-    task.metrics->executed.Increment();
-    task.metrics->execute_nanos.Add(static_cast<uint64_t>(NowNanos() - begin));
-    simulated_busy_ns += env.extra_busy_ns;
   }
   task.bolt->Finish(collector);
+  collector.FlushAll();
   SendEos(task);
   task.metrics->busy_nanos.Add(
       static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
@@ -352,6 +419,12 @@ TopologyBuilder& TopologyBuilder::SetNumWorkers(int workers) {
 TopologyBuilder& TopologyBuilder::SetQueueCapacity(size_t capacity) {
   CHECK_GE(capacity, 1u);
   impl_->queue_capacity = capacity;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetBatchSize(size_t batch_size) {
+  CHECK_GE(batch_size, 1u);
+  impl_->batch_size = batch_size;
   return *this;
 }
 

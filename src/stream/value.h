@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
 #include <utility>
 #include <variant>
@@ -67,6 +68,119 @@ class Tuple {
  private:
   std::vector<Value> values_;
   size_t payload_bytes_ = 0;
+};
+
+/// A batch of tuples travelling through the executor hot path as one unit.
+/// Small-vector: up to kInlineCapacity tuples live inline (no heap
+/// allocation for the common dispatcher fan-out of a handful of targets);
+/// larger batches spill to a single heap block. Elements are always
+/// contiguous, so iteration is pointer-based. Move-only — copying a batch
+/// on the hot path is almost certainly a bug.
+class TupleBatch {
+ public:
+  static constexpr size_t kInlineCapacity = 8;
+
+  TupleBatch() noexcept : data_(InlineData()) {}
+
+  TupleBatch(TupleBatch&& other) noexcept : data_(InlineData()) { StealFrom(other); }
+
+  TupleBatch& operator=(TupleBatch&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      StealFrom(other);
+    }
+    return *this;
+  }
+
+  TupleBatch(const TupleBatch&) = delete;
+  TupleBatch& operator=(const TupleBatch&) = delete;
+
+  ~TupleBatch() { Reset(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  Tuple& operator[](size_t i) {
+    DCHECK_LT(i, size_);
+    return data_[i];
+  }
+  const Tuple& operator[](size_t i) const {
+    DCHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  Tuple* begin() { return data_; }
+  Tuple* end() { return data_ + size_; }
+  const Tuple* begin() const { return data_; }
+  const Tuple* end() const { return data_ + size_; }
+
+  void push_back(Tuple t) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    new (data_ + size_) Tuple(std::move(t));
+    ++size_;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Destroys the elements but keeps the current storage (inline or heap),
+  /// so a reused batch stops allocating after the first fill.
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~Tuple();
+    size_ = 0;
+  }
+
+ private:
+  Tuple* InlineData() noexcept { return reinterpret_cast<Tuple*>(inline_); }
+  bool IsInline() const noexcept { return data_ == reinterpret_cast<const Tuple*>(inline_); }
+
+  void Grow(size_t new_capacity) {
+    if (new_capacity < kInlineCapacity * 2) new_capacity = kInlineCapacity * 2;
+    Tuple* fresh = static_cast<Tuple*>(::operator new(new_capacity * sizeof(Tuple)));
+    for (size_t i = 0; i < size_; ++i) {
+      new (fresh + i) Tuple(std::move(data_[i]));
+      data_[i].~Tuple();
+    }
+    if (!IsInline()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  /// Leaves `other` empty with inline storage.
+  void StealFrom(TupleBatch& other) noexcept {
+    if (other.IsInline()) {
+      for (size_t i = 0; i < other.size_; ++i) {
+        new (data_ + i) Tuple(std::move(other.data_[i]));
+        other.data_[i].~Tuple();
+      }
+      size_ = other.size_;
+      capacity_ = kInlineCapacity;
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.capacity_ = kInlineCapacity;
+    }
+    other.size_ = 0;
+  }
+
+  /// Destroys elements and releases any heap block (back to inline state).
+  void Reset() {
+    clear();
+    if (!IsInline()) {
+      ::operator delete(data_);
+      data_ = InlineData();
+      capacity_ = kInlineCapacity;
+    }
+  }
+
+  Tuple* data_;
+  size_t size_ = 0;
+  size_t capacity_ = kInlineCapacity;
+  alignas(Tuple) unsigned char inline_[sizeof(Tuple) * kInlineCapacity];
 };
 
 /// Builds a tuple from values with terse call sites:

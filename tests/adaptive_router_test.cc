@@ -134,7 +134,7 @@ TEST(AdaptiveDistributedJoinTest, MatchesBruteForceUnderDrift) {
 }
 
 TEST(AdaptiveDistributedJoinTest, RejectsMultipleDispatchers) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   DistributedJoinOptions options;
   options.strategy = DistributionStrategy::kLengthBased;
   options.adaptive = true;

@@ -46,7 +46,7 @@ TEST(StatusOrTest, HoldsValueOrStatus) {
 }
 
 TEST(StatusOrDeathTest, AccessingErrorValueAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   StatusOr<int> err = Status::Internal("boom");
   EXPECT_DEATH(err.value(), "boom");
 }
@@ -61,7 +61,7 @@ TEST(StatusTest, ReturnIfErrorMacro) { EXPECT_EQ(FailsFast().code(), StatusCode:
 // --- Logging / CHECK --------------------------------------------------------
 
 TEST(CheckDeathTest, ChecksAbortWithMessage) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(CHECK(1 == 2) << "extra context", "CHECK failed: 1 == 2");
   EXPECT_DEATH(CHECK_EQ(3, 4), "3 vs 4");
   EXPECT_DEATH(CHECK_LT(5, 5), "CHECK_LT failed");

@@ -218,6 +218,29 @@ TEST(DistributedJoinTest, MultipleDispatchersNeverDuplicate) {
   EXPECT_GE(canon.size() * 2, expected.size());
 }
 
+TEST(DistributedJoinTest, BatchSizeDoesNotChangeTheResultSet) {
+  // The batched transport must be a pure performance lever: per-link FIFO is
+  // preserved, so the exactly-once rule sees the same interleavings and every
+  // batch size yields the identical pair set.
+  const auto stream = MakeStream(12, 800);
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 750);
+  const auto expected = Reference(stream, sim, WindowSpec::Unbounded());
+  ASSERT_GT(expected.size(), 0u) << "vacuous test stream";
+  for (const size_t batch_size : {size_t{1}, size_t{32}, size_t{256}}) {
+    DistributedJoinOptions options;
+    options.sim = sim;
+    options.strategy = DistributionStrategy::kLengthBased;
+    options.num_joiners = 4;
+    options.collect_results = true;
+    options.batch_size = batch_size;
+    options.length_partition =
+        PlanLengthPartition(stream, sim, 4, PartitionMethod::kLoadAwareGreedy);
+    const auto result = RunDistributedJoin(stream, options);
+    EXPECT_EQ(Canonical(result.pairs), expected)
+        << "batch_size=" << batch_size << " changed the result set";
+  }
+}
+
 TEST(DistributedJoinTest, ThroughputAndLatencyArePopulated) {
   const auto stream = MakeStream(10, 400);
   DistributedJoinOptions options;

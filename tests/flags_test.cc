@@ -59,7 +59,7 @@ TEST(FlagsTest, MalformedInput) {
 }
 
 TEST(FlagsDeathTest, TypeErrorsFailLoudly) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   const Flags f = MustParse({"--n=abc"});
   EXPECT_DEATH(f.GetInt("n", 0), "expects an integer");
 }

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/verify.h"
 #include "dssj.h"
 
 namespace dssj {
@@ -121,6 +122,82 @@ TEST_P(FuzzSeedTest, AllStrategiesAgreeWithBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest, ::testing::Range<uint64_t>(1, 25));
+
+std::vector<TokenId> RandomSortedTokens(Rng& rng, size_t len, uint32_t universe) {
+  std::vector<TokenId> t;
+  t.reserve(len);
+  for (size_t i = 0; i < len; ++i) t.push_back(static_cast<TokenId>(rng.Uniform(universe)));
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
+
+/// The block/SIMD/gallop kernel against the scalar reference loop, over
+/// random sorted pairs covering every dispatch path: empty sides, identical
+/// arrays, disjoint ranges, >= 16x length skew (galloping), and general
+/// overlapping pairs — each with and without a `required` early-exit bound.
+TEST(VerifyKernelFuzzTest, BlockKernelMatchesScalarReference) {
+  ASSERT_EQ(GetVerifyKernel(), VerifyKernel::kBlock) << "kBlock is the default";
+  Rng rng(987654321);
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::vector<TokenId> a, b;
+    switch (iter % 5) {
+      case 0: {  // one or both sides empty
+        a = RandomSortedTokens(rng, rng.Uniform(2) * rng.Uniform(20), 64);
+        b = rng.Bernoulli(0.5) ? std::vector<TokenId>{} : RandomSortedTokens(rng, 10, 64);
+        break;
+      }
+      case 1: {  // identical
+        a = RandomSortedTokens(rng, 1 + rng.Uniform(200), 1024);
+        b = a;
+        break;
+      }
+      case 2: {  // disjoint value ranges
+        a = RandomSortedTokens(rng, 1 + rng.Uniform(100), 500);
+        b = RandomSortedTokens(rng, 1 + rng.Uniform(100), 500);
+        for (TokenId& w : b) w += 1000;
+        break;
+      }
+      case 3: {  // skewed >= 16x: exercises the galloping path
+        a = RandomSortedTokens(rng, 1 + rng.Uniform(8), 4096);
+        b = RandomSortedTokens(rng, 16 * (a.size() + 1) + rng.Uniform(400), 4096);
+        if (rng.Bernoulli(0.5)) std::swap(a, b);
+        break;
+      }
+      default: {  // general overlapping pairs, small universe forces matches
+        const uint32_t universe = 16 + static_cast<uint32_t>(rng.Uniform(200));
+        a = RandomSortedTokens(rng, rng.Uniform(120), universe);
+        b = RandomSortedTokens(rng, rng.Uniform(120), universe);
+        break;
+      }
+    }
+
+    const size_t exact =
+        VerifyOverlapScalar(a.data(), a.size(), b.data(), b.size(), /*required=*/0);
+
+    // required == 0 disables early exit: the kernel must be exact.
+    ASSERT_EQ(VerifyOverlap(a.data(), a.size(), b.data(), b.size(), 0), exact)
+        << "iter=" << iter << " |a|=" << a.size() << " |b|=" << b.size();
+
+    // With a bound, both kernels must agree on the accept/reject decision,
+    // and an accepted result must be the exact overlap.
+    const size_t required = rng.Uniform(std::max(a.size(), b.size()) + 3);
+    const size_t got = VerifyOverlap(a.data(), a.size(), b.data(), b.size(), required);
+    const size_t ref = VerifyOverlapScalar(a.data(), a.size(), b.data(), b.size(), required);
+    ASSERT_EQ(got >= required, ref >= required)
+        << "decision diverged: iter=" << iter << " required=" << required;
+    if (required > 0 && got >= required) {
+      ASSERT_EQ(got, exact) << "accepted result must be exact: iter=" << iter;
+    }
+
+    // IntersectCount runs the same kernel with no bound: exact in both modes.
+    SetVerifyKernel(VerifyKernel::kScalar);
+    const size_t scalar_count = IntersectCount(a, b);
+    SetVerifyKernel(VerifyKernel::kBlock);
+    ASSERT_EQ(IntersectCount(a, b), scalar_count) << "iter=" << iter;
+    ASSERT_EQ(scalar_count, exact) << "iter=" << iter;
+  }
+}
 
 }  // namespace
 }  // namespace dssj

@@ -35,7 +35,7 @@ TEST(MakeLocalJoinerTest, BuildsEveryAlgorithm) {
 }
 
 TEST(MakeLocalJoinerDeathTest, PrefixStrategyRestrictsAlgorithms) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   DistributedJoinOptions options;
   options.strategy = DistributionStrategy::kPrefixBased;
   options.local = LocalAlgorithm::kBundle;

@@ -101,5 +101,84 @@ TEST(BoundedQueueTest, PerProducerOrderPreservedWithSingleConsumer) {
   for (auto& t : producers) t.join();
 }
 
+TEST(BoundedQueueTest, PushBatchDrainsInputAndReportsDepth) {
+  BoundedQueue<int> q(8);
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_EQ(q.PushBatch(&batch), 3u);
+  EXPECT_TRUE(batch.empty()) << "PushBatch must drain the input vector";
+  for (int i = 1; i <= 3; ++i) EXPECT_EQ(q.Pop(), i);
+}
+
+TEST(BoundedQueueTest, PushBatchLargerThanCapacityBackpressures) {
+  BoundedQueue<int> q(4);
+  constexpr int kItems = 100;
+  std::thread producer([&q] {
+    std::vector<int> batch;
+    for (int i = 0; i < kItems; ++i) batch.push_back(i);
+    q.PushBatch(&batch);  // must chunk: batch is 25x the capacity
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(q.Pop(), i) << "chunked batch must stay in order";
+  }
+  producer.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PopBatchRespectsMaxItemsAndOrder) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.PopBatch(&out, 100), 6u) << "PopBatch takes at most what is queued";
+  EXPECT_EQ(out.size(), 10u) << "PopBatch appends to the output vector";
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(BoundedQueueTest, DrainIsNonBlockingAndEmptiesTheQueue) {
+  BoundedQueue<int> q(8);
+  std::vector<int> out;
+  EXPECT_EQ(q.Drain(&out), 0u) << "Drain on empty must not block";
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  EXPECT_EQ(q.Drain(&out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PushBatchFromManyProducersPreservesPerProducerFifo) {
+  // The invariant the batched transport layer leans on: whatever interleaving
+  // PushBatch chunks produce across producers, each producer's own items
+  // arrive in order. Small capacity forces chunking and backpressure.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  constexpr int kBatch = 7;  // deliberately not a divisor of kPerProducer
+  BoundedQueue<std::pair<int, int>> q(16);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      std::vector<std::pair<int, int>> batch;
+      for (int i = 0; i < kPerProducer; ++i) {
+        batch.push_back({p, i});
+        if (batch.size() == kBatch) q.PushBatch(&batch);
+      }
+      q.PushBatch(&batch);  // flush the remainder
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  std::vector<std::pair<int, int>> out;
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    out.clear();
+    q.PopBatch(&out, 32);
+    for (const auto& [p, i] : out) {
+      ASSERT_EQ(i, next[p]) << "per-producer FIFO violated under PushBatch";
+      ++next[p];
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace dssj::stream

@@ -263,7 +263,7 @@ TEST(TopologyTest, ElapsedSecondsIsPositiveAfterRun) {
 }
 
 TEST(TopologyDeathTest, RejectsUnknownSourceAndCycles) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   {
     TopologyBuilder b;
     b.SetSpout("src", [] { return std::make_unique<CountingSpout>(1); });

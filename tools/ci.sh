@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Minimal CI: tier-1 verify (ROADMAP.md) + a Release-mode perf smoke test.
+#
+#   tools/ci.sh            # debug tests + release smoke bench
+#   tools/ci.sh --no-bench # tier-1 tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=1
+if [[ "${1:-}" == "--no-bench" ]]; then RUN_BENCH=0; fi
+
+echo "== tier-1 verify =="
+cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+if [[ "$RUN_BENCH" == "1" ]]; then
+  echo "== release smoke bench =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j --target bench_local_join
+  ./build-release/bench/bench_local_join --records=20000 \
+    --benchmark_filter='BM_RecordJoiner/40|BM_BundleJoiner/40'
+fi
+
+echo "CI OK"
