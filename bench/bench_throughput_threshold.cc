@@ -108,6 +108,33 @@ void BM_Length_Tweet_BatchSize(benchmark::State& state) {
   ReportJoinResult(state, result);
 }
 
+// Supervision/checkpoint overhead sweep at the same headline configuration.
+// Arg is the checkpoint interval in tuples per stateful task; 0 means
+// supervised but never checkpointing (pure supervision overhead), -1 means
+// supervision fully off (the unsupervised fast path, for reference).
+void BM_Length_Tweet_CheckpointInterval(benchmark::State& state) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  if (state.range(0) >= 0) {
+    options.supervise = true;
+    options.supervision.checkpoint_interval = static_cast<uint64_t>(state.range(0));
+  }
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    result = RunDistributedJoin(stream, options);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) *
+                          static_cast<int64_t>(state.iterations()));
+  ReportJoinResult(state, result);
+  state.counters["checkpoints"] = static_cast<double>(result.checkpoints);
+  state.counters["checkpoint_MB"] = static_cast<double>(result.checkpoint_bytes) / 1e6;
+}
+
 #define DSSJ_THRESHOLDS ->Arg(600)->Arg(700)->Arg(800)->Arg(900)->Arg(950)
 
 BENCHMARK(BM_Length_Tweet) DSSJ_THRESHOLDS
@@ -128,6 +155,10 @@ BENCHMARK(BM_Broadcast_Enron) DSSJ_THRESHOLDS
 #undef DSSJ_THRESHOLDS
 
 BENCHMARK(BM_Length_Tweet_BatchSize)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+BENCHMARK(BM_Length_Tweet_CheckpointInterval)
+    ->Arg(-1)->Arg(0)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 
 // ---------------------------------------------------------------------------
@@ -154,6 +185,30 @@ DistMeasurement MeasureDistributedOnce(DatasetPreset preset, size_t batch_size,
   const DistributedJoinResult r = RunDistributedJoin(stream, options);
   SetVerifyKernel(VerifyKernel::kBlock);
   return {r.throughput_rps, r.scaled_throughput_rps, r.result_count};
+}
+
+struct CheckpointMeasurement {
+  double wall_rps = 0.0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t results = 0;
+};
+
+/// One supervised run on TWEET at t=0.8; interval < 0 disables supervision.
+CheckpointMeasurement MeasureCheckpointOnce(int64_t interval) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  if (interval >= 0) {
+    options.supervise = true;
+    options.supervision.checkpoint_interval = static_cast<uint64_t>(interval);
+  }
+  const DistributedJoinResult r = RunDistributedJoin(stream, options);
+  return {r.throughput_rps, r.checkpoints, r.checkpoint_bytes, r.result_count};
 }
 
 struct LocalMeasurement {
@@ -292,6 +347,46 @@ int EmitJson(const std::string& path, int runs) {
                  br > 0.0 ? orr / br : 0.0, a + 1 < 2 ? "," : "");
     std::fprintf(stderr, "[local %s] scalar %.0f rec/s -> block %.0f rec/s (%.2fx)\n",
                  algo_names[a], br, orr, br > 0.0 ? orr / br : 0.0);
+  }
+  std::fprintf(f, "  ],\n");
+
+  // Supervision/checkpoint overhead axis: same headline configuration
+  // (length-based, TWEET, t=0.8); interval -1 = supervision off (reference),
+  // 0 = supervised without checkpoints, else checkpoint every N tuples.
+  std::fprintf(f, "  \"checkpoint_overhead\": [\n");
+  const int64_t intervals[] = {-1, 0, 256, 1024, 4096};
+  const size_t num_intervals = sizeof(intervals) / sizeof(intervals[0]);
+  double off_rps = 0.0;
+  for (size_t k = 0; k < num_intervals; ++k) {
+    std::vector<double> wall;
+    uint64_t checkpoints = 0, bytes = 0, results = 0;
+    for (int i = 0; i < runs; ++i) {
+      const CheckpointMeasurement m = MeasureCheckpointOnce(intervals[k]);
+      wall.push_back(m.wall_rps);
+      checkpoints = m.checkpoints;
+      bytes = m.checkpoint_bytes;
+      results = m.results;
+    }
+    const double w = Median(wall);
+    if (intervals[k] < 0) off_rps = w;
+    std::fprintf(f,
+                 "    {\"checkpoint_interval\": %lld, \"supervised\": %s,\n"
+                 "     \"rec_per_s_wall\": %.1f, \"relative_to_unsupervised\": %.3f,\n"
+                 "     \"checkpoints\": %llu, \"checkpoint_bytes\": %llu, "
+                 "\"results\": %llu}%s\n",
+                 static_cast<long long>(intervals[k]),
+                 intervals[k] >= 0 ? "true" : "false", w,
+                 off_rps > 0.0 ? w / off_rps : 0.0,
+                 static_cast<unsigned long long>(checkpoints),
+                 static_cast<unsigned long long>(bytes),
+                 static_cast<unsigned long long>(results),
+                 k + 1 < num_intervals ? "," : "");
+    std::fprintf(stderr,
+                 "[checkpoint interval=%lld] %.0f rec/s wall, %llu checkpoints, "
+                 "%llu bytes\n",
+                 static_cast<long long>(intervals[k]), w,
+                 static_cast<unsigned long long>(checkpoints),
+                 static_cast<unsigned long long>(bytes));
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

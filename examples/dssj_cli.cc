@@ -5,6 +5,13 @@
 //       [--threshold=800] [--joiners=4]
 //       [--strategy=length|prefix|broadcast] [--local=record|bundle]
 //       [--window=N] [--qgram=Q] [--max-pairs=20] [--batch_size=32]
+//       [--checkpoint_interval=N] [--max_restarts=N] [--fault_script=SCRIPT]
+//
+// Fault tolerance: --fault_script installs a deterministic fault schedule
+// (e.g. "kill:joiner:0@500; drop:dispatcher:0->joiner:1@100") and turns on
+// supervised recovery; --checkpoint_interval / --max_restarts tune it. The
+// result set is identical to the failure-free run as long as no task
+// exceeds --max_restarts.
 //
 // Example:
 //   printf 'hello world\nhello there world\nbye now\n' > /tmp/docs.txt
@@ -25,7 +32,9 @@ int Usage(const char* argv0) {
                "usage: %s <file> [--function=jaccard|cosine|dice] [--threshold=permille]\n"
                "          [--joiners=N] [--strategy=length|prefix|broadcast]\n"
                "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
-               "          [--max-pairs=N] [--batch_size=N]\n",
+               "          [--max-pairs=N] [--batch_size=N]\n"
+               "          [--checkpoint_interval=N] [--max_restarts=N]\n"
+               "          [--fault_script='kill:joiner:0@500; ...']\n",
                argv0);
   return 2;
 }
@@ -49,6 +58,13 @@ int main(int argc, char** argv) {
   const int64_t batch_size = flags.GetInt("batch_size", 32);
   if (batch_size < 1) {
     std::fprintf(stderr, "--batch_size must be >= 1\n");
+    return Usage(argv[0]);
+  }
+  const int64_t checkpoint_interval = flags.GetInt("checkpoint_interval", 0);
+  const int64_t max_restarts = flags.GetInt("max_restarts", 3);
+  const std::string fault_script = flags.GetString("fault_script", "");
+  if (checkpoint_interval < 0 || max_restarts < 0) {
+    std::fprintf(stderr, "--checkpoint_interval and --max_restarts must be >= 0\n");
     return Usage(argv[0]);
   }
   for (const std::string& key : flags.UnusedKeys()) {
@@ -85,6 +101,18 @@ int main(int argc, char** argv) {
   options.num_joiners = joiners;
   options.collect_results = true;
   options.batch_size = static_cast<size_t>(batch_size);
+  if (!fault_script.empty() || checkpoint_interval > 0) {
+    // Validate here so a typo'd script is a usage error, not an abort.
+    auto script = dssj::stream::FaultScript::Parse(fault_script);
+    if (!script.ok()) {
+      std::fprintf(stderr, "bad --fault_script: %s\n", script.status().message().c_str());
+      return Usage(argv[0]);
+    }
+    options.supervise = true;
+    options.fault_script = fault_script;
+    options.supervision.checkpoint_interval = static_cast<uint64_t>(checkpoint_interval);
+    options.supervision.max_restarts = static_cast<int>(max_restarts);
+  }
   if (window > 0) options.window = dssj::WindowSpec::ByCount(static_cast<size_t>(window));
   if (strategy == "length") {
     options.strategy = dssj::DistributionStrategy::kLengthBased;
@@ -114,6 +142,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.input_records),
               options.sim.ToString().c_str(), strategy.c_str(), local.c_str(), joiners,
               static_cast<unsigned long long>(result.result_count), result.throughput_rps);
+  if (options.supervise) {
+    std::printf("recovery: %llu restarts, %llu tuples replayed, %llu checkpoints "
+                "(%llu bytes)%s\n",
+                static_cast<unsigned long long>(result.restarts),
+                static_cast<unsigned long long>(result.replayed_tuples),
+                static_cast<unsigned long long>(result.checkpoints),
+                static_cast<unsigned long long>(result.checkpoint_bytes),
+                result.ok ? "" : " [FAILED]");
+    if (!result.ok) {
+      std::fprintf(stderr, "run failed: %s\n", result.failure_message.c_str());
+      return 1;
+    }
+  }
   int64_t shown = 0;
   for (const dssj::ResultPair& pair : result.pairs) {
     if (shown++ >= max_pairs) {

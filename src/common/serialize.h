@@ -1,0 +1,91 @@
+#ifndef DSSJ_COMMON_SERIALIZE_H_
+#define DSSJ_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dssj {
+
+/// Minimal little-endian binary writer for checkpoint blobs. Appends to a
+/// caller-owned string so composite snapshots (bolt header + joiner state)
+/// concatenate without copies. Not an interchange format: blobs are only
+/// ever read back by the same binary that wrote them (in-process recovery),
+/// so there is no versioning or endianness negotiation.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
+
+  void WriteU32Vec(const std::vector<uint32_t>& v) {
+    WriteU64(v.size());
+    if (!v.empty()) Append(v.data(), v.size() * sizeof(uint32_t));
+  }
+
+  void WriteBytes(const std::string& blob) {
+    WriteU64(blob.size());
+    out_->append(blob);
+  }
+
+ private:
+  void Append(const void* p, size_t n) {
+    out_->append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string* out_;
+};
+
+/// Bounds-checked reader over a blob produced by BinaryWriter. A malformed
+/// or truncated blob is a programming error (checkpoints never leave the
+/// process), so out-of-bounds reads abort via CHECK.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& blob)
+      : p_(blob.data()), end_(blob.data() + blob.size()) {}
+
+  uint32_t ReadU32() { return ReadPod<uint32_t>(); }
+  uint64_t ReadU64() { return ReadPod<uint64_t>(); }
+  int64_t ReadI64() { return ReadPod<int64_t>(); }
+
+  void ReadU32Vec(std::vector<uint32_t>* out) {
+    const uint64_t n = ReadU64();
+    out->resize(n);
+    if (n > 0) Copy(out->data(), n * sizeof(uint32_t));
+  }
+
+  void ReadBytes(std::string* out) {
+    const uint64_t n = ReadU64();
+    CHECK_LE(n, static_cast<uint64_t>(end_ - p_)) << "truncated checkpoint blob";
+    out->assign(p_, n);
+    p_ += n;
+  }
+
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  template <typename T>
+  T ReadPod() {
+    T v;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+
+  void Copy(void* dst, size_t n) {
+    CHECK_LE(n, static_cast<size_t>(end_ - p_)) << "truncated checkpoint blob";
+    std::memcpy(dst, p_, n);
+    p_ += n;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace dssj
+
+#endif  // DSSJ_COMMON_SERIALIZE_H_

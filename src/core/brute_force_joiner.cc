@@ -38,6 +38,21 @@ void BruteForceJoiner::Process(const RecordPtr& r, bool store, bool probe,
   }
 }
 
+void BruteForceJoiner::Snapshot(std::string* out) const {
+  BinaryWriter w(out);
+  w.WriteU64(store_.size());
+  for (const RecordPtr& r : store_) WriteRecordTo(*r, &w);
+  WriteJoinerStats(stats_, &w);
+}
+
+void BruteForceJoiner::Restore(const std::string& blob) {
+  store_.clear();
+  BinaryReader r(blob);
+  const uint64_t n = r.ReadU64();
+  for (uint64_t i = 0; i < n; ++i) store_.push_back(ReadRecordFrom(&r));
+  ReadJoinerStats(&r, &stats_);
+}
+
 size_t BruteForceJoiner::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const RecordPtr& s : store_) bytes += sizeof(Record) + s->tokens.size() * sizeof(TokenId);

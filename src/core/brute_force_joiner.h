@@ -24,6 +24,12 @@ class BruteForceJoiner : public LocalJoiner {
   size_t MemoryBytes() const override;
   const JoinerStats& stats() const override { return stats_; }
 
+  /// Checkpointing: window records in store order + stats (no index to
+  /// rebuild — probes scan the store directly).
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(std::string* out) const override;
+  void Restore(const std::string& blob) override;
+
  private:
   void Evict(int64_t now);
 

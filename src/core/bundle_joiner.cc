@@ -269,6 +269,120 @@ void BundleJoiner::Process(const RecordPtr& r, bool store, bool probe,
   if (store) Store(r, admission);
 }
 
+void BundleJoiner::Snapshot(std::string* out) const {
+  BinaryWriter w(out);
+  w.WriteU64(next_bundle_id_);
+  w.WriteU64(alive_members_);
+  w.WriteU64(bundles_.size());
+  for (const auto& [id, b] : bundles_) {
+    w.WriteU64(id);
+    w.WriteU32Vec(b.pivot);
+    w.WriteU32(b.next_uid);
+    w.WriteU32Vec(b.indexed);
+    w.WriteU32(b.min_size);
+    w.WriteU32(b.max_size);
+    w.WriteU32(b.max_added);
+    w.WriteU64(b.members.size());
+    for (const auto& [uid, m] : b.members) {
+      w.WriteU32(uid);
+      w.WriteU64(m.id);
+      w.WriteU64(m.seq);
+      w.WriteI64(m.timestamp);
+      w.WriteU32(m.size);
+      w.WriteU32Vec(m.added);
+      w.WriteU32Vec(m.removed);
+    }
+  }
+  // Posting lists verbatim, from whichever layout is live.
+  uint64_t lists = 0;
+  if (options_.direct_index) {
+    for (const auto& list : dense_index_) lists += list.empty() ? 0 : 1;
+  } else {
+    for (const auto& [_, list] : sparse_index_) lists += list.empty() ? 0 : 1;
+  }
+  w.WriteU64(lists);
+  const auto write_list = [&w](TokenId token, const std::vector<uint64_t>& list) {
+    w.WriteU32(token);
+    w.WriteU64(list.size());
+    for (const uint64_t id : list) w.WriteU64(id);
+  };
+  if (options_.direct_index) {
+    for (size_t t = 0; t < dense_index_.size(); ++t) {
+      if (!dense_index_[t].empty()) write_list(static_cast<TokenId>(t), dense_index_[t]);
+    }
+  } else {
+    for (const auto& [t, list] : sparse_index_) {
+      if (!list.empty()) write_list(t, list);
+    }
+  }
+  w.WriteU64(store_order_.size());
+  for (const OrderEntry& e : store_order_) {
+    w.WriteU64(e.bundle_id);
+    w.WriteU32(e.uid);
+    w.WriteI64(e.timestamp);
+  }
+  WriteJoinerStats(stats_, &w);
+}
+
+void BundleJoiner::Restore(const std::string& blob) {
+  bundles_.clear();
+  dense_index_.clear();
+  sparse_index_.clear();
+  store_order_.clear();
+  probe_stamp_ = 0;
+  BinaryReader r(blob);
+  next_bundle_id_ = r.ReadU64();
+  alive_members_ = r.ReadU64();
+  const uint64_t num_bundles = r.ReadU64();
+  bundles_.reserve(num_bundles);
+  for (uint64_t i = 0; i < num_bundles; ++i) {
+    const uint64_t id = r.ReadU64();
+    Bundle& b = bundles_[id];
+    r.ReadU32Vec(&b.pivot);
+    b.next_uid = r.ReadU32();
+    r.ReadU32Vec(&b.indexed);
+    b.min_size = r.ReadU32();
+    b.max_size = r.ReadU32();
+    b.max_added = r.ReadU32();
+    const uint64_t num_members = r.ReadU64();
+    b.members.reserve(num_members);
+    for (uint64_t k = 0; k < num_members; ++k) {
+      const uint32_t uid = r.ReadU32();
+      Member m;
+      m.id = r.ReadU64();
+      m.seq = r.ReadU64();
+      m.timestamp = r.ReadI64();
+      m.size = r.ReadU32();
+      r.ReadU32Vec(&m.added);
+      r.ReadU32Vec(&m.removed);
+      b.members.emplace_back(uid, std::move(m));
+    }
+  }
+  const uint64_t lists = r.ReadU64();
+  for (uint64_t i = 0; i < lists; ++i) {
+    const TokenId token = r.ReadU32();
+    const uint64_t n = r.ReadU64();
+    std::vector<uint64_t>* list;
+    if (options_.direct_index) {
+      if (token >= dense_index_.size()) dense_index_.resize(token + 1);
+      list = &dense_index_[token];
+    } else {
+      list = &sparse_index_[token];
+    }
+    list->reserve(n);
+    for (uint64_t k = 0; k < n; ++k) list->push_back(r.ReadU64());
+  }
+  const uint64_t order = r.ReadU64();
+  for (uint64_t i = 0; i < order; ++i) {
+    OrderEntry e;
+    e.bundle_id = r.ReadU64();
+    e.uid = r.ReadU32();
+    e.timestamp = r.ReadI64();
+    store_order_.push_back(e);
+  }
+  ReadJoinerStats(&r, &stats_);
+}
+
 size_t BundleJoiner::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const auto& [_, b] : bundles_) {

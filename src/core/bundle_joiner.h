@@ -61,6 +61,17 @@ class BundleJoiner : public LocalJoiner {
   /// StoredCount() / BundleCount()).
   size_t BundleCount() const { return bundles_.size(); }
 
+  /// Checkpointing. Bundle assignment is history-dependent (each record
+  /// joins the best bundle existing at its arrival), so unlike RecordJoiner
+  /// the state cannot be rebuilt by re-storing records: the snapshot
+  /// serializes the full structure — bundles with member diffs, posting
+  /// lists verbatim (dead bundle ids included, so lazy purging proceeds
+  /// identically after a restore), eviction order, and stats. Probe stamps
+  /// reset to zero on restore (per-probe scratch, never observable).
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(std::string* out) const override;
+  void Restore(const std::string& blob) override;
+
  private:
   struct Member {
     uint64_t id = 0;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/stats.h"
 #include "core/brute_force_joiner.h"
 #include "stream/topology.h"
@@ -70,6 +71,17 @@ class RecordStreamSpout : public stream::Spout {
     return true;
   }
 
+  /// Checkpoint = replay offset. A restored spout continues from the next
+  /// unread record; pacing restarts from the new Open time (emit timestamps
+  /// shift, but they only feed the latency histogram, which is documented
+  /// as distorted under faults).
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(std::string* out) const override { BinaryWriter(out).WriteU64(pos_); }
+  void Restore(const std::string& blob) override {
+    BinaryReader r(blob);
+    pos_ = static_cast<size_t>(r.ReadU64());
+  }
+
  private:
   std::shared_ptr<const std::vector<RecordPtr>> input_;
   double rate_;
@@ -101,6 +113,15 @@ class DispatcherBolt : public stream::Bolt {
     // collector coalesces the resulting EmitDirects per joiner task.
     for (stream::Tuple& tuple : batch) Dispatch(tuple, out);
   }
+
+  /// The static routers are pure functions of the options, so a fresh
+  /// Prepare fully recovers the dispatcher: the snapshot is empty. The
+  /// adaptive router is excluded — its epoch state evolves with wall time,
+  /// so a replayed run may route differently; it recovers by full replay
+  /// only and is not covered by the exact-recovery guarantee.
+  bool SupportsSnapshot() const override { return !options_->adaptive; }
+  void Snapshot(std::string* /*out*/) const override {}
+  void Restore(const std::string& /*blob*/) override {}
 
  private:
   void Dispatch(stream::Tuple& tuple, stream::OutputCollector& out) {
@@ -144,8 +165,33 @@ class JoinerBolt : public stream::Bolt {
   }
 
   void Finish(stream::OutputCollector& /*out*/) override {
+    // Side effects stay bolt-local until here so a crashed incarnation's
+    // half-done work dies with it (the supervisor replays into a fresh
+    // instance); the surviving incarnation publishes once.
+    shared_->result_count.fetch_add(result_count_, std::memory_order_relaxed);
+    shared_->latency.Merge(latency_);
     shared_->joiner_stats[partition_] = joiner_->stats();
     shared_->joiner_stored[partition_] = joiner_->StoredCount();
+  }
+
+  /// Checkpoint = emission-rule result count + the joiner's own snapshot.
+  /// The latency histogram is deliberately not checkpointed: replayed
+  /// probes re-measure, so under injected faults the latency distribution
+  /// is approximate (result sets stay exact).
+  bool SupportsSnapshot() const override { return joiner_->SupportsSnapshot(); }
+  void Snapshot(std::string* out) const override {
+    BinaryWriter w(out);
+    w.WriteU64(result_count_);
+    std::string joiner_blob;
+    joiner_->Snapshot(&joiner_blob);
+    w.WriteBytes(joiner_blob);
+  }
+  void Restore(const std::string& blob) override {
+    BinaryReader r(blob);
+    result_count_ = r.ReadU64();
+    std::string joiner_blob;
+    r.ReadBytes(&joiner_blob);
+    joiner_->Restore(joiner_blob);
   }
 
  private:
@@ -159,7 +205,7 @@ class JoinerBolt : public stream::Bolt {
       // Exactly-once rule: only the probe that arrives after its partner
       // reports the pair (see DESIGN.md §4).
       if (pair.partner_seq >= pair.probe_seq) return;
-      shared_->result_count.fetch_add(1, std::memory_order_relaxed);
+      ++result_count_;
       if (options_->collect_results) {
         out.Emit(stream::MakeTuple(
             static_cast<int64_t>(pair.probe_id), static_cast<int64_t>(pair.probe_seq),
@@ -167,7 +213,7 @@ class JoinerBolt : public stream::Bolt {
       }
     });
     if (probe) {
-      shared_->latency.Add(static_cast<uint64_t>(std::max<int64_t>(0, NowMicros() - emit_us)));
+      latency_.Add(static_cast<uint64_t>(std::max<int64_t>(0, NowMicros() - emit_us)));
     }
   }
 
@@ -175,6 +221,8 @@ class JoinerBolt : public stream::Bolt {
   std::shared_ptr<SharedState> shared_;
   int partition_ = 0;
   std::unique_ptr<LocalJoiner> joiner_;
+  uint64_t result_count_ = 0;
+  Histogram latency_;
 };
 
 /// Accumulates collected result pairs (parallelism 1).
@@ -187,6 +235,23 @@ class SinkBolt : public stream::Bolt {
                     static_cast<uint64_t>(tuple.Int(2)), static_cast<uint64_t>(tuple.Int(3))};
     std::lock_guard<std::mutex> lock(shared_->pairs_mu);
     shared_->pairs.push_back(pair);
+  }
+
+  /// The sink's state lives in SharedState (it must outlive the run), so
+  /// the snapshot is just the count of pairs appended; a restore truncates
+  /// back to it, undoing the crashed incarnation's appends. Safe because
+  /// the sink is the vector's only writer while the topology runs.
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(std::string* out) const override {
+    std::lock_guard<std::mutex> lock(shared_->pairs_mu);
+    BinaryWriter(out).WriteU64(shared_->pairs.size());
+  }
+  void Restore(const std::string& blob) override {
+    BinaryReader r(blob);
+    const uint64_t n = r.ReadU64();
+    std::lock_guard<std::mutex> lock(shared_->pairs_mu);
+    CHECK_LE(n, shared_->pairs.size());
+    shared_->pairs.resize(n);
   }
 
  private:
@@ -357,6 +422,14 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
       .SetQueueCapacity(options.queue_capacity)
       .SetBatchSize(options.batch_size)
       .SetRemoteByteCostNanos(options.remote_byte_cost_ns);
+  if (options.supervise || !options.fault_script.empty()) {
+    builder.SetSupervision(options.supervision);
+  }
+  if (!options.fault_script.empty()) {
+    StatusOr<stream::FaultScript> script = stream::FaultScript::Parse(options.fault_script);
+    CHECK(script.ok()) << "bad --fault_script: " << script.status().message();
+    builder.SetFaultScript(std::move(script).value());
+  }
   builder.SetSpout(
       kSourceName,
       [input_copy, &options] {
@@ -425,6 +498,14 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   result.latency = SummarizeLatency(shared->latency);
   result.router_replans = shared->router_replans.load(std::memory_order_relaxed);
   result.router_live_epochs = shared->router_live_epochs.load(std::memory_order_relaxed);
+  result.ok = topology->ok();
+  result.failure_message = topology->failure_message();
+  result.restarts = all.restarts;
+  result.replayed_tuples = all.replayed_tuples;
+  result.checkpoints = all.checkpoints;
+  result.checkpoint_bytes = all.checkpoint_bytes;
+  result.link_drops_recovered = all.link_drops_recovered;
+  result.link_dups_discarded = all.link_dups_discarded;
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/router.h"
 #include "core/similarity.h"
 #include "core/window.h"
+#include "stream/fault.h"
 #include "text/record.h"
 
 namespace dssj {
@@ -99,6 +100,21 @@ struct DistributedJoinOptions {
   /// clock). 0 = inter-worker messages cost nothing beyond the Execute
   /// work, as within one process. Storm-like stacks sit around 1-5 ns/byte.
   double remote_byte_cost_ns = 0.0;
+
+  /// Fault tolerance. `supervise` turns executors into supervisors (see
+  /// TopologyBuilder::SetSupervision): task crashes are recovered from the
+  /// last checkpoint with exactly-once replay. `supervision` carries the
+  /// restart budget, backoff, and checkpoint interval (in tuples executed /
+  /// emitted per task; 0 disables periodic checkpoints and recovery replays
+  /// from the start of the stream).
+  bool supervise = false;
+  stream::SupervisorOptions supervision;
+
+  /// Deterministic fault schedule (FaultScript DSL, e.g.
+  /// "kill:joiner:0@500; drop:dispatcher:0->joiner:1@100"); empty = none.
+  /// A non-empty script implies `supervise`. Parse or resolution errors
+  /// abort (they are test-configuration errors).
+  std::string fault_script;
 };
 
 /// Latency percentiles of per-record end-to-end processing (source emit →
@@ -149,6 +165,18 @@ struct DistributedJoinResult {
   /// Adaptive routing introspection (0 unless options.adaptive).
   uint64_t router_replans = 0;
   uint64_t router_live_epochs = 0;
+
+  /// Fault tolerance (meaningful under options.supervise; ok is always true
+  /// otherwise). ok == false means some task exhausted its restart budget
+  /// and the result set is incomplete.
+  bool ok = true;
+  std::string failure_message;
+  uint64_t restarts = 0;
+  uint64_t replayed_tuples = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t link_drops_recovered = 0;
+  uint64_t link_dups_discarded = 0;
 };
 
 /// Runs the distributed streaming join over `input` (replayed in order as a

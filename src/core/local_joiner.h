@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
+#include "common/serialize.h"
 #include "core/verify.h"
 #include "text/record.h"
 
@@ -79,7 +81,85 @@ class LocalJoiner {
   virtual size_t MemoryBytes() const = 0;
 
   virtual const JoinerStats& stats() const = 0;
+
+  /// Checkpoint support for supervised recovery. An implementation
+  /// returning true must make Restore(blob-from-Snapshot) on a freshly
+  /// constructed joiner (same spec/window/options) reproduce the
+  /// snapshotted joiner's observable behavior exactly: identical matches,
+  /// in identical callback order, for any subsequent Process sequence.
+  /// Internal scratch (probe stamps, caches) need not round-trip.
+  virtual bool SupportsSnapshot() const { return false; }
+  virtual void Snapshot(std::string* /*out*/) const {
+    LOG(FATAL) << "joiner does not support snapshots";
+  }
+  virtual void Restore(const std::string& /*blob*/) {
+    LOG(FATAL) << "joiner does not support snapshots";
+  }
 };
+
+/// Checkpoint helpers shared by the joiner implementations.
+
+inline void WriteRecordTo(const Record& r, BinaryWriter* w) {
+  w->WriteU64(r.id);
+  w->WriteU64(r.seq);
+  w->WriteI64(r.timestamp);
+  w->WriteU32Vec(r.tokens);
+}
+
+inline RecordPtr ReadRecordFrom(BinaryReader* r) {
+  const uint64_t id = r->ReadU64();
+  const uint64_t seq = r->ReadU64();
+  const int64_t timestamp = r->ReadI64();
+  std::vector<TokenId> tokens;
+  r->ReadU32Vec(&tokens);
+  return std::make_shared<const Record>(id, seq, timestamp, std::move(tokens));
+}
+
+inline void WriteJoinerStats(const JoinerStats& s, BinaryWriter* w) {
+  w->WriteU64(s.probes);
+  w->WriteU64(s.stores);
+  w->WriteU64(s.evictions);
+  w->WriteU64(s.results);
+  w->WriteU64(s.postings_scanned);
+  w->WriteU64(s.dead_postings_purged);
+  w->WriteU64(s.candidates);
+  w->WriteU64(s.length_filtered);
+  w->WriteU64(s.position_filtered);
+  w->WriteU64(s.suffix_filtered);
+  w->WriteU64(s.verify.merge_steps);
+  w->WriteU64(s.verify.full_verifications);
+  w->WriteU64(s.verify.diff_verifications);
+  w->WriteU64(s.verify.early_exits);
+  w->WriteU64(s.bundles_created);
+  w->WriteU64(s.members_added);
+  w->WriteU64(s.bundle_candidates);
+  w->WriteU64(s.batch_accepts);
+  w->WriteU64(s.batch_rejects);
+  w->WriteU64(s.member_diff_resolutions);
+}
+
+inline void ReadJoinerStats(BinaryReader* r, JoinerStats* s) {
+  s->probes = r->ReadU64();
+  s->stores = r->ReadU64();
+  s->evictions = r->ReadU64();
+  s->results = r->ReadU64();
+  s->postings_scanned = r->ReadU64();
+  s->dead_postings_purged = r->ReadU64();
+  s->candidates = r->ReadU64();
+  s->length_filtered = r->ReadU64();
+  s->position_filtered = r->ReadU64();
+  s->suffix_filtered = r->ReadU64();
+  s->verify.merge_steps = r->ReadU64();
+  s->verify.full_verifications = r->ReadU64();
+  s->verify.diff_verifications = r->ReadU64();
+  s->verify.early_exits = r->ReadU64();
+  s->bundles_created = r->ReadU64();
+  s->members_added = r->ReadU64();
+  s->bundle_candidates = r->ReadU64();
+  s->batch_accepts = r->ReadU64();
+  s->batch_rejects = r->ReadU64();
+  s->member_diff_resolutions = r->ReadU64();
+}
 
 }  // namespace dssj
 

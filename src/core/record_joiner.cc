@@ -219,6 +219,29 @@ void RecordJoiner::CompactIndex() {
   for (auto& [w, list] : sparse_index_) compact(list);
 }
 
+void RecordJoiner::Snapshot(std::string* out) const {
+  BinaryWriter w(out);
+  w.WriteU64(store_.size());
+  for (const RecordPtr& r : store_) WriteRecordTo(*r, &w);
+  WriteJoinerStats(stats_, &w);
+}
+
+void RecordJoiner::Restore(const std::string& blob) {
+  store_.clear();
+  base_ = 0;
+  dense_index_.clear();
+  sparse_index_.clear();
+  cand_overlap_.clear();
+  cand_stamp_.clear();
+  probe_stamp_ = 0;
+  cand_order_.clear();
+  BinaryReader r(blob);
+  const uint64_t n = r.ReadU64();
+  for (uint64_t i = 0; i < n; ++i) Store(ReadRecordFrom(&r));
+  // Re-storing bumped stores/evictions; the snapshotted totals replace them.
+  ReadJoinerStats(&r, &stats_);
+}
+
 size_t RecordJoiner::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const RecordPtr& s : store_) bytes += sizeof(Record) + s->tokens.size() * sizeof(TokenId);

@@ -69,6 +69,15 @@ class RecordJoiner : public LocalJoiner {
   /// probe scans). Exposed for memory experiments.
   void CompactIndex();
 
+  /// Checkpointing: the snapshot stores the window's records (in store
+  /// order) plus stats; Restore rebuilds the inverted index by re-storing
+  /// them, which reproduces posting order — and therefore match order —
+  /// exactly. Dead postings are not snapshotted, so purge/scan counters may
+  /// run lower after a restore; emissions are unaffected.
+  bool SupportsSnapshot() const override { return true; }
+  void Snapshot(std::string* out) const override;
+  void Restore(const std::string& blob) override;
+
  private:
   struct Posting {
     uint64_t local_id;  ///< store slot; dead iff < base_

@@ -33,4 +33,23 @@ size_t TwoStreamJoiner::MemoryBytes() const {
   return r_index_->MemoryBytes() + s_index_->MemoryBytes();
 }
 
+void TwoStreamJoiner::Snapshot(std::string* out) const {
+  BinaryWriter w(out);
+  std::string side;
+  r_index_->Snapshot(&side);
+  w.WriteBytes(side);
+  side.clear();
+  s_index_->Snapshot(&side);
+  w.WriteBytes(side);
+}
+
+void TwoStreamJoiner::Restore(const std::string& blob) {
+  BinaryReader r(blob);
+  std::string side;
+  r.ReadBytes(&side);
+  r_index_->Restore(side);
+  r.ReadBytes(&side);
+  s_index_->Restore(side);
+}
+
 }  // namespace dssj

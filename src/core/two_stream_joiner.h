@@ -48,6 +48,12 @@ class TwoStreamJoiner {
   const JoinerStats& stats(Side side) const;
   size_t MemoryBytes() const;
 
+  /// Checkpointing: the two per-side RecordJoiner snapshots, concatenated.
+  /// Same contract as LocalJoiner::Snapshot — a restored instance emits
+  /// exactly what the snapshotted one would for any subsequent input.
+  void Snapshot(std::string* out) const;
+  void Restore(const std::string& blob);
+
  private:
   RecordJoiner& IndexOf(Side side) { return side == Side::kR ? *r_index_ : *s_index_; }
   const RecordJoiner& IndexOf(Side side) const {

@@ -50,6 +50,19 @@ class Spout {
 
   /// Called once after the last NextTuple.
   virtual void Close() {}
+
+  /// Checkpoint support for supervised recovery. A spout returning true
+  /// must implement Snapshot/Restore so that a freshly constructed and
+  /// Open()ed instance, after Restore(blob), continues the emission
+  /// sequence exactly where the snapshotted instance stood (same tuple
+  /// count per NextTuple call, same routing-relevant contents). Without
+  /// snapshot support a restarted spout is re-run from the beginning; the
+  /// collector's per-link suppression keeps downstream delivery
+  /// exactly-once either way, provided the re-run emits the same tuples in
+  /// the same order.
+  virtual bool SupportsSnapshot() const { return false; }
+  virtual void Snapshot(std::string* /*out*/) const {}
+  virtual void Restore(const std::string& /*blob*/) {}
 };
 
 /// A stream operator. Execute is called once per input tuple on the task's
@@ -76,6 +89,18 @@ class Bolt {
 
   /// Called once after every upstream task has finished; flush state here.
   virtual void Finish(OutputCollector& /*out*/) {}
+
+  /// Checkpoint support for supervised recovery. A bolt returning true must
+  /// implement Snapshot/Restore so that a freshly constructed and
+  /// Prepare()d instance, after Restore(blob), emits exactly what the
+  /// snapshotted instance would emit for any subsequent input. Queried
+  /// after Prepare (state such as a per-task partition index is available).
+  /// Bolts without snapshot support are still recovered exactly — the
+  /// supervisor replays their entire input from the start of the stream —
+  /// but periodic checkpoints (log truncation) require it.
+  virtual bool SupportsSnapshot() const { return false; }
+  virtual void Snapshot(std::string* /*out*/) const {}
+  virtual void Restore(const std::string& /*blob*/) {}
 };
 
 }  // namespace dssj::stream

@@ -1,0 +1,114 @@
+#ifndef DSSJ_STREAM_FAULT_H_
+#define DSSJ_STREAM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dssj::stream {
+
+/// Supervised-executor policy (see TopologyBuilder::SetSupervision).
+struct SupervisorOptions {
+  /// How many times one task may be restarted before the topology is marked
+  /// failed (Topology::ok() turns false).
+  int max_restarts = 3;
+
+  /// Snapshot-capable tasks checkpoint every this-many canonical input
+  /// tuples (spouts: NextTuple calls), truncating their replay log. 0
+  /// disables periodic checkpoints: recovery then replays from the start of
+  /// the stream, which stays exact but keeps the whole input in the log.
+  uint64_t checkpoint_interval = 0;
+
+  /// Exponential restart backoff: the k-th restart of a task sleeps
+  /// min(initial << (k-1), max) microseconds before re-creating it.
+  int64_t initial_backoff_micros = 1000;
+  int64_t max_backoff_micros = 1000000;
+};
+
+/// Deterministically kill one task the moment its canonical progress counter
+/// reaches `at_count`: for bolts that is "just before executing tuple
+/// at_count + 1" (counted over canonical data tuples), for spouts "just
+/// before NextTuple call at_count + 1". The simulated crash destroys the
+/// spout/bolt object (all component state); the executor thread survives and
+/// acts as supervisor.
+struct KillFault {
+  std::string component;
+  int task_index = 0;
+  uint64_t at_count = 0;
+};
+
+enum class LinkFaultKind {
+  kDrop,       ///< envelope never reaches the consumer queue (recovered from retention)
+  kDuplicate,  ///< envelope is delivered twice (consumer discards the copy)
+  kDelay,      ///< producer sleeps before delivering the envelope
+};
+
+/// A fault on one (producer task → consumer task) link, firing when that
+/// link's canonical data sequence number (1-based, assigned by the producer)
+/// equals `at_seq`.
+struct LinkFault {
+  LinkFaultKind kind = LinkFaultKind::kDrop;
+  std::string src_component;
+  int src_index = 0;
+  std::string dst_component;
+  int dst_index = 0;
+  uint64_t at_seq = 0;
+  int64_t delay_micros = 0;  ///< kDelay only
+};
+
+/// A deterministic schedule of injected faults, resolved against the
+/// topology at Build() (unknown components / out-of-range task indices are
+/// build errors). Construct programmatically with the builder methods or
+/// from the CLI DSL via Parse():
+///
+///   kill:<comp>:<task>@<count>
+///   drop:<comp>:<i>-><comp>:<j>@<seq>
+///   dup:<comp>:<i>-><comp>:<j>@<seq>
+///   delay:<comp>:<i>-><comp>:<j>@<seq>x<micros>
+///
+/// Statements are ';'-separated; whitespace around tokens is ignored, e.g.
+/// "kill:joiner:0@500; drop:dispatcher:0->joiner:1@120".
+class FaultScript {
+ public:
+  FaultScript() = default;
+
+  static StatusOr<FaultScript> Parse(const std::string& text);
+
+  FaultScript& KillAt(const std::string& component, int task_index, uint64_t at_count) {
+    kills_.push_back(KillFault{component, task_index, at_count});
+    return *this;
+  }
+  FaultScript& DropAt(const std::string& src, int src_index, const std::string& dst,
+                      int dst_index, uint64_t at_seq) {
+    links_.push_back(
+        LinkFault{LinkFaultKind::kDrop, src, src_index, dst, dst_index, at_seq, 0});
+    return *this;
+  }
+  FaultScript& DuplicateAt(const std::string& src, int src_index, const std::string& dst,
+                           int dst_index, uint64_t at_seq) {
+    links_.push_back(
+        LinkFault{LinkFaultKind::kDuplicate, src, src_index, dst, dst_index, at_seq, 0});
+    return *this;
+  }
+  FaultScript& DelayAt(const std::string& src, int src_index, const std::string& dst,
+                       int dst_index, uint64_t at_seq, int64_t delay_micros) {
+    links_.push_back(LinkFault{LinkFaultKind::kDelay, src, src_index, dst, dst_index, at_seq,
+                               delay_micros});
+    return *this;
+  }
+
+  bool empty() const { return kills_.empty() && links_.empty(); }
+  bool has_link_faults() const { return !links_.empty(); }
+  const std::vector<KillFault>& kills() const { return kills_; }
+  const std::vector<LinkFault>& link_faults() const { return links_; }
+
+ private:
+  std::vector<KillFault> kills_;
+  std::vector<LinkFault> links_;
+};
+
+}  // namespace dssj::stream
+
+#endif  // DSSJ_STREAM_FAULT_H_

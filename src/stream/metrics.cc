@@ -17,6 +17,13 @@ ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
     const uint64_t busy = t.metrics->busy_nanos.Get();
     agg.busy_nanos_sum += busy;
     agg.busy_nanos_max = std::max(agg.busy_nanos_max, busy);
+    agg.restarts += t.metrics->restarts.Get();
+    agg.replayed_tuples += t.metrics->replayed_tuples.Get();
+    agg.checkpoints += t.metrics->checkpoints.Get();
+    agg.checkpoint_bytes += t.metrics->checkpoint_bytes.Get();
+    agg.checkpoint_nanos += t.metrics->checkpoint_nanos.Get();
+    agg.link_drops_recovered += t.metrics->link_drops_recovered.Get();
+    agg.link_dups_discarded += t.metrics->link_dups_discarded.Get();
   }
   return agg;
 }

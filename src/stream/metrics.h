@@ -32,6 +32,21 @@ struct TaskMetrics {
   /// serialization cost (see TopologyBuilder::SetRemoteByteCostNanos).
   /// Finalized when the task finishes — read after Topology::Wait().
   Counter busy_nanos;
+
+  // Fault tolerance (supervised executors; all zero in unsupervised runs).
+  /// Times this task's component object was destroyed and re-created.
+  Counter restarts;
+  /// Tuples re-executed (bolts) or NextTuple calls re-issued (spouts)
+  /// during recovery; their emissions are suppressed per-link.
+  Counter replayed_tuples;
+  /// Checkpoints taken, and their cumulative serialized size / wall time.
+  Counter checkpoints;
+  Counter checkpoint_bytes;
+  Counter checkpoint_nanos;
+  /// Injected-link-fault recovery: envelopes fetched from retention after a
+  /// scripted drop, and duplicate deliveries discarded by sequence check.
+  Counter link_drops_recovered;
+  Counter link_dups_discarded;
 };
 
 /// Identity + metrics of one task, exposed by Topology after (or during) a
@@ -54,6 +69,15 @@ struct ComponentAggregate {
   uint64_t total_bytes = 0;
   uint64_t busy_nanos_max = 0;  ///< bottleneck task busy time
   uint64_t busy_nanos_sum = 0;
+
+  // Fault tolerance (zero in unsupervised runs).
+  uint64_t restarts = 0;
+  uint64_t replayed_tuples = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t checkpoint_nanos = 0;
+  uint64_t link_drops_recovered = 0;
+  uint64_t link_dups_discarded = 0;
 };
 
 /// Sums `tasks` (typically Topology::TasksOf(component)).

@@ -25,6 +25,12 @@ namespace dssj::stream {
 /// relevant edge (empty→non-empty for consumers, full→non-full for
 /// producers). Waiter counts are maintained under the mutex, so a waiter
 /// is always visible to the thread that makes its predicate true.
+///
+/// Close() (used when a supervised task exhausts its restart budget)
+/// unblocks every waiter on both sides: producers stop accepting — a
+/// blocked Push returns 0 and a blocked PushBatch leaves the unaccepted
+/// remainder in its input vector — while items accepted before the close
+/// stay poppable until the queue drains, after which PopBatch returns 0.
 template <typename T>
 class BoundedQueue {
  public:
@@ -35,10 +41,12 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks until there is room, then enqueues. Returns the queue depth
-  /// right after the push (for high-watermark accounting).
+  /// right after the push (for high-watermark accounting), or 0 when the
+  /// queue was closed and the item rejected (a successful push always
+  /// reports depth >= 1).
   size_t Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    WaitForRoom(lock);
+    if (!WaitForRoom(lock)) return 0;
     items_.push_back(std::move(item));
     const size_t depth = items_.size();
     const bool wake = waiting_consumers_ > 0;
@@ -53,7 +61,9 @@ class BoundedQueue {
   /// boundaries are NOT atomic — other producers may interleave between
   /// chunks, which preserves per-producer FIFO, the only ordering the
   /// topology relies on). Returns the queue depth right after the last
-  /// element lands.
+  /// element lands. If the queue closes mid-batch, elements not yet
+  /// accepted are left in `*items` (in order) and the depth so far is
+  /// returned.
   size_t PushBatch(std::vector<T>* items) {
     if (items->empty()) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -64,33 +74,36 @@ class BoundedQueue {
     size_t depth = 0;
     std::unique_lock<std::mutex> lock(mu_);
     while (i < n) {
+      if (closed_) break;
       if (items_.size() >= capacity_) {
         // Hand the partial chunk to any waiting consumer before sleeping,
         // or the two sides could wait on each other's wakeup.
         if (waiting_consumers_ > 0 && !items_.empty()) not_empty_.notify_one();
-        WaitForRoom(lock);
+        if (!WaitForRoom(lock)) break;
       }
       while (i < n && items_.size() < capacity_) items_.push_back(std::move((*items)[i++]));
       depth = items_.size();
     }
     const int waiters = waiting_consumers_;
     lock.unlock();
-    if (waiters > 0) {
+    if (waiters > 0 && i > 0) {
       // A batch can satisfy several blocked consumers.
-      if (n > 1 && waiters > 1) {
+      if (i > 1 && waiters > 1) {
         not_empty_.notify_all();
       } else {
         not_empty_.notify_one();
       }
     }
-    items->clear();
+    items->erase(items->begin(), items->begin() + static_cast<ptrdiff_t>(i));
     return depth;
   }
 
-  /// Blocks until an item is available, then dequeues it.
+  /// Blocks until an item is available, then dequeues it. Must not be
+  /// called on a closed-and-drained queue (use PopBatch/TryPop when the
+  /// queue may close).
   T Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    WaitForItem(lock);
+    CHECK(WaitForItem(lock)) << "Pop on a closed, drained queue";
     T item = std::move(items_.front());
     items_.pop_front();
     const bool wake = waiting_producers_ > 0;
@@ -100,11 +113,12 @@ class BoundedQueue {
   }
 
   /// Blocks until at least one item is available, then appends up to
-  /// `max_items` to `*out` under one lock. Returns the number popped.
+  /// `max_items` to `*out` under one lock. Returns the number popped —
+  /// 0 only when the queue is closed and drained.
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
     CHECK_GE(max_items, 1u);
     std::unique_lock<std::mutex> lock(mu_);
-    WaitForItem(lock);
+    if (!WaitForItem(lock)) return 0;
     const size_t n = std::min(max_items, items_.size());
     MoveOut(out, n);
     const int waiters = waiting_producers_;
@@ -137,6 +151,23 @@ class BoundedQueue {
     return true;
   }
 
+  /// Stops accepting new items and wakes every blocked producer and
+  /// consumer. Items already accepted remain poppable. Idempotent;
+  /// thread-safe against concurrent Push/Pop from any thread.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
@@ -145,20 +176,24 @@ class BoundedQueue {
   size_t capacity() const { return capacity_; }
 
  private:
-  void WaitForRoom(std::unique_lock<std::mutex>& lock) {
-    while (items_.size() >= capacity_) {
+  /// Returns false when the queue closed (no room will be granted).
+  bool WaitForRoom(std::unique_lock<std::mutex>& lock) {
+    while (!closed_ && items_.size() >= capacity_) {
       ++waiting_producers_;
       not_full_.wait(lock);
       --waiting_producers_;
     }
+    return !closed_;
   }
 
-  void WaitForItem(std::unique_lock<std::mutex>& lock) {
-    while (items_.empty()) {
+  /// Returns false when the queue is closed and drained.
+  bool WaitForItem(std::unique_lock<std::mutex>& lock) {
+    while (items_.empty() && !closed_) {
       ++waiting_consumers_;
       not_empty_.wait(lock);
       --waiting_consumers_;
     }
+    return !items_.empty();
   }
 
   // Caller holds mu_ and guarantees n <= items_.size().
@@ -185,6 +220,7 @@ class BoundedQueue {
   std::deque<T> items_;
   int waiting_producers_ = 0;
   int waiting_consumers_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace dssj::stream

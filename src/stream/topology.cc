@@ -1,8 +1,13 @@
 #include "stream/topology.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
+#include <deque>
+#include <map>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 
@@ -22,6 +27,12 @@ struct Envelope {
   bool eos = false;
   /// Simulated deserialization cost charged to the consumer's busy time.
   int64_t extra_busy_ns = 0;
+  /// Canonical per-link sequence number (1-based over the data envelopes of
+  /// one producer-task → consumer-task link), assigned by the producer's
+  /// collector. 0 when the topology runs unsupervised (nothing tracks it).
+  /// On an EOS marker this instead carries the link's final data count, so
+  /// the consumer can detect (and recover) trailing dropped envelopes.
+  uint64_t link_seq = 0;
 };
 
 namespace {
@@ -70,6 +81,13 @@ struct Task {
   std::thread thread;
 };
 
+/// A link fault resolved to task ids at Build().
+struct ResolvedLinkFault {
+  LinkFaultKind kind = LinkFaultKind::kDrop;
+  uint64_t seq = 0;
+  int64_t delay_micros = 0;
+};
+
 struct TopologyImpl {
   std::vector<std::unique_ptr<ComponentSpec>> comps;
   std::unordered_map<std::string, int> comp_index;
@@ -83,11 +101,75 @@ struct TopologyImpl {
   std::atomic<int64_t> start_us{0};
   std::atomic<int64_t> end_us{0};
 
+  // Fault tolerance. `supervised` turns executors into supervisors (and
+  // enables the per-link emission bookkeeping recovery needs);
+  // `fault_active` additionally arms the consumer-side link guard.
+  bool supervised = false;
+  bool fault_active = false;
+  SupervisorOptions supervision;
+  FaultScript fault_script;
+  // Resolved at Build(), indexed by task id: scripted kill counts (sorted)
+  // and, per producer task, destination-task → link faults (sorted by seq).
+  std::vector<std::vector<uint64_t>> kill_plan;
+  std::vector<std::unordered_map<int, std::vector<ResolvedLinkFault>>> link_plan;
+
+  // Retention for scripted drops: a dropped envelope parks here (keyed by
+  // source task, destination task, link seq) until the destination detects
+  // the sequence gap and fetches it. The producer inserts before pushing
+  // any successor, so a consumer that sees the gap always finds the entry.
+  std::mutex fault_mu;
+  std::map<std::tuple<int, int, uint64_t>, Envelope> retained;
+
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  std::string failure_message;
+
   void RunSpoutTask(Task& task);
   void RunBoltTask(Task& task);
-  void SendEos(const Task& task);
   void NoteTaskExit();
+  void MarkFailed(const std::string& msg);
+  void Retain(int src, int dst, uint64_t seq, Envelope env);
+  bool FetchRetained(int src, int dst, uint64_t seq, Envelope* out);
+  /// Sleeps the current (exponential) restart backoff and doubles it.
+  void SleepBackoff(int64_t* backoff_micros) const;
 };
+
+void TopologyImpl::NoteTaskExit() {
+  const int64_t now = NowMicros();
+  int64_t cur = end_us.load(std::memory_order_relaxed);
+  while (now > cur && !end_us.compare_exchange_weak(cur, now, std::memory_order_relaxed)) {
+  }
+}
+
+void TopologyImpl::MarkFailed(const std::string& msg) {
+  bool expected = false;
+  if (failed.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(fail_mu);
+    failure_message = msg;
+  }
+}
+
+void TopologyImpl::Retain(int src, int dst, uint64_t seq, Envelope env) {
+  std::lock_guard<std::mutex> lock(fault_mu);
+  retained.emplace(std::make_tuple(src, dst, seq), std::move(env));
+}
+
+bool TopologyImpl::FetchRetained(int src, int dst, uint64_t seq, Envelope* out) {
+  std::lock_guard<std::mutex> lock(fault_mu);
+  const auto it = retained.find(std::make_tuple(src, dst, seq));
+  if (it == retained.end()) return false;
+  *out = std::move(it->second);
+  retained.erase(it);
+  return true;
+}
+
+void TopologyImpl::SleepBackoff(int64_t* backoff_micros) const {
+  if (*backoff_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(*backoff_micros));
+  }
+  *backoff_micros = std::min(*backoff_micros > 0 ? *backoff_micros * 2 : int64_t{1},
+                             supervision.max_backoff_micros);
+}
 
 /// OutputCollector bound to one producer task. Owns per-subscription
 /// round-robin counters for shuffle grouping; used only from the task's
@@ -99,15 +181,40 @@ struct TopologyImpl {
 /// tuple). Buffering never reorders tuples headed to the same consumer
 /// task, so per-link FIFO — the exactly-once rule's foundation — holds.
 /// The executor flushes all buffers before emitting end-of-stream.
+///
+/// Under supervision the collector additionally keeps, per consumer task,
+/// the *canonical* count of data envelopes this task has emitted on the
+/// link (`emitted_`, rolled back to the last checkpoint on a crash) and the
+/// monotonic count actually handed over (`delivered_`, advanced when an
+/// envelope reaches the consumer queue or the drop-retention map, never
+/// rolled back). A recovering component re-runs and re-emits; Deliver
+/// suppresses every re-emission whose canonical number the consumer already
+/// has — this is what makes recovery exactly-once without any consumer-side
+/// dedup of replayed tuples.
 class CollectorImpl : public OutputCollector {
  public:
+  /// Producer-side view of emission progress, captured at checkpoints and
+  /// restored on a crash. Only the canonical counters and the round-robin
+  /// cursors roll back; delivery progress is irreversible.
+  struct Cursor {
+    std::vector<uint64_t> emitted;
+    std::vector<uint64_t> rr;
+  };
+
   CollectorImpl(TopologyImpl* topo, Task* task)
       : topo_(topo), task_(task), comp_(*topo->comps[task->comp]),
-        batch_size_(topo->batch_size) {
+        batch_size_(topo->batch_size), tracking_(topo->supervised) {
     rr_.assign(comp_.subs_out.size(), static_cast<uint64_t>(task->local_index));
     if (batch_size_ > 1) {
       pending_.resize(topo->tasks.size());
       in_dirty_.assign(topo->tasks.size(), 0);
+    }
+    if (tracking_) {
+      emitted_.assign(topo->tasks.size(), 0);
+      delivered_.assign(topo->tasks.size(), 0);
+    }
+    if (topo->fault_active && !topo->link_plan[task->id].empty()) {
+      link_faults_ = &topo->link_plan[task->id];
     }
   }
 
@@ -116,6 +223,39 @@ class CollectorImpl : public OutputCollector {
   void FlushAll() {
     for (const int task_id : dirty_) {
       if (!pending_[task_id].empty()) FlushTarget(task_id);
+      in_dirty_[task_id] = 0;
+    }
+    dirty_.clear();
+  }
+
+  /// Emits the end-of-stream marker to every task of every subscribed
+  /// consumer. Under supervision the marker carries the link's final data
+  /// count so consumers can recover trailing dropped envelopes.
+  void SendEosAll() {
+    for (const Subscription& sub : comp_.subs_out) {
+      const ComponentSpec& consumer = *topo_->comps[sub.consumer_comp];
+      for (int i = 0; i < consumer.parallelism; ++i) {
+        const int t = consumer.first_task + i;
+        topo_->tasks[t].queue->Push(Envelope{Tuple(), task_->id, /*eos=*/true, 0,
+                                             tracking_ ? emitted_[t] : 0});
+      }
+    }
+  }
+
+  void SaveCursor(Cursor* cursor) const {
+    cursor->emitted = emitted_;
+    cursor->rr = rr_;
+  }
+
+  /// Crash recovery: rewinds the canonical emission counters and shuffle
+  /// cursors to `cursor` and discards staged (not yet delivered) envelopes
+  /// — they die with the crashed component and are regenerated, and only
+  /// then delivered, by the replay.
+  void Rollback(const Cursor& cursor) {
+    emitted_ = cursor.emitted;
+    rr_ = cursor.rr;
+    for (const int task_id : dirty_) {
+      pending_[task_id].clear();
       in_dirty_[task_id] = 0;
     }
     dirty_.clear();
@@ -181,6 +321,13 @@ class CollectorImpl : public OutputCollector {
   }
 
   void Deliver(int task_id, Tuple tuple) {
+    uint64_t seq = 0;
+    if (tracking_) {
+      seq = ++emitted_[task_id];
+      // Recovery replay: the consumer already received this canonical
+      // envelope from the pre-crash incarnation (or from drop retention).
+      if (seq <= delivered_[task_id]) return;
+    }
     Task& target = topo_->tasks[task_id];
     TaskMetrics& m = *task_->metrics;
     const size_t bytes = tuple.SerializedBytes();
@@ -199,8 +346,10 @@ class CollectorImpl : public OutputCollector {
         extra_busy_ns = cost;
       }
     }
-    Envelope env{std::move(tuple), task_->id, /*eos=*/false, extra_busy_ns};
+    Envelope env{std::move(tuple), task_->id, /*eos=*/false, extra_busy_ns, seq};
+    if (link_faults_ != nullptr && HandleLinkFault(task_id, env)) return;
     if (batch_size_ <= 1) {
+      if (tracking_) delivered_[task_id] = seq;
       const size_t depth = target.queue->Push(std::move(env));
       target.metrics->queue_highwater.Update(depth);
       return;
@@ -214,53 +363,214 @@ class CollectorImpl : public OutputCollector {
     if (buffer.size() >= batch_size_) FlushTarget(task_id);
   }
 
-  void FlushTarget(int task_id) {
+  /// Applies any scripted fault on (this task → task_id) at env's canonical
+  /// sequence number. Returns true when the envelope was consumed here
+  /// (dropped into retention, or pushed — twice — for a duplicate).
+  bool HandleLinkFault(int task_id, Envelope& env) {
+    const auto it = link_faults_->find(task_id);
+    if (it == link_faults_->end()) return false;
+    bool drop = false;
+    bool duplicate = false;
+    for (const ResolvedLinkFault& fault : it->second) {
+      if (fault.seq != env.link_seq) continue;
+      switch (fault.kind) {
+        case LinkFaultKind::kDelay:
+          std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_micros));
+          break;
+        case LinkFaultKind::kDrop:
+          drop = true;
+          break;
+        case LinkFaultKind::kDuplicate:
+          duplicate = true;
+          break;
+      }
+    }
+    if (!drop && !duplicate) return false;  // delay alone: deliver normally
+    // Per-link FIFO: everything staged for this consumer must reach the
+    // queue before the faulted envelope is retained or duplicated, so the
+    // consumer's sequence guard sees the gap (or the copy) in order.
+    if (batch_size_ > 1) FlushTarget(task_id);
+    const uint64_t seq = env.link_seq;
     Task& target = topo_->tasks[task_id];
-    const size_t depth = target.queue->PushBatch(&pending_[task_id]);
+    if (drop) {
+      topo_->Retain(task_->id, task_id, seq, std::move(env));
+    } else {
+      Envelope copy = env;
+      target.metrics->queue_highwater.Update(target.queue->Push(std::move(copy)));
+      target.metrics->queue_highwater.Update(target.queue->Push(std::move(env)));
+    }
+    if (tracking_) delivered_[task_id] = seq;
+    return true;
+  }
+
+  void FlushTarget(int task_id) {
+    std::vector<Envelope>& buffer = pending_[task_id];
+    if (buffer.empty()) return;
+    // Everything in the buffer is about to be irreversibly handed over.
+    if (tracking_) delivered_[task_id] = buffer.back().link_seq;
+    Task& target = topo_->tasks[task_id];
+    const size_t depth = target.queue->PushBatch(&buffer);
     target.metrics->queue_highwater.Update(depth);
+    // A closed (failed-consumer) queue leaves a remainder; it has no reader.
+    buffer.clear();
   }
 
   TopologyImpl* topo_;
   Task* task_;
   const ComponentSpec& comp_;
   const size_t batch_size_;
+  const bool tracking_;
+  const std::unordered_map<int, std::vector<ResolvedLinkFault>>* link_faults_ = nullptr;
   std::vector<uint64_t> rr_;
   std::vector<int> targets_;
+  std::vector<uint64_t> emitted_;    ///< canonical per-link emission counts
+  std::vector<uint64_t> delivered_;  ///< monotonic per-link delivery counts
   std::vector<std::vector<Envelope>> pending_;  ///< staged per consumer task
   std::vector<int> dirty_;                      ///< consumer tasks staged since last FlushAll
   std::vector<uint8_t> in_dirty_;               ///< dirty_ membership flags
 };
 
-void TopologyImpl::SendEos(const Task& task) {
-  const ComponentSpec& comp = *comps[task.comp];
-  for (const Subscription& sub : comp.subs_out) {
-    const ComponentSpec& consumer = *comps[sub.consumer_comp];
-    for (int i = 0; i < consumer.parallelism; ++i) {
-      tasks[consumer.first_task + i].queue->Push(Envelope{Tuple(), task.id, /*eos=*/true});
+namespace {
+
+/// Executor-side consumer guard, active only when a fault script is
+/// installed: validates the canonical per-link sequence of every inbound
+/// data envelope, discards scripted duplicates, and pulls scripted drops
+/// out of retention the moment their gap (or the final count on EOS)
+/// becomes visible. Downstream of this filter the envelope stream is
+/// canonical again, so executor logging/replay and the bolt itself never
+/// see an injected link fault.
+class LinkGuard {
+ public:
+  LinkGuard(TopologyImpl* topo, Task* task)
+      : topo_(topo), task_(task), next_seq_(topo->tasks.size(), 1) {}
+
+  void Canonicalize(std::vector<Envelope>& in, std::vector<Envelope>* out) {
+    out->clear();
+    TaskMetrics& m = *task_->metrics;
+    for (Envelope& env : in) {
+      const int src = env.source_task;
+      if (env.eos) {
+        // The final count recovers trailing drops (no successor envelope
+        // ever showed the gap). A failed producer may report a final count
+        // below what it delivered; the guard just passes the EOS through.
+        FetchThrough(src, env.link_seq, &m, out);
+        out->push_back(std::move(env));
+        continue;
+      }
+      if (env.link_seq < next_seq_[src]) {
+        m.link_dups_discarded.Increment();
+        continue;
+      }
+      FetchThrough(src, env.link_seq - 1, &m, out);
+      ++next_seq_[src];
+      out->push_back(std::move(env));
     }
   }
-}
 
-void TopologyImpl::NoteTaskExit() {
-  const int64_t now = NowMicros();
-  int64_t cur = end_us.load(std::memory_order_relaxed);
-  while (now > cur && !end_us.compare_exchange_weak(cur, now, std::memory_order_relaxed)) {
+ private:
+  /// Fetches retained envelopes (src → this task) up to sequence `upto`.
+  void FetchThrough(int src, uint64_t upto, TaskMetrics* m, std::vector<Envelope>* out) {
+    while (next_seq_[src] <= upto) {
+      Envelope missing;
+      CHECK(topo_->FetchRetained(src, task_->id, next_seq_[src], &missing))
+          << "link " << src << "->" << task_->id << " gap at seq " << next_seq_[src]
+          << " without a retained (dropped) envelope";
+      m->link_drops_recovered.Increment();
+      ++next_seq_[src];
+      out->push_back(std::move(missing));
+    }
   }
-}
+
+  TopologyImpl* topo_;
+  Task* task_;
+  std::vector<uint64_t> next_seq_;  ///< per source task, next expected data seq
+};
+
+}  // namespace
 
 void TopologyImpl::RunSpoutTask(Task& task) {
   const ComponentSpec& comp = *comps[task.comp];
   TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
                   task.metrics.get()};
   CollectorImpl collector(this, &task);
+  TaskMetrics& m = *task.metrics;
   const int64_t cpu_start = ThreadCpuNanos();
+
   task.spout->Open(ctx);
-  while (task.spout->NextTuple(collector)) {
+
+  // Supervision state. `calls` is the spout's canonical progress counter
+  // (NextTuple invocations); kills and checkpoints trigger on it.
+  std::deque<uint64_t> kills;
+  if (supervised) {
+    kills.assign(kill_plan[task.id].begin(), kill_plan[task.id].end());
   }
-  task.spout->Close();
+  const bool snap_ok = task.spout->SupportsSnapshot();
+  const uint64_t ckpt_interval =
+      (supervised && snap_ok) ? supervision.checkpoint_interval : 0;
+  struct SpoutCheckpoint {
+    bool has_state = false;
+    std::string state;
+    uint64_t calls = 0;
+    CollectorImpl::Cursor cursor;
+  } ckpt;
+  collector.SaveCursor(&ckpt.cursor);
+  if (snap_ok) {
+    // Initial checkpoint: a crash before the first periodic one then
+    // restores through the same path (matters for components whose state
+    // outlives them — Restore must undo external side effects).
+    task.spout->Snapshot(&ckpt.state);
+    ckpt.has_state = true;
+  }
+
+  uint64_t calls = 0;
+  int restarts = 0;
+  int64_t backoff = supervision.initial_backoff_micros;
+  bool gave_up = false;
+
+  while (true) {
+    if (!kills.empty() && calls == kills.front()) {
+      kills.pop_front();
+      if (restarts >= supervision.max_restarts) {
+        MarkFailed("spout task " + comp.name + "[" + std::to_string(task.local_index) +
+                   "] exceeded max_restarts=" + std::to_string(supervision.max_restarts));
+        gave_up = true;
+        break;
+      }
+      ++restarts;
+      m.restarts.Increment();
+      SleepBackoff(&backoff);
+      // The simulated crash destroys the spout object — its entire state.
+      // Recovery: fresh instance, restore the snapshot offset, rewind the
+      // canonical emission counters, and re-run; Deliver suppresses every
+      // re-emission the consumers already received.
+      task.spout = comp.spout_factory();
+      CHECK(task.spout != nullptr);
+      task.spout->Open(ctx);
+      if (ckpt.has_state) task.spout->Restore(ckpt.state);
+      collector.Rollback(ckpt.cursor);
+      m.replayed_tuples.Add(calls - ckpt.calls);
+      calls = ckpt.calls;
+      continue;
+    }
+    if (ckpt_interval > 0 && calls == ckpt.calls + ckpt_interval) {
+      collector.FlushAll();  // checkpointed cursors must equal delivery state
+      const int64_t t0 = NowNanos();
+      ckpt.state.clear();
+      task.spout->Snapshot(&ckpt.state);
+      ckpt.has_state = true;
+      ckpt.calls = calls;
+      collector.SaveCursor(&ckpt.cursor);
+      m.checkpoints.Increment();
+      m.checkpoint_bytes.Add(ckpt.state.size());
+      m.checkpoint_nanos.Add(static_cast<uint64_t>(NowNanos() - t0));
+    }
+    if (!task.spout->NextTuple(collector)) break;
+    ++calls;
+  }
+  if (!gave_up) task.spout->Close();
   collector.FlushAll();
-  SendEos(task);
-  task.metrics->busy_nanos.Add(static_cast<uint64_t>(ThreadCpuNanos() - cpu_start));
+  collector.SendEosAll();
+  m.busy_nanos.Add(static_cast<uint64_t>(ThreadCpuNanos() - cpu_start));
   NoteTaskExit();
 }
 
@@ -269,48 +579,184 @@ void TopologyImpl::RunBoltTask(Task& task) {
   TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
                   task.metrics.get()};
   CollectorImpl collector(this, &task);
+  TaskMetrics& m = *task.metrics;
   const int64_t cpu_start = ThreadCpuNanos();
   int64_t simulated_busy_ns = 0;
+
   task.bolt->Prepare(ctx);
+
+  // Supervision state. `executed_total` is the bolt's canonical progress
+  // counter (data tuples executed); kills and checkpoints trigger on it.
+  // `log` holds the canonical data envelopes received since the last
+  // checkpoint: log[0 .. replay_pos) has been executed by the current
+  // incarnation, log[replay_pos ..) is pending (non-empty only right after
+  // a crash rewound replay_pos to 0). Live input is appended to the log and
+  // then executed from it, so the live and replay paths are one code path.
+  std::deque<uint64_t> kills;
+  if (supervised) {
+    kills.assign(kill_plan[task.id].begin(), kill_plan[task.id].end());
+  }
+  const bool snap_ok = task.bolt->SupportsSnapshot();
+  const uint64_t ckpt_interval =
+      (supervised && snap_ok) ? supervision.checkpoint_interval : 0;
+  struct BoltCheckpoint {
+    bool has_state = false;
+    std::string state;
+    uint64_t executed = 0;
+    CollectorImpl::Cursor cursor;
+  } ckpt;
+  collector.SaveCursor(&ckpt.cursor);
+  if (snap_ok) {
+    // Initial checkpoint (see RunSpoutTask): recovery always restores,
+    // even before the first periodic checkpoint.
+    task.bolt->Snapshot(&ckpt.state);
+    ckpt.has_state = true;
+  }
+
+  uint64_t executed_total = 0;
+  std::vector<Envelope> log;
+  size_t replay_pos = 0;
+  size_t log_high = 0;  // log entries executed at least once (replay metric)
+  int restarts = 0;
+  int64_t backoff = supervision.initial_backoff_micros;
+  bool gave_up = false;
+
+  TupleBatch batch;
+  // Executes log[replay_pos..) honoring kill and checkpoint boundaries.
+  // Returns false when the task exhausted its restart budget.
+  const auto drain_log = [&]() -> bool {
+    while (replay_pos < log.size()) {
+      if (!kills.empty() && executed_total == kills.front()) {
+        kills.pop_front();
+        if (restarts >= supervision.max_restarts) return false;
+        ++restarts;
+        m.restarts.Increment();
+        SleepBackoff(&backoff);
+        // Simulated crash: the bolt object (all component state) dies; the
+        // executor thread survives as supervisor. Restore the checkpoint,
+        // rewind the emission cursors, and replay the log from the top —
+        // nested crashes during replay just rewind again.
+        task.bolt = comp.bolt_factory();
+        CHECK(task.bolt != nullptr);
+        task.bolt->Prepare(ctx);
+        if (ckpt.has_state) task.bolt->Restore(ckpt.state);
+        collector.Rollback(ckpt.cursor);
+        executed_total = ckpt.executed;
+        replay_pos = 0;
+        continue;
+      }
+      if (ckpt_interval > 0 && executed_total == ckpt.executed + ckpt_interval) {
+        collector.FlushAll();  // checkpointed cursors must equal delivery state
+        const int64_t t0 = NowNanos();
+        ckpt.state.clear();
+        task.bolt->Snapshot(&ckpt.state);
+        ckpt.has_state = true;
+        ckpt.executed = executed_total;
+        collector.SaveCursor(&ckpt.cursor);
+        log.erase(log.begin(), log.begin() + static_cast<ptrdiff_t>(replay_pos));
+        log_high -= replay_pos;
+        replay_pos = 0;
+        m.checkpoints.Increment();
+        m.checkpoint_bytes.Add(ckpt.state.size());
+        m.checkpoint_nanos.Add(static_cast<uint64_t>(NowNanos() - t0));
+        continue;
+      }
+      // Cap the run so the next kill / checkpoint fires at its exact count.
+      uint64_t cap = static_cast<uint64_t>(log.size() - replay_pos);
+      if (!kills.empty()) cap = std::min(cap, kills.front() - executed_total);
+      if (ckpt_interval > 0) {
+        cap = std::min(cap, ckpt.executed + ckpt_interval - executed_total);
+      }
+      const size_t run = static_cast<size_t>(cap);
+      batch.clear();
+      int64_t batch_extra_ns = 0;
+      for (size_t k = replay_pos; k < replay_pos + run; ++k) {
+        batch_extra_ns += log[k].extra_busy_ns;
+        // Copy: the log entry must survive for a future replay.
+        batch.push_back(log[k].tuple);
+      }
+      if (replay_pos < log_high) {
+        m.replayed_tuples.Add(std::min<uint64_t>(run, log_high - replay_pos));
+      }
+      const int64_t begin = NowNanos();
+      task.bolt->ExecuteBatch(std::move(batch), collector);
+      m.executed.Add(run);
+      m.execute_nanos.Add(static_cast<uint64_t>(NowNanos() - begin));
+      simulated_busy_ns += batch_extra_ns;
+      executed_total += run;
+      replay_pos += run;
+      if (replay_pos > log_high) log_high = replay_pos;
+    }
+    return true;
+  };
+
+  LinkGuard guard(this, &task);
   int remaining = comp.upstream_tasks;
   std::vector<Envelope> inbox;
   inbox.reserve(batch_size);
-  TupleBatch batch;
+  std::vector<Envelope> canon;
   while (remaining > 0) {
     inbox.clear();
-    task.queue->PopBatch(&inbox, batch_size);
+    if (task.queue->PopBatch(&inbox, batch_size) == 0) break;  // closed
+    std::vector<Envelope>* in = &inbox;
+    if (fault_active) {
+      guard.Canonicalize(inbox, &canon);
+      in = &canon;
+    }
     size_t idx = 0;
-    while (idx < inbox.size()) {
+    while (idx < in->size()) {
+      if ((*in)[idx].eos) {
+        --remaining;
+        ++idx;
+        continue;
+      }
       // Gather the run of data envelopes up to the next EOS marker,
       // preserving queue order (EOS never overtakes a link's data because
       // the queue is FIFO).
-      batch.clear();
-      int64_t batch_extra_ns = 0;
-      while (idx < inbox.size() && !inbox[idx].eos) {
-        batch_extra_ns += inbox[idx].extra_busy_ns;
-        batch.push_back(std::move(inbox[idx].tuple));
-        ++idx;
-      }
-      if (!batch.empty()) {
-        const size_t executed = batch.size();
+      const size_t run_begin = idx;
+      while (idx < in->size() && !(*in)[idx].eos) ++idx;
+      if (supervised) {
+        for (size_t k = run_begin; k < idx; ++k) log.push_back(std::move((*in)[k]));
+        if (!drain_log()) {
+          gave_up = true;
+          break;
+        }
+      } else {
+        // Unsupervised fast path: no log, tuples move straight into the
+        // batch (byte-for-byte the pre-supervision executor).
+        batch.clear();
+        int64_t batch_extra_ns = 0;
+        for (size_t k = run_begin; k < idx; ++k) {
+          batch_extra_ns += (*in)[k].extra_busy_ns;
+          batch.push_back(std::move((*in)[k].tuple));
+        }
+        const size_t executed = idx - run_begin;
         const int64_t begin = NowNanos();
         task.bolt->ExecuteBatch(std::move(batch), collector);
-        task.metrics->executed.Add(executed);
+        m.executed.Add(executed);
         // One sample per batch (per-tuple timing would dominate small
         // Execute bodies at large batch sizes).
-        task.metrics->execute_nanos.Add(static_cast<uint64_t>(NowNanos() - begin));
+        m.execute_nanos.Add(static_cast<uint64_t>(NowNanos() - begin));
         simulated_busy_ns += batch_extra_ns;
       }
-      while (idx < inbox.size() && inbox[idx].eos) {
-        --remaining;
-        ++idx;
-      }
     }
+    if (gave_up) break;
   }
-  task.bolt->Finish(collector);
-  collector.FlushAll();
-  SendEos(task);
-  task.metrics->busy_nanos.Add(
+
+  if (gave_up) {
+    MarkFailed("bolt task " + comp.name + "[" + std::to_string(task.local_index) +
+               "] exceeded max_restarts=" + std::to_string(supervision.max_restarts));
+    // Unblock producers stuck on this task's full queue; new pushes are
+    // rejected, so upstream drains to its own EOS without us.
+    task.queue->Close();
+    collector.FlushAll();
+    collector.SendEosAll();  // downstream still needs to terminate
+  } else {
+    task.bolt->Finish(collector);
+    collector.FlushAll();
+    collector.SendEosAll();
+  }
+  m.busy_nanos.Add(
       static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
   NoteTaskExit();
 }
@@ -318,6 +764,7 @@ void TopologyImpl::RunBoltTask(Task& task) {
 }  // namespace internal_topology
 
 using internal_topology::ComponentSpec;
+using internal_topology::ResolvedLinkFault;
 using internal_topology::Subscription;
 using internal_topology::Task;
 using internal_topology::TopologyImpl;
@@ -434,6 +881,24 @@ TopologyBuilder& TopologyBuilder::SetRemoteByteCostNanos(double nanos_per_byte) 
   return *this;
 }
 
+TopologyBuilder& TopologyBuilder::SetSupervision(SupervisorOptions options) {
+  CHECK_GE(options.max_restarts, 0);
+  CHECK_GE(options.initial_backoff_micros, 0);
+  CHECK_GE(options.max_backoff_micros, options.initial_backoff_micros);
+  impl_->supervision = options;
+  impl_->supervised = true;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetFaultScript(FaultScript script) {
+  impl_->fault_script = std::move(script);
+  if (!impl_->fault_script.empty()) {
+    impl_->fault_active = true;
+    impl_->supervised = true;  // kills need a supervisor; defaults apply
+  }
+  return *this;
+}
+
 std::unique_ptr<Topology> TopologyBuilder::Build() {
   CHECK(impl_ != nullptr) << "builder already consumed";
   TopologyImpl& t = *impl_;
@@ -503,6 +968,49 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
     }
   }
 
+  // Resolve the fault script against the materialized tasks. Script errors
+  // are configuration errors, so they abort like every other Build() check.
+  t.kill_plan.assign(t.tasks.size(), {});
+  t.link_plan.assign(t.tasks.size(), {});
+  const auto resolve_task = [&t](const std::string& component, int index,
+                                 const char* what) -> int {
+    const auto it = t.comp_index.find(component);
+    CHECK(it != t.comp_index.end())
+        << "fault script " << what << " references unknown component '" << component << "'";
+    const ComponentSpec& comp = *t.comps[it->second];
+    CHECK(index >= 0 && index < comp.parallelism)
+        << "fault script " << what << " task index " << index << " out of range for "
+        << component << " (parallelism " << comp.parallelism << ")";
+    return comp.first_task + index;
+  };
+  for (const KillFault& kill : t.fault_script.kills()) {
+    t.kill_plan[resolve_task(kill.component, kill.task_index, "kill")].push_back(
+        kill.at_count);
+  }
+  for (std::vector<uint64_t>& kills : t.kill_plan) std::sort(kills.begin(), kills.end());
+  for (const LinkFault& fault : t.fault_script.link_faults()) {
+    const int src = resolve_task(fault.src_component, fault.src_index, "link fault source");
+    const int dst =
+        resolve_task(fault.dst_component, fault.dst_index, "link fault destination");
+    const ComponentSpec& src_comp = *t.comps[t.tasks[src].comp];
+    bool edge = false;
+    for (const Subscription& sub : src_comp.subs_out) {
+      if (t.comps[sub.consumer_comp].get() == t.comps[t.tasks[dst].comp].get()) edge = true;
+    }
+    CHECK(edge) << "fault script link " << fault.src_component << "->" << fault.dst_component
+                << " is not an edge of the topology";
+    t.link_plan[src][dst].push_back(
+        ResolvedLinkFault{fault.kind, fault.at_seq, fault.delay_micros});
+  }
+  for (auto& per_dst : t.link_plan) {
+    for (auto& [dst, faults] : per_dst) {
+      std::sort(faults.begin(), faults.end(),
+                [](const ResolvedLinkFault& a, const ResolvedLinkFault& b) {
+                  return a.seq < b.seq;
+                });
+    }
+  }
+
   return std::unique_ptr<Topology>(new Topology(std::move(impl_)));
 }
 
@@ -565,5 +1073,12 @@ std::vector<TaskStats> Topology::TasksOf(const std::string& component) const {
 }
 
 int Topology::num_workers() const { return impl_->num_workers; }
+
+bool Topology::ok() const { return !impl_->failed.load(std::memory_order_acquire); }
+
+std::string Topology::failure_message() const {
+  std::lock_guard<std::mutex> lock(impl_->fail_mu);
+  return impl_->failure_message;
+}
 
 }  // namespace dssj::stream

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "stream/component.h"
+#include "stream/fault.h"
 #include "stream/metrics.h"
 #include "stream/value.h"
 
@@ -104,6 +105,13 @@ class Topology {
   /// Number of simulated workers tasks were placed on.
   int num_workers() const;
 
+  /// False once any supervised task exhausted its restart budget (the run's
+  /// results are then incomplete). Valid during and after the run; always
+  /// true for unsupervised topologies.
+  bool ok() const;
+  /// Human-readable reason for ok() == false ("" while ok).
+  std::string failure_message() const;
+
  private:
   friend class TopologyBuilder;
   explicit Topology(std::unique_ptr<internal_topology::TopologyImpl> impl);
@@ -150,6 +158,21 @@ class TopologyBuilder {
   /// cluster-model throughput reflect message volume. Accounting only — no
   /// time is actually burned.
   TopologyBuilder& SetRemoteByteCostNanos(double nanos_per_byte);
+
+  /// Turns executors into supervisors: a (simulated) task crash destroys
+  /// only the spout/bolt object, and the executor re-creates it — restoring
+  /// the last checkpoint and replaying the gap — under the given restart /
+  /// checkpoint / backoff policy. Per-link emission counters make recovery
+  /// exactly-once: a restarted component's re-emissions are suppressed up
+  /// to the last tuple each consumer already received.
+  TopologyBuilder& SetSupervision(SupervisorOptions options);
+
+  /// Installs a deterministic fault schedule (task kills, link
+  /// drop/duplicate/delay); implies supervision (with default
+  /// SupervisorOptions unless SetSupervision was called). Script targets
+  /// are validated at Build(): unknown components, out-of-range task
+  /// indices, or link faults on non-edges abort via CHECK.
+  TopologyBuilder& SetFaultScript(FaultScript script);
 
   /// Validates the dataflow (existing sources, a DAG, bolts have inputs),
   /// instantiates components, and returns the runnable topology. The

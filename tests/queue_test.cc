@@ -180,5 +180,115 @@ TEST(BoundedQueueTest, PushBatchFromManyProducersPreservesPerProducerFifo) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(BoundedQueueCloseTest, CloseUnblocksBlockedProducer) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.Push(2), 0u) << "Push into a closed queue must report rejection";
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load()) << "push should be blocked at capacity";
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  // The item accepted before Close stays poppable.
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 8), 1u);
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  EXPECT_EQ(q.PopBatch(&out, 8), 0u) << "closed and drained: PopBatch returns 0";
+}
+
+TEST(BoundedQueueCloseTest, CloseUnblocksBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    EXPECT_EQ(q.PopBatch(&out, 8), 0u);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load()) << "pop should be blocked on empty";
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueCloseTest, PushBatchLeavesUnacceptedRemainder) {
+  BoundedQueue<int> q(2);
+  q.Close();
+  std::vector<int> batch{1, 2, 3};
+  q.PushBatch(&batch);
+  EXPECT_EQ(batch.size(), 3u) << "nothing accepted into a closed queue";
+  BoundedQueue<int> q2(2);
+  std::vector<int> batch2{1, 2, 3, 4, 5};
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q2.Close();
+  });
+  q2.PushBatch(&batch2);  // accepts 2, blocks, then unblocks on Close
+  closer.join();
+  EXPECT_EQ(batch2.size(), 3u) << "unaccepted tail must remain in the input";
+  EXPECT_EQ(batch2.front(), 3);
+  std::vector<int> out;
+  EXPECT_EQ(q2.PopBatch(&out, 8), 2u) << "accepted prefix must not be lost";
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueueCloseTest, ShutdownRaceLosesNoAcceptedItems) {
+  // The failed-task scenario: producers blocked in PushBatch and consumers
+  // blocked in PopBatch while the queue is closed mid-flight. Every item a
+  // producer reports as accepted must be popped by exactly one consumer;
+  // both sides must unblock.
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 2;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<std::pair<int, int>> q(4);
+    std::vector<int> accepted(kProducers, 0);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        std::vector<std::pair<int, int>> batch;
+        for (int i = 0; i < 50; ++i) batch.push_back({p, i});
+        const size_t before = batch.size();
+        while (!batch.empty()) {
+          const size_t prev = batch.size();
+          q.PushBatch(&batch);
+          if (batch.size() == prev) break;  // closed: nothing more accepted
+        }
+        accepted[p] = static_cast<int>(before - batch.size());
+      });
+    }
+    std::mutex mu;
+    std::vector<std::vector<int>> popped(kProducers);
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        std::vector<std::pair<int, int>> out;
+        while (true) {
+          out.clear();
+          if (q.PopBatch(&out, 8) == 0) return;  // closed and drained
+          std::lock_guard<std::mutex> lock(mu);
+          for (const auto& [p, i] : out) popped[p].push_back(i);
+        }
+      });
+    }
+    q.Close();
+    for (auto& t : producers) t.join();
+    // Consumers must still drain items accepted before the close.
+    for (auto& t : consumers) t.join();
+    for (int p = 0; p < kProducers; ++p) {
+      std::sort(popped[p].begin(), popped[p].end());
+      ASSERT_EQ(popped[p].size(), static_cast<size_t>(accepted[p]))
+          << "round " << round << ": accepted items lost or duplicated";
+      for (int i = 0; i < accepted[p]; ++i) {
+        ASSERT_EQ(popped[p][i], i) << "accepted prefix must be contiguous";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dssj::stream

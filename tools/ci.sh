@@ -1,16 +1,48 @@
 #!/usr/bin/env bash
-# Minimal CI: tier-1 verify (ROADMAP.md) + a Release-mode perf smoke test.
+# Minimal CI: tier-1 verify (ROADMAP.md) + sanitizer passes over the
+# concurrency-heavy tests + a Release-mode perf smoke test.
 #
-#   tools/ci.sh            # debug tests + release smoke bench
-#   tools/ci.sh --no-bench # tier-1 tests only
+#   tools/ci.sh                # debug tests + sanitizers + release smoke bench
+#   tools/ci.sh --no-bench     # skip the release bench
+#   tools/ci.sh --no-sanitize  # skip the TSan/ASan builds
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=1
-if [[ "${1:-}" == "--no-bench" ]]; then RUN_BENCH=0; fi
+RUN_SANITIZE=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) RUN_BENCH=0 ;;
+    --no-sanitize) RUN_SANITIZE=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1 verify =="
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+if [[ "$RUN_SANITIZE" == "1" ]]; then
+  # Each sanitizer gets its own build tree; only the `tsan_safe`-labeled
+  # tests (the queue/executor/supervision concurrency surface) are built and
+  # run — the full suite under sanitizers is too slow for this host.
+  TSAN_SAFE_TARGETS=(queue_test topology_test topology_stress_test
+                     stream_substrate_misc_test fault_recovery_test
+                     distributed_join_test)
+
+  echo "== thread sanitizer =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j --target "${TSAN_SAFE_TARGETS[@]}"
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest -L tsan_safe --output-on-failure)
+
+  echo "== address sanitizer =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build build-asan -j --target "${TSAN_SAFE_TARGETS[@]}"
+  (cd build-asan && ASAN_OPTIONS="detect_leaks=1" ctest -L tsan_safe --output-on-failure)
+fi
 
 if [[ "$RUN_BENCH" == "1" ]]; then
   echo "== release smoke bench =="
