@@ -211,6 +211,32 @@ CheckpointMeasurement MeasureCheckpointOnce(int64_t interval) {
   return {r.throughput_rps, r.checkpoints, r.checkpoint_bytes, r.result_count};
 }
 
+struct LoadMeasurement {
+  double wall_rps = 0.0;
+  uint64_t p99_us = 0;
+  uint64_t results = 0;
+  uint64_t shed_probes = 0;
+};
+
+/// One paced run (rate 0 = unthrottled) at the headline configuration with a
+/// modest queue so overload is visible, optionally shedding probes.
+LoadMeasurement MeasureOfferedLoadOnce(const std::vector<RecordPtr>& stream,
+                                       const LengthPartition& partition,
+                                       double arrival_rate,
+                                       stream::ShedPolicy policy) {
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(stream.size() / 2);
+  options.length_partition = partition;
+  options.collect_results = false;
+  options.queue_capacity = 512;
+  options.arrival_rate_per_sec = arrival_rate;
+  options.shed_policy = policy;
+  options.shed_watermark = 0.75;
+  const DistributedJoinResult r = RunDistributedJoin(stream, options);
+  return {r.throughput_rps, r.latency.p99_us, r.result_count, r.shed_probes};
+}
+
 struct LocalMeasurement {
   double rps = 0.0;
   uint64_t results = 0;
@@ -388,7 +414,59 @@ int EmitJson(const std::string& path, int runs) {
                  static_cast<unsigned long long>(checkpoints),
                  static_cast<unsigned long long>(bytes));
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+
+  // Offered-load sweep: arrival rate as a multiple of the measured
+  // unthrottled capacity, with and without probe shedding (overload model,
+  // docs/INTERNALS.md §8). p99 is end-to-end per-record latency of the
+  // probes that ran; recall is results relative to the unthrottled shed-free
+  // run — shedding loses exactly the shed probes' pairs, so the recall gap
+  // is the quantified price of the latency bound.
+  std::fprintf(f, "  \"offered_load\": {\n");
+  {
+    const size_t n = 12000;
+    const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+    const LengthPartition partition =
+        PlanLengthPartition(stream, BaseJoinOptions(800, kJoiners).sim, kJoiners,
+                            PartitionMethod::kLoadAwareGreedy);
+    const LoadMeasurement capacity =
+        MeasureOfferedLoadOnce(stream, partition, 0.0, stream::ShedPolicy::kNone);
+    std::fprintf(f,
+                 "    \"preset\": \"tweet\", \"records\": %zu, \"queue_capacity\": 512,\n"
+                 "    \"shed_watermark\": 0.75, \"capacity_rec_per_s\": %.1f,\n"
+                 "    \"sweep\": [\n",
+                 n, capacity.wall_rps);
+    const double factors[] = {0.5, 1.0, 2.0};
+    const size_t num_factors = sizeof(factors) / sizeof(factors[0]);
+    for (size_t k = 0; k < num_factors; ++k) {
+      for (int sh = 0; sh < 2; ++sh) {
+        const stream::ShedPolicy policy =
+            sh == 1 ? stream::ShedPolicy::kProbe : stream::ShedPolicy::kNone;
+        const double rate = factors[k] * capacity.wall_rps;
+        const LoadMeasurement m =
+            MeasureOfferedLoadOnce(stream, partition, rate, policy);
+        const double recall =
+            capacity.results > 0
+                ? static_cast<double>(m.results) / static_cast<double>(capacity.results)
+                : 0.0;
+        std::fprintf(f,
+                     "      {\"offered_x_capacity\": %.1f, \"shed_policy\": \"%s\",\n"
+                     "       \"offered_rec_per_s\": %.1f, \"achieved_rec_per_s\": %.1f,\n"
+                     "       \"p99_us\": %llu, \"recall\": %.4f, \"shed_probes\": %llu}%s\n",
+                     factors[k], stream::ShedPolicyName(policy), rate, m.wall_rps,
+                     static_cast<unsigned long long>(m.p99_us), recall,
+                     static_cast<unsigned long long>(m.shed_probes),
+                     (k + 1 == num_factors && sh == 1) ? "" : ",");
+        std::fprintf(stderr,
+                     "[offered_load %.1fx %s] achieved %.0f rec/s, p99=%llu us, "
+                     "recall=%.4f, shed=%llu\n",
+                     factors[k], stream::ShedPolicyName(policy), m.wall_rps,
+                     static_cast<unsigned long long>(m.p99_us), recall,
+                     static_cast<unsigned long long>(m.shed_probes));
+      }
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
+  }
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;

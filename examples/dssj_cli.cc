@@ -6,12 +6,20 @@
 //       [--strategy=length|prefix|broadcast] [--local=record|bundle]
 //       [--window=N] [--qgram=Q] [--max-pairs=20] [--batch_size=32]
 //       [--checkpoint_interval=N] [--max_restarts=N] [--fault_script=SCRIPT]
+//       [--shed_policy=none|probe|oldest|bundle] [--shed_watermark=0.75]
+//       [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]
 //
 // Fault tolerance: --fault_script installs a deterministic fault schedule
 // (e.g. "kill:joiner:0@500; drop:dispatcher:0->joiner:1@100") and turns on
 // supervised recovery; --checkpoint_interval / --max_restarts tune it. The
 // result set is identical to the failure-free run as long as no task
 // exceeds --max_restarts.
+//
+// Overload control (docs/INTERNALS.md §8): --shed_policy drops probe sides
+// under queue pressure (stores always land; every shed is counted),
+// --max_index_bytes bounds each joiner's memory via early eviction,
+// --stall_timeout_ms arms a watchdog that fails a non-progressing run with
+// a per-task dump, --arrival_rate paces the source in records/second.
 //
 // Example:
 //   printf 'hello world\nhello there world\nbye now\n' > /tmp/docs.txt
@@ -34,7 +42,9 @@ int Usage(const char* argv0) {
                "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
                "          [--max-pairs=N] [--batch_size=N]\n"
                "          [--checkpoint_interval=N] [--max_restarts=N]\n"
-               "          [--fault_script='kill:joiner:0@500; ...']\n",
+               "          [--fault_script='kill:joiner:0@500; ...']\n"
+               "          [--shed_policy=none|probe|oldest|bundle] [--shed_watermark=F]\n"
+               "          [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]\n",
                argv0);
   return 2;
 }
@@ -65,6 +75,25 @@ int main(int argc, char** argv) {
   const std::string fault_script = flags.GetString("fault_script", "");
   if (checkpoint_interval < 0 || max_restarts < 0) {
     std::fprintf(stderr, "--checkpoint_interval and --max_restarts must be >= 0\n");
+    return Usage(argv[0]);
+  }
+  const std::string shed_policy_name = flags.GetString("shed_policy", "none");
+  const double shed_watermark = flags.GetDouble("shed_watermark", 0.75);
+  const int64_t max_index_bytes = flags.GetInt("max_index_bytes", 0);
+  const int64_t stall_timeout_ms = flags.GetInt("stall_timeout_ms", 0);
+  const double arrival_rate = flags.GetDouble("arrival_rate", 0.0);
+  dssj::stream::ShedPolicy shed_policy = dssj::stream::ShedPolicy::kNone;
+  if (!dssj::stream::ParseShedPolicy(shed_policy_name, &shed_policy)) {
+    std::fprintf(stderr, "unknown shed policy '%s'\n", shed_policy_name.c_str());
+    return Usage(argv[0]);
+  }
+  if (shed_watermark <= 0.0 || shed_watermark > 1.0) {
+    std::fprintf(stderr, "--shed_watermark must be in (0, 1]\n");
+    return Usage(argv[0]);
+  }
+  if (max_index_bytes < 0 || stall_timeout_ms < 0 || arrival_rate < 0.0) {
+    std::fprintf(stderr,
+                 "--max_index_bytes, --stall_timeout_ms and --arrival_rate must be >= 0\n");
     return Usage(argv[0]);
   }
   for (const std::string& key : flags.UnusedKeys()) {
@@ -113,6 +142,11 @@ int main(int argc, char** argv) {
     options.supervision.checkpoint_interval = static_cast<uint64_t>(checkpoint_interval);
     options.supervision.max_restarts = static_cast<int>(max_restarts);
   }
+  options.shed_policy = shed_policy;
+  options.shed_watermark = shed_watermark;
+  options.max_index_bytes = static_cast<size_t>(max_index_bytes);
+  options.stall_timeout_micros = stall_timeout_ms * 1000;
+  options.arrival_rate_per_sec = arrival_rate;
   if (window > 0) options.window = dssj::WindowSpec::ByCount(static_cast<size_t>(window));
   if (strategy == "length") {
     options.strategy = dssj::DistributionStrategy::kLengthBased;
@@ -142,6 +176,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.input_records),
               options.sim.ToString().c_str(), strategy.c_str(), local.c_str(), joiners,
               static_cast<unsigned long long>(result.result_count), result.throughput_rps);
+  if (shed_policy != dssj::stream::ShedPolicy::kNone || max_index_bytes > 0) {
+    std::printf("overload: policy=%s shed_probes=%llu (<= %llu pairs lost), "
+                "budget_evictions=%llu horizon_seq=%llu\n",
+                dssj::stream::ShedPolicyName(shed_policy),
+                static_cast<unsigned long long>(result.shed_probes),
+                static_cast<unsigned long long>(result.shed_pairs_upper_bound),
+                static_cast<unsigned long long>(result.budget_evictions),
+                static_cast<unsigned long long>(result.eviction_horizon_seq));
+  }
+  if (stall_timeout_ms > 0 && !result.ok) {
+    std::fprintf(stderr, "run failed: %s\n", result.failure_message.c_str());
+    return 1;
+  }
   if (options.supervise) {
     std::printf("recovery: %llu restarts, %llu tuples replayed, %llu checkpoints "
                 "(%llu bytes)%s\n",

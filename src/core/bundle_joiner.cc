@@ -17,6 +17,10 @@ SimilaritySpec MakeAdmissionSpec(const SimilaritySpec& join_sim, int64_t admissi
                                                  : join_sim.threshold_permille());
 }
 
+/// Approximate per-node overhead of the bundles_ hash map (key + bucket and
+/// chain pointers), charged once per live bundle.
+constexpr size_t kBundleNodeBytes = 48;
+
 }  // namespace
 
 BundleJoiner::BundleJoiner(const SimilaritySpec& sim, const WindowSpec& window,
@@ -26,7 +30,25 @@ BundleJoiner::BundleJoiner(const SimilaritySpec& sim, const WindowSpec& window,
       window_(window),
       options_(options) {}
 
-void BundleJoiner::EvictOldest() {
+size_t BundleJoiner::ApproxMemberBytes(const Member& m) const {
+  return sizeof(std::pair<uint32_t, Member>) + sizeof(OrderEntry) +
+         (m.added.size() + m.removed.size()) * sizeof(TokenId);
+}
+
+size_t BundleJoiner::ApproxBundleBytes(const Bundle& b) const {
+  return sizeof(Bundle) + kBundleNodeBytes + b.pivot.size() * sizeof(TokenId) +
+         b.indexed.size() * (sizeof(TokenId) + sizeof(uint64_t));
+}
+
+void BundleJoiner::RecomputeApproxBytes() {
+  approx_bytes_ = 0;
+  for (const auto& [id, b] : bundles_) {
+    approx_bytes_ += ApproxBundleBytes(b);
+    for (const auto& [uid, m] : b.members) approx_bytes_ += ApproxMemberBytes(m);
+  }
+}
+
+uint64_t BundleJoiner::EvictOldestEntry() {
   CHECK(!store_order_.empty());
   const OrderEntry entry = store_order_.front();
   store_order_.pop_front();
@@ -36,17 +58,34 @@ void BundleJoiner::EvictOldest() {
   const auto pos = std::find_if(members.begin(), members.end(),
                                 [&](const auto& m) { return m.first == entry.uid; });
   CHECK(pos != members.end());
+  const uint64_t seq = pos->second.seq;
+  approx_bytes_ -= ApproxMemberBytes(pos->second);
   members.erase(pos);
-  if (members.empty()) bundles_.erase(it);
+  if (members.empty()) {
+    approx_bytes_ -= ApproxBundleBytes(it->second);
+    bundles_.erase(it);
+  }
   --alive_members_;
   ++stats_.evictions;
+  return seq;
+}
+
+size_t BundleJoiner::EvictOldest(size_t n) {
+  size_t evicted = 0;
+  while (evicted < n && alive_members_ > 1) {
+    stats_.eviction_horizon_seq =
+        std::max(stats_.eviction_horizon_seq, EvictOldestEntry());
+    ++stats_.budget_evictions;
+    ++evicted;
+  }
+  return evicted;
 }
 
 void BundleJoiner::Evict(int64_t now) {
   if (window_.kind != WindowSpec::Kind::kTime) return;
   while (!store_order_.empty() &&
          window_.ExpiredByTime(store_order_.front().timestamp, now)) {
-    EvictOldest();
+    EvictOldestEntry();
   }
 }
 
@@ -174,6 +213,7 @@ void BundleJoiner::AddMemberTokensToIndex(uint64_t bundle_id, Bundle& bundle,
     auto pos = std::lower_bound(bundle.indexed.begin(), bundle.indexed.end(), w);
     if (pos != bundle.indexed.end() && *pos == w) continue;
     bundle.indexed.insert(pos, w);
+    approx_bytes_ += sizeof(TokenId) + sizeof(uint64_t);  // indexed token + posting
     std::vector<uint64_t>* list;
     if (options_.direct_index) {
       if (w >= dense_index_.size()) {
@@ -204,7 +244,7 @@ void BundleJoiner::ReconstructMemberInto(const Bundle& bundle, const Member& m,
 }
 
 void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission) {
-  while (window_.OverCount(alive_members_)) EvictOldest();
+  while (window_.OverCount(alive_members_)) EvictOldestEntry();
 
   uint64_t bundle_id;
   Bundle* bundle;
@@ -239,16 +279,25 @@ void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission
     bundle = &bundles_[bundle_id];
     bundle->pivot = r->tokens;
     bundle->min_size = bundle->max_size = member.size;
+    approx_bytes_ += ApproxBundleBytes(*bundle);  // indexed still empty here
     ++stats_.bundles_created;
   }
 
   const uint32_t uid = bundle->next_uid++;
+  approx_bytes_ += ApproxMemberBytes(member);
   if (bundle->members.capacity() == 0) bundle->members.reserve(4);
   bundle->members.emplace_back(uid, std::move(member));
   AddMemberTokensToIndex(bundle_id, *bundle, *r);
   store_order_.push_back(OrderEntry{bundle_id, uid, r->timestamp});
   ++alive_members_;
   ++stats_.stores;
+  if (options_.max_index_bytes > 0) {
+    // Enforced after insertion (a member diffs against a bundle chosen
+    // before eviction ran, so evicting first could invalidate the target);
+    // EvictOldest keeps at least one member, bounding the loop.
+    while (approx_bytes_ > options_.max_index_bytes && EvictOldest(1) > 0) {
+    }
+  }
 }
 
 void BundleJoiner::Process(const RecordPtr& r, bool store, bool probe,
@@ -381,6 +430,9 @@ void BundleJoiner::Restore(const std::string& blob) {
     store_order_.push_back(e);
   }
   ReadJoinerStats(&r, &stats_);
+  // The walk matches the incremental formula exactly, so budget decisions
+  // after a restore replay the original run's.
+  RecomputeApproxBytes();
 }
 
 size_t BundleJoiner::MemoryBytes() const {

@@ -37,6 +37,14 @@ struct BundleJoinerOptions {
   /// token space, a hash map wins for partitioned joiners whose sparse
   /// slice still spans the full token-id range.
   bool direct_index = true;
+
+  /// Memory budget for bundle + index state, in approximate bytes (0 =
+  /// unlimited). When the budget is exceeded the oldest members are evicted
+  /// ahead of the window policy — counted as budget_evictions with the
+  /// horizon in eviction_horizon_seq. The accounting is incremental and
+  /// deterministic (postings of dead bundles stay counted until the bundle
+  /// dies, mirroring lazy purging).
+  size_t max_index_bytes = 0;
 };
 
 /// Bundle-based streaming joiner. Stored records that are similar to each
@@ -55,6 +63,7 @@ class BundleJoiner : public LocalJoiner {
 
   size_t StoredCount() const override { return alive_members_; }
   size_t MemoryBytes() const override;
+  size_t EvictOldest(size_t n) override;
   const JoinerStats& stats() const override { return stats_; }
 
   /// Number of live bundles (for instrumentation; average bundle size is
@@ -110,7 +119,17 @@ class BundleJoiner : public LocalJoiner {
   };
 
   void Evict(int64_t now);
-  void EvictOldest();
+  /// Removes the single oldest member (and its bundle when it empties),
+  /// maintaining the byte accounting. Returns the member's seq.
+  uint64_t EvictOldestEntry();
+  /// Per-member / per-bundle contributions to the incremental accounting
+  /// backing max_index_bytes. Deterministic O(1) proxies for real resident
+  /// bytes (MemoryBytes walks capacities); index postings are charged as
+  /// tokens enter a bundle's `indexed` set and released when the bundle
+  /// dies, matching lazy posting purges.
+  size_t ApproxMemberBytes(const Member& m) const;
+  size_t ApproxBundleBytes(const Bundle& b) const;
+  void RecomputeApproxBytes();
   void Probe(const Record& r, const ResultCallback& cb, AdmissionCandidate* admission);
   void ProbeBundle(const Record& r, uint64_t bundle_id, Bundle& bundle,
                    const ResultCallback& cb, AdmissionCandidate* admission);
@@ -134,6 +153,7 @@ class BundleJoiner : public LocalJoiner {
   uint64_t next_bundle_id_ = 0;
   uint64_t probe_stamp_ = 0;
   size_t alive_members_ = 0;
+  size_t approx_bytes_ = 0;  ///< Σ ApproxBundleBytes + ApproxMemberBytes, live state
 
   /// Reused across individual verifications (batch_verify == false) so the
   /// E7 baseline measures merge cost, not per-member allocation.

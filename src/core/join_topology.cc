@@ -39,6 +39,13 @@ struct SharedState {
   // Written by the (single) adaptive dispatcher at Finish.
   std::atomic<uint64_t> router_replans{0};
   std::atomic<uint64_t> router_live_epochs{0};
+
+  // Shedding totals, published by joiners at Finish (like result_count, so
+  // a crashed incarnation's half-done sheds die with it).
+  std::atomic<uint64_t> shed_probes{0};
+  std::atomic<uint64_t> shed_pairs_upper_bound{0};
+  std::mutex shed_mu;
+  std::vector<std::pair<uint64_t, int>> shed_probe_seqs;  ///< (probe seq, partition)
 };
 
 /// Replays a pre-built record vector as a stream, optionally paced to an
@@ -153,14 +160,24 @@ class JoinerBolt : public stream::Bolt {
 
   void Prepare(const stream::TaskContext& ctx) override {
     partition_ = ctx.task_index;
+    metrics_ = ctx.metrics;
+    queue_health_ = ctx.queue_health;
+    shed_threshold_ = std::max<size_t>(
+        1, static_cast<size_t>(options_->shed_watermark *
+                               static_cast<double>(options_->queue_capacity)));
     joiner_ = MakeLocalJoiner(*options_, partition_);
   }
 
   void Execute(stream::Tuple tuple, stream::OutputCollector& out) override {
+    SampleHealth();
     Process(tuple, out);
   }
 
   void ExecuteBatch(stream::TupleBatch batch, stream::OutputCollector& out) override {
+    // One health read per batch: the queue cannot refill mid-batch beyond
+    // what the sample saw by more than the in-flight producers, and the
+    // sample itself takes the queue lock.
+    SampleHealth();
     for (stream::Tuple& tuple : batch) Process(tuple, out);
   }
 
@@ -172,16 +189,38 @@ class JoinerBolt : public stream::Bolt {
     shared_->latency.Merge(latency_);
     shared_->joiner_stats[partition_] = joiner_->stats();
     shared_->joiner_stored[partition_] = joiner_->StoredCount();
+    shared_->shed_probes.fetch_add(shed_probes_, std::memory_order_relaxed);
+    shared_->shed_pairs_upper_bound.fetch_add(shed_ub_, std::memory_order_relaxed);
+    if (!shed_seqs_.empty()) {
+      std::lock_guard<std::mutex> lock(shared_->shed_mu);
+      for (const uint64_t seq : shed_seqs_) {
+        shared_->shed_probe_seqs.emplace_back(seq, partition_);
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->shed_probes.Add(shed_probes_);
+      metrics_->shed_pairs_upper_bound.Add(shed_ub_);
+    }
   }
 
-  /// Checkpoint = emission-rule result count + the joiner's own snapshot.
-  /// The latency histogram is deliberately not checkpointed: replayed
-  /// probes re-measure, so under injected faults the latency distribution
-  /// is approximate (result sets stay exact).
+  /// Checkpoint = emission-rule result count + shed accounting + the
+  /// joiner's own snapshot. Shed state rides in the checkpoint so a
+  /// recovered task's counters stay exactly consistent with its emitted
+  /// results (sheds during replay may differ from the crashed run's — queue
+  /// pressure is not replayed — but count and seq list always move
+  /// together). The latency histogram is deliberately not checkpointed:
+  /// replayed probes re-measure, so under injected faults the latency
+  /// distribution is approximate (result sets stay exact).
   bool SupportsSnapshot() const override { return joiner_->SupportsSnapshot(); }
   void Snapshot(std::string* out) const override {
     BinaryWriter w(out);
     w.WriteU64(result_count_);
+    w.WriteU64(shed_probes_);
+    w.WriteU64(shed_ub_);
+    w.WriteU64(shed_pending_);
+    w.WriteU32(shed_active_ ? 1 : 0);
+    w.WriteU64(shed_seqs_.size());
+    for (const uint64_t seq : shed_seqs_) w.WriteU64(seq);
     std::string joiner_blob;
     joiner_->Snapshot(&joiner_blob);
     w.WriteBytes(joiner_blob);
@@ -189,18 +228,73 @@ class JoinerBolt : public stream::Bolt {
   void Restore(const std::string& blob) override {
     BinaryReader r(blob);
     result_count_ = r.ReadU64();
+    shed_probes_ = r.ReadU64();
+    shed_ub_ = r.ReadU64();
+    shed_pending_ = r.ReadU64();
+    shed_active_ = r.ReadU32() != 0;
+    shed_seqs_.clear();
+    const uint64_t n = r.ReadU64();
+    shed_seqs_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) shed_seqs_.push_back(r.ReadU64());
     std::string joiner_blob;
     r.ReadBytes(&joiner_blob);
     joiner_->Restore(joiner_blob);
   }
 
  private:
+  /// Reads the inbound queue's health and updates the shed state machine.
+  /// kProbe/kBundle are level-triggered (shed while over the watermark);
+  /// kOldest latches the backlog size on the upward crossing and sheds
+  /// exactly that many probes. kBundle additionally shrinks the stored
+  /// window by 1/8 on each crossing, trading recall for service rate.
+  void SampleHealth() {
+    if (options_->shed_policy == stream::ShedPolicy::kNone || !queue_health_) return;
+    const stream::QueueHealth h = queue_health_();
+    const bool over = h.force_shed || h.depth >= shed_threshold_;
+    const bool was_over = shed_active_;
+    shed_active_ = over;
+    if (over && !was_over) {
+      if (options_->shed_policy == stream::ShedPolicy::kOldest) {
+        shed_pending_ += h.depth;
+      } else if (options_->shed_policy == stream::ShedPolicy::kBundle) {
+        joiner_->EvictOldest(std::max<size_t>(1, joiner_->StoredCount() / 8));
+      }
+    }
+  }
+
+  bool ShouldShedProbe() {
+    switch (options_->shed_policy) {
+      case stream::ShedPolicy::kNone:
+        return false;
+      case stream::ShedPolicy::kProbe:
+      case stream::ShedPolicy::kBundle:
+        return shed_active_;
+      case stream::ShedPolicy::kOldest:
+        if (shed_pending_ > 0) {
+          --shed_pending_;
+          return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
   void Process(stream::Tuple& tuple, stream::OutputCollector& out) {
     const auto record = tuple.Ptr<Record>(0);
     const int64_t flags = tuple.Int(1);
     const int64_t emit_us = tuple.Int(2);
     const bool store = (flags & kFlagStore) != 0;
-    const bool probe = (flags & kFlagProbe) != 0;
+    bool probe = (flags & kFlagProbe) != 0;
+    if (probe && ShouldShedProbe()) {
+      // Shed the probe side only: the store below still lands, so window
+      // and index state match an unshed run and the loss is exactly this
+      // record's pairs. No latency sample — the record was not served.
+      probe = false;
+      ++shed_probes_;
+      shed_ub_ += joiner_->StoredCount();
+      if (options_->collect_results) shed_seqs_.push_back(record->seq);
+    }
+    if (!store && !probe) return;
     joiner_->Process(record, store, probe, [&](const ResultPair& pair) {
       // Exactly-once rule: only the probe that arrives after its partner
       // reports the pair (see DESIGN.md §4).
@@ -220,9 +314,19 @@ class JoinerBolt : public stream::Bolt {
   const DistributedJoinOptions* options_;
   std::shared_ptr<SharedState> shared_;
   int partition_ = 0;
+  stream::TaskMetrics* metrics_ = nullptr;
+  std::function<stream::QueueHealth()> queue_health_;
   std::unique_ptr<LocalJoiner> joiner_;
   uint64_t result_count_ = 0;
   Histogram latency_;
+
+  // Shed state machine (see SampleHealth / ShouldShedProbe).
+  size_t shed_threshold_ = 0;
+  bool shed_active_ = false;
+  uint64_t shed_pending_ = 0;
+  uint64_t shed_probes_ = 0;
+  uint64_t shed_ub_ = 0;
+  std::vector<uint64_t> shed_seqs_;
 };
 
 /// Accumulates collected result pairs (parallelism 1).
@@ -385,6 +489,7 @@ std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& optio
       RecordJoinerOptions ro;
       ro.positional_filter = options.positional_filter;
       ro.direct_index = direct_index;
+      ro.max_index_bytes = options.max_index_bytes;
       if (prefix_strategy) {
         ro.token_filter =
             PrefixRouter(options.sim, options.num_joiners).TokenFilterFor(partition);
@@ -397,6 +502,7 @@ std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& optio
           << "bundle joiner is not defined for the prefix distribution strategy";
       BundleJoinerOptions bo = options.bundle;
       bo.direct_index = direct_index;
+      bo.max_index_bytes = options.max_index_bytes;
       return std::make_unique<BundleJoiner>(options.sim, options.window, bo);
     }
     case LocalAlgorithm::kBruteForce:
@@ -430,6 +536,12 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
     CHECK(script.ok()) << "bad --fault_script: " << script.status().message();
     builder.SetFaultScript(std::move(script).value());
   }
+  stream::OverloadOptions overload;
+  overload.shed_policy = options.shed_policy;
+  overload.shed_watermark = options.shed_watermark;
+  overload.stall_timeout_micros = options.stall_timeout_micros;
+  overload.fail_fast = options.watchdog_fail_fast;
+  if (overload.enabled()) builder.SetOverload(overload);
   builder.SetSpout(
       kSourceName,
       [input_copy, &options] {
@@ -506,6 +618,15 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   result.checkpoint_bytes = all.checkpoint_bytes;
   result.link_drops_recovered = all.link_drops_recovered;
   result.link_dups_discarded = all.link_dups_discarded;
+  result.shed_probes = shared->shed_probes.load(std::memory_order_relaxed);
+  result.shed_pairs_upper_bound =
+      shared->shed_pairs_upper_bound.load(std::memory_order_relaxed);
+  result.shed_probe_seqs = std::move(shared->shed_probe_seqs);
+  for (const JoinerStats& s : result.joiner_stats) {
+    result.budget_evictions += s.budget_evictions;
+    result.eviction_horizon_seq =
+        std::max(result.eviction_horizon_seq, s.eviction_horizon_seq);
+  }
   return result;
 }
 

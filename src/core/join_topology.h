@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/adaptive_router.h"
@@ -14,6 +15,7 @@
 #include "core/similarity.h"
 #include "core/window.h"
 #include "stream/fault.h"
+#include "stream/overload.h"
 #include "text/record.h"
 
 namespace dssj {
@@ -115,6 +117,26 @@ struct DistributedJoinOptions {
   /// A non-empty script implies `supervise`. Parse or resolution errors
   /// abort (they are test-configuration errors).
   std::string fault_script;
+
+  /// Overload control (docs/INTERNALS.md §8). With a policy other than
+  /// kNone, a joiner whose inbound queue crosses `shed_watermark` (fraction
+  /// of queue_capacity) sheds the *probe* side of incoming tuples — stores
+  /// always land, so index/window state is identical to an unshed run and
+  /// the recall loss is exactly the shed probes' pairs (counted in
+  /// shed_probes / shed_probe_seqs).
+  stream::ShedPolicy shed_policy = stream::ShedPolicy::kNone;
+  double shed_watermark = 0.75;
+
+  /// Stall watchdog: when > 0, a monitor thread fails the run (or forces
+  /// shedding, per watchdog_fail_fast) if the topology stops progressing or
+  /// a queued tuple sits undelivered for this long.
+  int64_t stall_timeout_micros = 0;
+  bool watchdog_fail_fast = true;
+
+  /// Per-joiner memory budget in approximate bytes (0 = unlimited),
+  /// forwarded to RecordJoinerOptions / BundleJoinerOptions
+  /// max_index_bytes. Ignored by the brute-force joiner.
+  size_t max_index_bytes = 0;
 };
 
 /// Latency percentiles of per-record end-to-end processing (source emit →
@@ -177,6 +199,20 @@ struct DistributedJoinResult {
   uint64_t checkpoint_bytes = 0;
   uint64_t link_drops_recovered = 0;
   uint64_t link_dups_discarded = 0;
+
+  /// Overload control (0/empty unless options enable a shed policy).
+  /// `shed_probes` counts probe sides dropped under pressure; every shed
+  /// record still stored, so `pairs` misses exactly the oracle pairs whose
+  /// probe seq appears in `shed_probe_seqs` (filled iff collect_results;
+  /// each entry is (probe seq, joiner partition)). `shed_pairs_upper_bound`
+  /// sums StoredCount at each shed — a cheap overestimate of lost pairs.
+  uint64_t shed_probes = 0;
+  uint64_t shed_pairs_upper_bound = 0;
+  std::vector<std::pair<uint64_t, int>> shed_probe_seqs;
+
+  /// Memory-budget evictions across joiners (see JoinerStats).
+  uint64_t budget_evictions = 0;
+  uint64_t eviction_horizon_seq = 0;
 };
 
 /// Runs the distributed streaming join over `input` (replayed in order as a

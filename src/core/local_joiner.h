@@ -33,6 +33,13 @@ struct JoinerStats {
   uint64_t stores = 0;
   uint64_t evictions = 0;
   uint64_t results = 0;
+  /// Records evicted *ahead of* the window policy — memory budget
+  /// (max_index_bytes) or shed-policy pressure (LocalJoiner::EvictOldest).
+  /// Also counted in `evictions`.
+  uint64_t budget_evictions = 0;
+  /// Highest sequence number evicted ahead of the window: probes can miss
+  /// stored partners with seq <= this horizon (and only those).
+  uint64_t eviction_horizon_seq = 0;
 
   // Filtering.
   uint64_t postings_scanned = 0;
@@ -77,6 +84,14 @@ class LocalJoiner {
   /// Records currently stored in the window.
   virtual size_t StoredCount() const = 0;
 
+  /// Evicts up to `n` of the oldest stored records ahead of the window
+  /// policy (memory budgets, overload shedding), always keeping at least
+  /// one. Returns the number evicted; counted in stats as budget_evictions
+  /// and reflected in eviction_horizon_seq. The default does nothing — not
+  /// every joiner has an eviction order (e.g. the brute-force oracle keeps
+  /// exact window semantics).
+  virtual size_t EvictOldest(size_t /*n*/) { return 0; }
+
   /// Approximate resident bytes of window + index state.
   virtual size_t MemoryBytes() const = 0;
 
@@ -120,6 +135,8 @@ inline void WriteJoinerStats(const JoinerStats& s, BinaryWriter* w) {
   w->WriteU64(s.stores);
   w->WriteU64(s.evictions);
   w->WriteU64(s.results);
+  w->WriteU64(s.budget_evictions);
+  w->WriteU64(s.eviction_horizon_seq);
   w->WriteU64(s.postings_scanned);
   w->WriteU64(s.dead_postings_purged);
   w->WriteU64(s.candidates);
@@ -143,6 +160,8 @@ inline void ReadJoinerStats(BinaryReader* r, JoinerStats* s) {
   s->stores = r->ReadU64();
   s->evictions = r->ReadU64();
   s->results = r->ReadU64();
+  s->budget_evictions = r->ReadU64();
+  s->eviction_horizon_seq = r->ReadU64();
   s->postings_scanned = r->ReadU64();
   s->dead_postings_purged = r->ReadU64();
   s->candidates = r->ReadU64();

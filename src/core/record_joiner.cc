@@ -20,13 +20,34 @@ RecordJoiner::RecordJoiner(const SimilaritySpec& sim, const WindowSpec& window,
   if (options_.token_filter != nullptr) options_.positional_filter = false;
 }
 
+size_t RecordJoiner::ApproxStoredBytes(const Record& r) const {
+  return sizeof(Record) + sizeof(RecordPtr) + r.tokens.size() * sizeof(TokenId) +
+         sim_.PrefixLength(r.size()) * sizeof(Posting);
+}
+
+void RecordJoiner::PopOldestStored() {
+  approx_bytes_ -= ApproxStoredBytes(*store_.front());
+  store_.pop_front();
+  ++base_;
+  ++stats_.evictions;
+}
+
 void RecordJoiner::Evict(int64_t now) {
   if (window_.kind != WindowSpec::Kind::kTime) return;
   while (!store_.empty() && window_.ExpiredByTime(store_.front()->timestamp, now)) {
-    store_.pop_front();
-    ++base_;
-    ++stats_.evictions;
+    PopOldestStored();
   }
+}
+
+size_t RecordJoiner::EvictOldest(size_t n) {
+  size_t evicted = 0;
+  while (evicted < n && store_.size() > 1) {
+    stats_.eviction_horizon_seq = std::max(stats_.eviction_horizon_seq, store_.front()->seq);
+    PopOldestStored();
+    ++stats_.budget_evictions;
+    ++evicted;
+  }
+  return evicted;
 }
 
 namespace {
@@ -164,13 +185,15 @@ void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
 }
 
 void RecordJoiner::Store(const RecordPtr& r) {
-  while (window_.OverCount(store_.size())) {
-    store_.pop_front();
-    ++base_;
-    ++stats_.evictions;
+  while (window_.OverCount(store_.size())) PopOldestStored();
+  if (options_.max_index_bytes > 0) {
+    const size_t incoming = ApproxStoredBytes(*r);
+    while (approx_bytes_ + incoming > options_.max_index_bytes && EvictOldest(1) > 0) {
+    }
   }
   const uint64_t local_id = base_ + store_.size();
   store_.push_back(r);
+  approx_bytes_ += ApproxStoredBytes(*r);
   const size_t prefix_len = sim_.PrefixLength(r->size());
   for (size_t i = 0; i < prefix_len; ++i) {
     const TokenId w = r->tokens[i];
@@ -229,6 +252,7 @@ void RecordJoiner::Snapshot(std::string* out) const {
 void RecordJoiner::Restore(const std::string& blob) {
   store_.clear();
   base_ = 0;
+  approx_bytes_ = 0;
   dense_index_.clear();
   sparse_index_.clear();
   cand_overlap_.clear();

@@ -44,6 +44,13 @@ struct RecordJoinerOptions {
   /// joiners then pay k full-range tables for 1/k of the postings each.
   /// The distributed topology turns this off for partitioned joiners.
   bool direct_index = true;
+
+  /// Memory budget for window + index state, in approximate bytes (see
+  /// RecordJoiner's incremental accounting; 0 = unlimited). When storing a
+  /// record would exceed the budget, the oldest stored records are evicted
+  /// *ahead of* the window policy until it fits — counted as
+  /// budget_evictions with the horizon in eviction_horizon_seq.
+  size_t max_index_bytes = 0;
 };
 
 /// Streaming PPJoin-style joiner: an inverted index over the prefix tokens
@@ -63,6 +70,7 @@ class RecordJoiner : public LocalJoiner {
 
   size_t StoredCount() const override { return store_.size(); }
   size_t MemoryBytes() const override;
+  size_t EvictOldest(size_t n) override;
   const JoinerStats& stats() const override { return stats_; }
 
   /// Eagerly removes every dead posting (normally removal is amortized into
@@ -100,6 +108,14 @@ class RecordJoiner : public LocalJoiner {
   void Evict(int64_t now);
   void Probe(const Record& r, const ResultCallback& cb);
   void Store(const RecordPtr& r);
+  /// Per-record contribution to the incremental byte accounting backing
+  /// max_index_bytes: record + tokens + its indexed prefix postings. An
+  /// O(1) proxy for MemoryBytes() (which walks everything and includes
+  /// container slack); deliberately deterministic so budget evictions
+  /// reproduce exactly across Snapshot/Restore.
+  size_t ApproxStoredBytes(const Record& r) const;
+  /// Removes the oldest stored record, maintaining the byte accounting.
+  void PopOldestStored();
 
   SimilaritySpec sim_;
   WindowSpec window_;
@@ -108,6 +124,7 @@ class RecordJoiner : public LocalJoiner {
   // Window of stored records, FIFO. Slot of store_[i] is base_ + i.
   std::deque<RecordPtr> store_;
   uint64_t base_ = 0;
+  size_t approx_bytes_ = 0;  ///< Σ ApproxStoredBytes over the window
 
   // Inverted index over prefix tokens; exactly one of the two layouts is
   // populated, per options_.direct_index (see that flag for the tradeoff).

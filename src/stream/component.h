@@ -1,9 +1,11 @@
 #ifndef DSSJ_STREAM_COMPONENT_H_
 #define DSSJ_STREAM_COMPONENT_H_
 
+#include <functional>
 #include <string>
 
 #include "stream/metrics.h"
+#include "stream/overload.h"
 #include "stream/value.h"
 
 namespace dssj::stream {
@@ -16,6 +18,11 @@ struct TaskContext {
   int parallelism = 1;     ///< number of tasks of this component
   int worker = 0;          ///< simulated worker id hosting this task
   TaskMetrics* metrics = nullptr;  ///< this task's metric sinks
+  /// Health snapshot of this task's inbound queue, with force_shed set when
+  /// the watchdog demanded shedding. Only wired for bolts under overload
+  /// control (TopologyBuilder::SetOverload); null otherwise. Call from the
+  /// owning executor thread.
+  std::function<QueueHealth()> queue_health;
 };
 
 /// Interface for emitting tuples downstream. Implemented by the topology

@@ -24,6 +24,12 @@ ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
     agg.checkpoint_nanos += t.metrics->checkpoint_nanos.Get();
     agg.link_drops_recovered += t.metrics->link_drops_recovered.Get();
     agg.link_dups_discarded += t.metrics->link_dups_discarded.Get();
+    agg.shed_probes += t.metrics->shed_probes.Get();
+    agg.shed_pairs_upper_bound += t.metrics->shed_pairs_upper_bound.Get();
+    agg.queue_time_at_capacity_micros_max = std::max(
+        agg.queue_time_at_capacity_micros_max, t.metrics->queue_time_at_capacity_micros.Get());
+    agg.queue_oldest_age_micros_max =
+        std::max(agg.queue_oldest_age_micros_max, t.metrics->queue_oldest_age_micros.Get());
   }
   return agg;
 }

@@ -47,6 +47,20 @@ struct TaskMetrics {
   /// scripted drop, and duplicate deliveries discarded by sequence check.
   Counter link_drops_recovered;
   Counter link_dups_discarded;
+
+  // Overload control (all zero unless TopologyBuilder::SetOverload).
+  /// Probe sides shed by admission control; stores are always processed,
+  /// so each shed loses at most the pairs the probe would have found.
+  Counter shed_probes;
+  /// Σ stored-window size at each shed — an upper bound on pairs lost.
+  Counter shed_pairs_upper_bound;
+  /// Queue-health snapshots (see QueueHealth), refreshed by the executor
+  /// once per batch and by the watchdog tick. EWMA is scaled ×1000 to fit
+  /// an integer gauge.
+  Gauge queue_depth;
+  Gauge queue_depth_ewma_x1000;
+  Gauge queue_time_at_capacity_micros;
+  Gauge queue_oldest_age_micros;
 };
 
 /// Identity + metrics of one task, exposed by Topology after (or during) a
@@ -78,6 +92,12 @@ struct ComponentAggregate {
   uint64_t checkpoint_nanos = 0;
   uint64_t link_drops_recovered = 0;
   uint64_t link_dups_discarded = 0;
+
+  // Overload control (zero when no shed policy / watchdog is active).
+  uint64_t shed_probes = 0;
+  uint64_t shed_pairs_upper_bound = 0;
+  int64_t queue_time_at_capacity_micros_max = 0;
+  int64_t queue_oldest_age_micros_max = 0;
 };
 
 /// Sums `tasks` (typically Topology::TasksOf(component)).

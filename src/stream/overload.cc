@@ -1,0 +1,34 @@
+#include "stream/overload.h"
+
+namespace dssj::stream {
+
+const char* ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kNone:
+      return "none";
+    case ShedPolicy::kProbe:
+      return "probe";
+    case ShedPolicy::kOldest:
+      return "oldest";
+    case ShedPolicy::kBundle:
+      return "bundle";
+  }
+  return "unknown";
+}
+
+bool ParseShedPolicy(const std::string& name, ShedPolicy* out) {
+  if (name == "none") {
+    *out = ShedPolicy::kNone;
+  } else if (name == "probe") {
+    *out = ShedPolicy::kProbe;
+  } else if (name == "oldest") {
+    *out = ShedPolicy::kOldest;
+  } else if (name == "bundle") {
+    *out = ShedPolicy::kBundle;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dssj::stream

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/stats.h"
+#include "stream/overload.h"
 
 namespace dssj::stream {
 
@@ -48,6 +50,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     if (!WaitForRoom(lock)) return 0;
     items_.push_back(std::move(item));
+    NoteEnqueued(1);
     const size_t depth = items_.size();
     const bool wake = waiting_consumers_ > 0;
     lock.unlock();
@@ -81,14 +84,22 @@ class BoundedQueue {
         if (waiting_consumers_ > 0 && !items_.empty()) not_empty_.notify_one();
         if (!WaitForRoom(lock)) break;
       }
+      const size_t before = items_.size();
       while (i < n && items_.size() < capacity_) items_.push_back(std::move((*items)[i++]));
+      NoteEnqueued(items_.size() - before);
       depth = items_.size();
     }
+    // Exit-notify is derived from actual occupancy rather than this call's
+    // accepted count: when the queue closes mid-batch a producer may exit
+    // having accepted nothing this round while items from an earlier chunk
+    // (or another producer) still sit queued, and a consumer that began
+    // waiting after Close()'s notify_all must still be woken to drain them.
     const int waiters = waiting_consumers_;
+    const bool occupied = !items_.empty();
     lock.unlock();
-    if (waiters > 0 && i > 0) {
+    if (waiters > 0 && occupied) {
       // A batch can satisfy several blocked consumers.
-      if (i > 1 && waiters > 1) {
+      if (waiters > 1) {
         not_empty_.notify_all();
       } else {
         not_empty_.notify_one();
@@ -106,6 +117,7 @@ class BoundedQueue {
     CHECK(WaitForItem(lock)) << "Pop on a closed, drained queue";
     T item = std::move(items_.front());
     items_.pop_front();
+    NoteDequeued(1);
     const bool wake = waiting_producers_ > 0;
     lock.unlock();
     if (wake) not_full_.notify_one();
@@ -121,6 +133,7 @@ class BoundedQueue {
     if (!WaitForItem(lock)) return 0;
     const size_t n = std::min(max_items, items_.size());
     MoveOut(out, n);
+    NoteDequeued(n);
     const int waiters = waiting_producers_;
     lock.unlock();
     NotifyProducers(waiters, n);
@@ -133,6 +146,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     const size_t n = items_.size();
     MoveOut(out, n);
+    NoteDequeued(n);
     const int waiters = waiting_producers_;
     lock.unlock();
     NotifyProducers(waiters, n);
@@ -145,6 +159,7 @@ class BoundedQueue {
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
+    NoteDequeued(1);
     const bool wake = waiting_producers_ > 0;
     lock.unlock();
     if (wake) not_full_.notify_one();
@@ -175,6 +190,36 @@ class BoundedQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Turns on queue-health tracking (depth EWMA, time at capacity, oldest
+  /// item age) at the cost of one clock read per queue operation. Must be
+  /// called before any concurrent use (the topology does it at Build time);
+  /// queues without it pay only a dead branch per operation.
+  void EnableHealthTracking() {
+    std::lock_guard<std::mutex> lock(mu_);
+    health_ = true;
+  }
+
+  /// Point-in-time health snapshot (all zeros unless EnableHealthTracking
+  /// was called). QueueHealth::force_shed is not set here — the topology
+  /// wrapper owns that bit.
+  QueueHealth Health() const {
+    QueueHealth h;
+    std::lock_guard<std::mutex> lock(mu_);
+    h.depth = items_.size();
+    h.capacity = capacity_;
+    h.depth_ewma = depth_ewma_;
+    h.time_at_capacity_micros = time_at_capacity_us_;
+    if (health_) {
+      const int64_t now = NowMicros();
+      if (!marks_.empty()) h.oldest_age_micros = now - marks_.front().enqueued_us;
+      if (full_since_us_ != 0) {
+        h.at_capacity_stretch_micros = now - full_since_us_;
+        h.time_at_capacity_micros += h.at_capacity_stretch_micros;
+      }
+    }
+    return h;
+  }
+
  private:
   /// Returns false when the queue closed (no room will be granted).
   bool WaitForRoom(std::unique_lock<std::mutex>& lock) {
@@ -204,6 +249,42 @@ class BoundedQueue {
     }
   }
 
+  // Health bookkeeping. All helpers run with mu_ held and are no-ops until
+  // EnableHealthTracking(). Enqueue timestamps are kept as (count, stamp)
+  // runs — one entry per push call, not per item — so the oldest-age probe
+  // stays O(1) amortized.
+  void NoteEnqueued(size_t added) {
+    if (!health_ || added == 0) return;
+    marks_.push_back(Mark{added, NowMicros()});
+    UpdateHealthClock();
+  }
+
+  void NoteDequeued(size_t removed) {
+    if (!health_ || removed == 0) return;
+    while (removed > 0) {
+      Mark& front = marks_.front();
+      if (front.count <= removed) {
+        removed -= front.count;
+        marks_.pop_front();
+      } else {
+        front.count -= removed;
+        removed = 0;
+      }
+    }
+    UpdateHealthClock();
+  }
+
+  void UpdateHealthClock() {
+    constexpr double kAlpha = 0.05;
+    depth_ewma_ += kAlpha * (static_cast<double>(items_.size()) - depth_ewma_);
+    if (items_.size() >= capacity_) {
+      if (full_since_us_ == 0) full_since_us_ = NowMicros();
+    } else if (full_since_us_ != 0) {
+      time_at_capacity_us_ += NowMicros() - full_since_us_;
+      full_since_us_ = 0;
+    }
+  }
+
   void NotifyProducers(int waiters, size_t freed) {
     if (waiters <= 0 || freed == 0) return;
     if (freed > 1 && waiters > 1) {
@@ -221,6 +302,17 @@ class BoundedQueue {
   int waiting_producers_ = 0;
   int waiting_consumers_ = 0;
   bool closed_ = false;
+
+  // Health tracking (guarded by mu_, inert until EnableHealthTracking).
+  struct Mark {
+    size_t count;  ///< queued items sharing this enqueue stamp
+    int64_t enqueued_us;
+  };
+  bool health_ = false;
+  double depth_ewma_ = 0.0;
+  int64_t full_since_us_ = 0;  ///< 0 when not at capacity
+  int64_t time_at_capacity_us_ = 0;
+  std::deque<Mark> marks_;
 };
 
 }  // namespace dssj::stream

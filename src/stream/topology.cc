@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <thread>
@@ -124,21 +125,152 @@ struct TopologyImpl {
   std::mutex fail_mu;
   std::string failure_message;
 
+  // Overload control (SetOverload): queue-health instrumentation is enabled
+  // on every bolt queue at Build(), and — when a stall timeout is set — a
+  // watchdog thread samples progress while the topology runs. The watchdog
+  // either fails the run with a per-task dump (fail_fast) or raises
+  // `force_shed`, which TaskContext::queue_health exposes to shedding
+  // bolts. `task_exited` mirrors thread liveness for the dump (one flag per
+  // task, allocated at Build because Task objects are moved into `tasks`).
+  bool overload_active = false;
+  OverloadOptions overload;
+  std::atomic<bool> force_shed{false};
+  std::unique_ptr<std::atomic<uint8_t>[]> task_exited;
+  std::thread watchdog;
+  std::mutex watchdog_mu;
+  std::condition_variable watchdog_cv;
+  bool watchdog_stop = false;
+
   void RunSpoutTask(Task& task);
   void RunBoltTask(Task& task);
-  void NoteTaskExit();
+  void NoteTaskExit(int task_id);
   void MarkFailed(const std::string& msg);
+  void RunWatchdog();
+  void StopWatchdog();
+  std::string StallDump(const char* trigger, int64_t stalled_us);
+  /// Refreshes one task's queue-health gauges from a snapshot.
+  static void PublishQueueHealth(TaskMetrics& m, const QueueHealth& h);
   void Retain(int src, int dst, uint64_t seq, Envelope env);
   bool FetchRetained(int src, int dst, uint64_t seq, Envelope* out);
   /// Sleeps the current (exponential) restart backoff and doubles it.
   void SleepBackoff(int64_t* backoff_micros) const;
 };
 
-void TopologyImpl::NoteTaskExit() {
+void TopologyImpl::NoteTaskExit(int task_id) {
+  if (task_exited != nullptr) task_exited[task_id].store(1, std::memory_order_relaxed);
   const int64_t now = NowMicros();
   int64_t cur = end_us.load(std::memory_order_relaxed);
   while (now > cur && !end_us.compare_exchange_weak(cur, now, std::memory_order_relaxed)) {
   }
+}
+
+void TopologyImpl::PublishQueueHealth(TaskMetrics& m, const QueueHealth& h) {
+  m.queue_depth.Set(static_cast<int64_t>(h.depth));
+  m.queue_depth_ewma_x1000.Set(static_cast<int64_t>(h.depth_ewma * 1000.0));
+  m.queue_time_at_capacity_micros.Set(h.time_at_capacity_micros);
+  m.queue_oldest_age_micros.Set(h.oldest_age_micros);
+}
+
+std::string TopologyImpl::StallDump(const char* trigger, int64_t stalled_us) {
+  std::string out = "stall watchdog (" + std::string(trigger) + "): no healthy progress for " +
+                    std::to_string(stalled_us / 1000) + " ms with work pending; task state:";
+  for (Task& task : tasks) {
+    const ComponentSpec& comp = *comps[task.comp];
+    out += "\n  " + comp.name + "[" + std::to_string(task.local_index) + "]" +
+           " worker=" + std::to_string(task.worker) +
+           " executed=" + std::to_string(task.metrics->executed.Get()) +
+           " emitted=" + std::to_string(task.metrics->emitted.Get());
+    if (task.queue != nullptr) {
+      const QueueHealth h = task.queue->Health();
+      out += " queue=" + std::to_string(h.depth) + "/" + std::to_string(h.capacity) +
+             " oldest_age_ms=" + std::to_string(h.oldest_age_micros / 1000) +
+             " at_capacity_ms=" + std::to_string(h.at_capacity_stretch_micros / 1000);
+    }
+    out += task_exited[task.id].load(std::memory_order_relaxed) ? " exited" : " running";
+  }
+  return out;
+}
+
+void TopologyImpl::RunWatchdog() {
+  uint64_t last_progress = ~uint64_t{0};  // first sample always "progresses"
+  int64_t last_progress_us = NowMicros();
+  std::unique_lock<std::mutex> lock(watchdog_mu);
+  while (!watchdog_stop) {
+    watchdog_cv.wait_for(lock,
+                         std::chrono::microseconds(overload.watchdog_interval_micros));
+    if (watchdog_stop) break;
+    lock.unlock();
+
+    uint64_t progress = 0;
+    bool pending = false;
+    bool all_exited = true;
+    int64_t oldest_age_us = 0;
+    for (Task& task : tasks) {
+      progress += task.metrics->executed.Get() + task.metrics->emitted.Get();
+      if (task_exited[task.id].load(std::memory_order_relaxed) == 0) all_exited = false;
+      if (task.queue != nullptr) {
+        const QueueHealth h = task.queue->Health();
+        // Publish from here too, so a wedged task still reports fresh
+        // health through the metrics.
+        PublishQueueHealth(*task.metrics, h);
+        if (h.depth > 0) pending = true;
+        oldest_age_us = std::max(oldest_age_us, h.oldest_age_micros);
+      }
+    }
+
+    const int64_t now = NowMicros();
+    bool trip = false;
+    const char* trigger = "";
+    int64_t stalled_us = 0;
+    if (progress != last_progress || all_exited || failed.load(std::memory_order_acquire)) {
+      last_progress = progress;
+      last_progress_us = now;
+    } else if (pending && now - last_progress_us >= overload.stall_timeout_micros) {
+      // (a) Nothing executed or emitted anywhere for a full timeout while
+      // tuples sit queued: the topology is wedged.
+      trip = true;
+      trigger = "no progress";
+      stalled_us = now - last_progress_us;
+    }
+    if (!trip && oldest_age_us >= overload.stall_timeout_micros && !all_exited &&
+        !failed.load(std::memory_order_acquire)) {
+      // (b) A queued tuple has waited longer than the stall timeout: the
+      // topology may still be progressing, but sustained overload has
+      // pushed queueing delay past the point the caller declared tolerable.
+      trip = true;
+      trigger = "tuple overdue";
+      stalled_us = oldest_age_us;
+    }
+    if (trip) {
+      if (overload.fail_fast) {
+        MarkFailed(StallDump(trigger, stalled_us));
+        // Unwedge everything: closed queues reject pushes (producers
+        // unblock) and report drained to consumers (bolts unwind); the
+        // spout loop checks failed and stops emitting.
+        for (Task& task : tasks) {
+          if (task.queue != nullptr) task.queue->Close();
+        }
+        lock.lock();
+        break;
+      }
+      // Degrade instead of failing: every shedding bolt sees force_shed
+      // through TaskContext::queue_health. Re-arm so recovery is observed
+      // before the next trip.
+      force_shed.store(true, std::memory_order_relaxed);
+      last_progress_us = now;
+    }
+    lock.lock();
+  }
+}
+
+void TopologyImpl::StopWatchdog() {
+  if (!watchdog.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu);
+    watchdog_stop = true;
+  }
+  watchdog_cv.notify_all();
+  watchdog.join();
 }
 
 void TopologyImpl::MarkFailed(const std::string& msg) {
@@ -491,7 +623,7 @@ class LinkGuard {
 void TopologyImpl::RunSpoutTask(Task& task) {
   const ComponentSpec& comp = *comps[task.comp];
   TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
-                  task.metrics.get()};
+                  task.metrics.get(), /*queue_health=*/nullptr};
   CollectorImpl collector(this, &task);
   TaskMetrics& m = *task.metrics;
   const int64_t cpu_start = ThreadCpuNanos();
@@ -528,6 +660,10 @@ void TopologyImpl::RunSpoutTask(Task& task) {
   bool gave_up = false;
 
   while (true) {
+    // A watchdog-failed run has closed every queue; emitting further is
+    // pointless (pushes are rejected), and a paced spout would otherwise
+    // keep sleeping through the rest of its schedule.
+    if (overload_active && failed.load(std::memory_order_acquire)) break;
     if (!kills.empty() && calls == kills.front()) {
       kills.pop_front();
       if (restarts >= supervision.max_restarts) {
@@ -571,13 +707,23 @@ void TopologyImpl::RunSpoutTask(Task& task) {
   collector.FlushAll();
   collector.SendEosAll();
   m.busy_nanos.Add(static_cast<uint64_t>(ThreadCpuNanos() - cpu_start));
-  NoteTaskExit();
+  NoteTaskExit(task.id);
 }
 
 void TopologyImpl::RunBoltTask(Task& task) {
   const ComponentSpec& comp = *comps[task.comp];
   TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
-                  task.metrics.get()};
+                  task.metrics.get(), /*queue_health=*/nullptr};
+  if (overload_active) {
+    Task* tp = &task;
+    TopologyImpl* topo = this;
+    ctx.queue_health = [topo, tp]() {
+      QueueHealth h = tp->queue->Health();
+      h.force_shed = topo->force_shed.load(std::memory_order_relaxed);
+      PublishQueueHealth(*tp->metrics, h);
+      return h;
+    };
+  }
   CollectorImpl collector(this, &task);
   TaskMetrics& m = *task.metrics;
   const int64_t cpu_start = ThreadCpuNanos();
@@ -758,7 +904,7 @@ void TopologyImpl::RunBoltTask(Task& task) {
   }
   m.busy_nanos.Add(
       static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
-  NoteTaskExit();
+  NoteTaskExit(task.id);
 }
 
 }  // namespace internal_topology
@@ -881,6 +1027,16 @@ TopologyBuilder& TopologyBuilder::SetRemoteByteCostNanos(double nanos_per_byte) 
   return *this;
 }
 
+TopologyBuilder& TopologyBuilder::SetOverload(OverloadOptions options) {
+  CHECK_GT(options.shed_watermark, 0.0);
+  CHECK_LE(options.shed_watermark, 1.0);
+  CHECK_GE(options.watchdog_interval_micros, 1);
+  CHECK_GE(options.stall_timeout_micros, 0);
+  impl_->overload = options;
+  impl_->overload_active = options.enabled();
+  return *this;
+}
+
 TopologyBuilder& TopologyBuilder::SetSupervision(SupervisorOptions options) {
   CHECK_GE(options.max_restarts, 0);
   CHECK_GE(options.initial_backoff_micros, 0);
@@ -968,6 +1124,14 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
     }
   }
 
+  if (t.overload_active) {
+    t.task_exited = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
+    for (size_t i = 0; i < t.tasks.size(); ++i) {
+      t.task_exited[i].store(0, std::memory_order_relaxed);
+      if (t.tasks[i].queue != nullptr) t.tasks[i].queue->EnableHealthTracking();
+    }
+  }
+
   // Resolve the fault script against the materialized tasks. Script errors
   // are configuration errors, so they abort like every other Build() check.
   t.kill_plan.assign(t.tasks.size(), {});
@@ -1033,12 +1197,16 @@ void Topology::Submit() {
       task.thread = std::thread([&t, &task] { t.RunBoltTask(task); });
     }
   }
+  if (t.overload_active && t.overload.stall_timeout_micros > 0) {
+    t.watchdog = std::thread([&t] { t.RunWatchdog(); });
+  }
 }
 
 void Topology::Wait() {
   for (Task& task : impl_->tasks) {
     if (task.thread.joinable()) task.thread.join();
   }
+  impl_->StopWatchdog();
 }
 
 void Topology::Run() {

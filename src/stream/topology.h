@@ -9,6 +9,7 @@
 #include "stream/component.h"
 #include "stream/fault.h"
 #include "stream/metrics.h"
+#include "stream/overload.h"
 #include "stream/value.h"
 
 namespace dssj::stream {
@@ -166,6 +167,18 @@ class TopologyBuilder {
   /// exactly-once: a restarted component's re-emissions are suppressed up
   /// to the last tuple each consumer already received.
   TopologyBuilder& SetSupervision(SupervisorOptions options);
+
+  /// Turns on overload control: bolt inbound queues track health (depth
+  /// EWMA, time at capacity, oldest-tuple age, exported through the task
+  /// metrics and TaskContext::queue_health), and — when
+  /// `options.stall_timeout_micros > 0` — a watchdog thread samples
+  /// topology progress, failing the run with a per-task state dump (or
+  /// forcing shedding, see OverloadOptions::fail_fast) when no task makes
+  /// progress with work pending or a queued tuple exceeds the stall
+  /// timeout. The shed policy itself is enforced by bolts that consult
+  /// TaskContext::queue_health (e.g. the distributed join's JoinerBolt);
+  /// the substrate never drops tuples on its own.
+  TopologyBuilder& SetOverload(OverloadOptions options);
 
   /// Installs a deterministic fault schedule (task kills, link
   /// drop/duplicate/delay); implies supervision (with default

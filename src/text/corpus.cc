@@ -24,7 +24,68 @@ bool ReadPod(std::ifstream& in, T* v) {
   return static_cast<bool>(in);
 }
 
+/// Length of the well-formed UTF-8 sequence starting at s[i] (1-4), or 0 if
+/// the bytes there are not valid UTF-8 (bad lead byte, truncated or
+/// malformed continuation, overlong encoding, surrogate, > U+10FFFF).
+size_t Utf8SequenceLength(const unsigned char* s, size_t i, size_t n) {
+  const unsigned char c = s[i];
+  if (c < 0x80) return 1;
+  size_t len;
+  if ((c & 0xE0) == 0xC0) {
+    if (c < 0xC2) return 0;  // overlong 2-byte form
+    len = 2;
+  } else if ((c & 0xF0) == 0xE0) {
+    len = 3;
+  } else if ((c & 0xF8) == 0xF0) {
+    if (c > 0xF4) return 0;  // beyond U+10FFFF
+    len = 4;
+  } else {
+    return 0;  // stray continuation byte or 0xFE/0xFF
+  }
+  if (i + len > n) return 0;  // truncated sequence
+  for (size_t k = 1; k < len; ++k) {
+    if ((s[i + k] & 0xC0) != 0x80) return 0;
+  }
+  if (len == 3) {
+    if (c == 0xE0 && s[i + 1] < 0xA0) return 0;   // overlong 3-byte form
+    if (c == 0xED && s[i + 1] >= 0xA0) return 0;  // UTF-16 surrogate
+  } else if (len == 4) {
+    if (c == 0xF0 && s[i + 1] < 0x90) return 0;   // overlong 4-byte form
+    if (c == 0xF4 && s[i + 1] >= 0x90) return 0;  // beyond U+10FFFF
+  }
+  return len;
+}
+
+/// Replaces every byte not part of a well-formed UTF-8 sequence with a
+/// space (a token separator, so the surrounding valid text still
+/// tokenizes).
+void ReplaceInvalidUtf8(std::string* line) {
+  auto* s = reinterpret_cast<unsigned char*>(line->data());
+  const size_t n = line->size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t len = Utf8SequenceLength(s, i, n);
+    if (len == 0) {
+      s[i++] = ' ';
+    } else {
+      i += len;
+    }
+  }
+}
+
 }  // namespace
+
+bool IsValidUtf8(std::string_view text) {
+  const auto* s = reinterpret_cast<const unsigned char*>(text.data());
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t len = Utf8SequenceLength(s, i, n);
+    if (len == 0) return false;
+    i += len;
+  }
+  return true;
+}
 
 Corpus BuildCorpusFromLines(const std::vector<std::string>& lines, const Tokenizer& tokenizer) {
   Corpus corpus;
@@ -48,19 +109,48 @@ Corpus BuildCorpusFromLines(const std::vector<std::string>& lines, const Tokeniz
   corpus.records.reserve(raw.size());
   for (size_t i = 0; i < raw.size(); ++i) {
     RemapTokens(remap, raw[i]);
+    if (raw[i].empty()) ++corpus.hygiene.empty_records;
     corpus.records.push_back(
         std::make_shared<const Record>(/*id=*/i, /*seq=*/i, /*timestamp=*/0, std::move(raw[i])));
   }
   return corpus;
 }
 
-StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer) {
+StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer,
+                                    const CorpusOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open corpus file: " + path);
   std::vector<std::string> lines;
   std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return BuildCorpusFromLines(lines, tokenizer);
+  CorpusHygiene hygiene;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.size() > options.max_line_bytes) {
+      if (options.strict) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) + ": line of " +
+                                       std::to_string(line.size()) +
+                                       " bytes exceeds max_line_bytes");
+      }
+      // Truncation may cut a UTF-8 sequence in half; the validation below
+      // repairs (and counts) that too.
+      line.resize(options.max_line_bytes);
+      ++hygiene.overlong_lines;
+    }
+    if (!IsValidUtf8(line)) {
+      if (options.strict) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": invalid UTF-8");
+      }
+      ReplaceInvalidUtf8(&line);
+      ++hygiene.invalid_utf8_lines;
+    }
+    lines.push_back(std::move(line));
+  }
+  Corpus corpus = BuildCorpusFromLines(lines, tokenizer);
+  corpus.hygiene.overlong_lines = hygiene.overlong_lines;
+  corpus.hygiene.invalid_utf8_lines = hygiene.invalid_utf8_lines;
+  return corpus;
 }
 
 CorpusStats ComputeCorpusStats(const std::vector<RecordPtr>& records) {

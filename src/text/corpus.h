@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -12,12 +13,35 @@
 
 namespace dssj {
 
+/// What corpus ingestion did about malformed input (see CorpusOptions).
+/// All zeros for a clean file.
+struct CorpusHygiene {
+  uint64_t overlong_lines = 0;      ///< truncated to max_line_bytes
+  uint64_t invalid_utf8_lines = 0;  ///< invalid bytes replaced by spaces
+  uint64_t empty_records = 0;       ///< lines yielding no tokens
+};
+
+/// Ingestion hardening knobs for LoadCorpusFromFile.
+struct CorpusOptions {
+  /// Longest accepted line; longer lines are truncated (lenient) or fail
+  /// the load (strict). A guard against unbounded memory on corrupt input
+  /// (e.g. a binary file with no newlines).
+  size_t max_line_bytes = 1 << 20;
+
+  /// Strict: the first malformed line (overlong or invalid UTF-8) fails the
+  /// load with a line-numbered InvalidArgument. Lenient (default): sanitize
+  /// — truncate overlong lines, replace invalid UTF-8 bytes with spaces —
+  /// and count the repairs in Corpus::hygiene.
+  bool strict = false;
+};
+
 /// A fully ingested corpus: records (token arrays frequency-ordered) plus
 /// the dictionary that produced them. Records carry seq = their position,
 /// so a corpus can be replayed as a stream directly.
 struct Corpus {
   std::vector<RecordPtr> records;
   TokenDictionary dictionary;
+  CorpusHygiene hygiene;
 };
 
 /// Summary statistics of a record collection; experiment E1 reports these.
@@ -38,8 +62,14 @@ struct CorpusStats {
 /// records and are kept (record ids align with line numbers).
 Corpus BuildCorpusFromLines(const std::vector<std::string>& lines, const Tokenizer& tokenizer);
 
-/// Reads `path` as one document per line and builds a corpus.
-StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer);
+/// Reads `path` as one document per line and builds a corpus, applying the
+/// malformed-input policy in `options` (see CorpusOptions; the default
+/// sanitizes and counts instead of failing).
+StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer,
+                                    const CorpusOptions& options = {});
+
+/// True iff `text` is well-formed UTF-8 (ASCII included).
+bool IsValidUtf8(std::string_view text);
 
 /// Computes summary statistics over `records`. `vocabulary_size` is the
 /// number of distinct token ids observed.

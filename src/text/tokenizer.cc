@@ -19,6 +19,13 @@ void WordTokenizer::Tokenize(std::string_view text, std::vector<std::string>& ou
   std::string current;
   for (unsigned char c : text) {
     if (IsTokenChar(c)) {
+      // Cap pathological runs (e.g. a megabyte of base64 with no
+      // separators): split into max-length tokens instead of building one
+      // unbounded dictionary key.
+      if (current.size() == kMaxTokenBytes) {
+        out.push_back(std::move(current));
+        current.clear();
+      }
       current.push_back(ToLowerAscii(c));
     } else if (!current.empty()) {
       out.push_back(std::move(current));

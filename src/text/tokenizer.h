@@ -28,8 +28,12 @@ class Tokenizer {
 /// Lower-cases and splits on any non-alphanumeric byte. "Data, Engineering!"
 /// -> {"data", "engineering"}. ASCII-only case folding (non-ASCII bytes are
 /// treated as separators), which matches the corpora this system targets.
+/// Alphanumeric runs longer than kMaxTokenBytes are split into max-length
+/// tokens, bounding dictionary key size on pathological input.
 class WordTokenizer : public Tokenizer {
  public:
+  static constexpr size_t kMaxTokenBytes = 4096;
+
   using Tokenizer::Tokenize;
   void Tokenize(std::string_view text, std::vector<std::string>& out) const override;
 };

@@ -103,6 +103,105 @@ TEST(AdaptiveLengthRouterTest, StopsReplanningAtEpochCapWithoutRetirement) {
   EXPECT_LE(router.replans(), 2u);
 }
 
+// --- Epoch-retirement boundary behavior --------------------------------------
+
+/// Options that accept every proposed replan (improvement bar at zero), so
+/// epoch creation is driven purely by replan_interval and max_epochs.
+AdaptiveRouterOptions ForcedReplans(uint64_t interval, int64_t span_micros,
+                                    size_t max_epochs) {
+  AdaptiveRouterOptions options;
+  options.replan_interval = interval;
+  options.policy.min_improvement = 0.0;
+  options.window_span_micros = span_micros;
+  options.max_epochs = max_epochs;
+  return options;
+}
+
+RecordPtr TimedRecord(uint64_t seq, std::initializer_list<TokenId> tokens, int64_t ts) {
+  return MakeRecord(seq, seq, tokens, ts);
+}
+
+TEST(AdaptiveLengthRouterTest, RetirementBoundaryIsExclusive) {
+  // An epoch closed exactly window_span ago still covers unexpired records
+  // (time windows evict strictly-older entries), so it must be retained; one
+  // microsecond past the span it must retire.
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  constexpr int64_t kSpan = 1000;
+  AdaptiveLengthRouter router(sim, LengthPartition({0, 8, 64}),
+                              ForcedReplans(/*interval=*/100, kSpan, /*max_epochs=*/8));
+  std::vector<RouteTarget> targets;
+  uint64_t seq = 0;
+  // 100 records at ts=0: the 100th triggers a replan closing epoch 0 at 0.
+  for (int i = 0; i < 100; ++i) {
+    router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, 0), targets);
+  }
+  ASSERT_EQ(router.replans(), 1u);
+  ASSERT_EQ(router.live_epochs(), 2u);
+  // Exactly window_span later: retained.
+  router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, kSpan), targets);
+  EXPECT_EQ(router.live_epochs(), 2u) << "epoch closed exactly window_span ago must stay";
+  // One past: retired.
+  router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, kSpan + 1), targets);
+  EXPECT_EQ(router.live_epochs(), 1u);
+}
+
+TEST(AdaptiveLengthRouterTest, ZeroRecordEpochsRetireCleanly) {
+  // Zero-length records are observed by the drift monitor and drive both
+  // retirement and replanning even though Route emits no targets for them —
+  // an epoch can therefore close having stored nothing. Retiring it must
+  // not crash or disturb the store-exactly-once invariant.
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  AdaptiveLengthRouter router(sim, LengthPartition({0, 8, 64}),
+                              ForcedReplans(/*interval=*/10, /*span=*/1000,
+                                            /*max_epochs=*/8));
+  std::vector<RouteTarget> targets;
+  uint64_t seq = 0;
+  for (int i = 0; i < 10; ++i) {
+    router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, 0), targets);
+  }
+  ASSERT_EQ(router.replans(), 1u);
+  // Ten empty records: no targets, but the interval elapses and the young
+  // epoch closes with zero stored records.
+  for (int i = 0; i < 10; ++i) {
+    router.Route(*TimedRecord(seq++, {}, 0), targets);
+    EXPECT_TRUE(targets.empty()) << "empty records must not route anywhere";
+  }
+  ASSERT_EQ(router.replans(), 2u);
+  ASSERT_EQ(router.live_epochs(), 3u);
+  // Far in the future: both closed epochs (one empty) retire.
+  router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, 5000), targets);
+  EXPECT_EQ(router.live_epochs(), 1u);
+  int stores = 0;
+  for (const RouteTarget& t : targets) stores += t.store ? 1 : 0;
+  EXPECT_EQ(stores, 1) << "store-exactly-once must survive retirement";
+}
+
+TEST(AdaptiveLengthRouterTest, BackwardTimestampsDoNotRetireOrCrash) {
+  // Replay after a fault can re-deliver records whose timestamps precede
+  // the newest epoch's close time. now - span goes far negative; nothing
+  // may retire and routing must stay well-formed.
+  const SimilaritySpec sim(SimilarityFunction::kJaccard, 800);
+  AdaptiveLengthRouter router(sim, LengthPartition({0, 8, 64}),
+                              ForcedReplans(/*interval=*/10, /*span=*/1000,
+                                            /*max_epochs=*/8));
+  std::vector<RouteTarget> targets;
+  uint64_t seq = 0;
+  for (int i = 0; i < 10; ++i) {
+    router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, 10000), targets);
+  }
+  ASSERT_EQ(router.live_epochs(), 2u);
+  for (int i = 0; i < 5; ++i) {
+    router.Route(*TimedRecord(seq++, {1, 2, 3, 4}, 500), targets);
+    EXPECT_EQ(router.live_epochs(), 2u) << "backward time must never retire";
+    int stores = 0;
+    for (const RouteTarget& t : targets) {
+      EXPECT_TRUE(t.probe);
+      stores += t.store ? 1 : 0;
+    }
+    EXPECT_EQ(stores, 1);
+  }
+}
+
 TEST(AdaptiveDistributedJoinTest, MatchesBruteForceUnderDrift) {
   // End-to-end: adaptive routing must not lose or duplicate any pair, even
   // while epochs are created and retired mid-stream.

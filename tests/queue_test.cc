@@ -290,5 +290,41 @@ TEST(BoundedQueueCloseTest, ShutdownRaceLosesNoAcceptedItems) {
   }
 }
 
+TEST(BoundedQueueCloseTest, CloseDuringChunkedPushBatchWakesLateConsumers) {
+  // Wakeup-protocol regression: a producer whose chunked PushBatch is
+  // interrupted by Close can exit with items from an earlier chunk still
+  // queued, while a consumer only starts waiting *after* Close's broadcast
+  // has come and gone. The producer's exit path must notify based on queue
+  // occupancy or that consumer sleeps forever (the test then hangs and
+  // trips the ctest timeout). Many rounds to vary the interleaving of the
+  // three threads around the chunk boundaries.
+  constexpr int kRounds = 400;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> q(2);
+    std::atomic<int> accepted{0};
+    std::thread producer([&] {
+      std::vector<int> batch{0, 1, 2, 3, 4, 5, 6};  // 3.5x capacity: must chunk
+      const size_t before = batch.size();
+      q.PushBatch(&batch);
+      accepted.store(static_cast<int>(before - batch.size()));
+    });
+    std::thread closer([&] { q.Close(); });
+    std::atomic<int> popped{0};
+    std::thread consumer([&] {
+      std::vector<int> out;
+      while (true) {
+        out.clear();
+        if (q.PopBatch(&out, 3) == 0) return;  // closed and drained
+        popped.fetch_add(static_cast<int>(out.size()));
+      }
+    });
+    producer.join();
+    closer.join();
+    consumer.join();
+    ASSERT_EQ(popped.load(), accepted.load())
+        << "round " << round << ": accepted items lost";
+  }
+}
+
 }  // namespace
 }  // namespace dssj::stream

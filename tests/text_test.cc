@@ -183,6 +183,85 @@ TEST(CorpusTest, LoadErrorsAreStatuses) {
   std::remove(path.c_str());
 }
 
+TEST(WordTokenizerTest, CapsPathologicalTokenRuns) {
+  WordTokenizer t;
+  const std::string run(2 * WordTokenizer::kMaxTokenBytes + 7, 'x');
+  const std::vector<std::string> tokens = t.Tokenize(run);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].size(), WordTokenizer::kMaxTokenBytes);
+  EXPECT_EQ(tokens[1].size(), WordTokenizer::kMaxTokenBytes);
+  EXPECT_EQ(tokens[2].size(), 7u);
+}
+
+TEST(CorpusTest, IsValidUtf8) {
+  EXPECT_TRUE(IsValidUtf8("plain ascii"));
+  EXPECT_TRUE(IsValidUtf8("caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80"));
+  EXPECT_TRUE(IsValidUtf8(""));
+  EXPECT_FALSE(IsValidUtf8("\xff"));                  // not a lead byte
+  EXPECT_FALSE(IsValidUtf8("\x80"));                  // stray continuation
+  EXPECT_FALSE(IsValidUtf8("\xc3"));                  // truncated sequence
+  EXPECT_FALSE(IsValidUtf8("\xc0\xaf"));              // overlong 2-byte
+  EXPECT_FALSE(IsValidUtf8("\xe0\x80\xaf"));          // overlong 3-byte
+  EXPECT_FALSE(IsValidUtf8("\xed\xa0\x80"));          // UTF-16 surrogate
+  EXPECT_FALSE(IsValidUtf8("\xf4\x90\x80\x80"));      // beyond U+10FFFF
+}
+
+TEST(CorpusTest, MalformedFileIsSanitizedAndCounted) {
+  const std::string path = ::testing::TempDir() + "/malformed_corpus.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("clean line\n", f);
+    std::fputs("bad \xff\xfe utf8\n", f);  // invalid bytes mid-line
+    std::fputs("\n", f);                   // empty record
+    const std::string overlong(200, 'y');
+    std::fputs((overlong + " trailing\n").c_str(), f);
+    std::fclose(f);
+  }
+  WordTokenizer tokenizer;
+  CorpusOptions options;
+  options.max_line_bytes = 100;
+  auto corpus = LoadCorpusFromFile(path, tokenizer, options);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus.value().records.size(), 4u);
+  EXPECT_EQ(corpus.value().hygiene.invalid_utf8_lines, 1u);
+  EXPECT_EQ(corpus.value().hygiene.overlong_lines, 1u);
+  EXPECT_EQ(corpus.value().hygiene.empty_records, 1u);
+  // The invalid bytes became separators: "bad" and "utf8" survive.
+  EXPECT_EQ(corpus.value().records[1]->size(), 2u);
+  // The overlong line was truncated to one 100-byte token run.
+  EXPECT_EQ(corpus.value().records[3]->size(), 1u);
+
+  // Strict mode fails fast with a line-numbered status.
+  options.strict = true;
+  auto strict = LoadCorpusFromFile(path, tokenizer, options);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(strict.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusTest, TruncationMidUtf8SequenceIsRepaired) {
+  const std::string path = ::testing::TempDir() + "/truncated_utf8.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // 9 bytes of ascii then a 2-byte sequence straddling the 10-byte cap.
+    std::fputs("aaaa bbbb\xc3\xa9 tail\n", f);
+    std::fclose(f);
+  }
+  WordTokenizer tokenizer;
+  CorpusOptions options;
+  options.max_line_bytes = 10;
+  auto corpus = LoadCorpusFromFile(path, tokenizer, options);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.value().hygiene.overlong_lines, 1u);
+  EXPECT_EQ(corpus.value().hygiene.invalid_utf8_lines, 1u);
+  ASSERT_EQ(corpus.value().records.size(), 1u);
+  EXPECT_EQ(corpus.value().records[0]->size(), 2u);  // "aaaa", "bbbb"
+  std::remove(path.c_str());
+}
+
 TEST(CorpusTest, FileRoundTripThroughLoadCorpusFromFile) {
   const std::string path = ::testing::TempDir() + "/corpus_lines.txt";
   {

@@ -4,7 +4,7 @@
 #
 #   tools/ci.sh                # debug tests + sanitizers + release smoke bench
 #   tools/ci.sh --no-bench     # skip the release bench
-#   tools/ci.sh --no-sanitize  # skip the TSan/ASan builds
+#   tools/ci.sh --no-sanitize  # skip the TSan/ASan/UBSan builds
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +20,9 @@ done
 
 echo "== tier-1 verify =="
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+echo "== overload scenarios =="
+(cd build && ctest -L overload --output-on-failure)
 
 if [[ "$RUN_SANITIZE" == "1" ]]; then
   # Each sanitizer gets its own build tree; only the `tsan_safe`-labeled
@@ -42,6 +45,17 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
   cmake --build build-asan -j --target "${TSAN_SAFE_TARGETS[@]}"
   (cd build-asan && ASAN_OPTIONS="detect_leaks=1" ctest -L tsan_safe --output-on-failure)
+
+  echo "== undefined behavior sanitizer =="
+  # UBSan is cheap enough to cover the overload/shedding surface on top of
+  # the concurrency set (shed accounting does a lot of size_t arithmetic).
+  UBSAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}" overload_test)
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+  cmake --build build-ubsan -j --target "${UBSAN_TARGETS[@]}"
+  (cd build-ubsan && UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest -L 'tsan_safe|overload' --output-on-failure)
 fi
 
 if [[ "$RUN_BENCH" == "1" ]]; then
