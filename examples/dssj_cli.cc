@@ -5,6 +5,8 @@
 //       [--threshold=800] [--joiners=4]
 //       [--strategy=length|prefix|broadcast] [--local=record|bundle]
 //       [--window=N] [--qgram=Q] [--max-pairs=20] [--batch_size=32]
+//       [--transport=inproc|loopback|tcp] [--workers=N]
+//       [--connect=host:port,...] [--listen=host:port]
 //       [--checkpoint_interval=N] [--max_restarts=N] [--fault_script=SCRIPT]
 //       [--shed_policy=none|probe|oldest|bundle] [--shed_watermark=0.75]
 //       [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]
@@ -21,9 +23,23 @@
 // --stall_timeout_ms arms a watchdog that fails a non-progressing run with
 // a per-task dump, --arrival_rate paces the source in records/second.
 //
+// Multi-process execution (docs/INTERNALS.md §9): --transport=tcp makes
+// this binary rank 0 (coordinator) of a cluster whose rank-ordered
+// endpoints are --connect=host:port,host:port,...; start one dssj_worker
+// --rank=i per remaining endpoint with the same flags. --transport=loopback
+// stays single-process but wire-encodes every cross-worker tuple
+// (serialization cost measurement). --workers splits tasks across N
+// simulated workers for inproc/loopback.
+//
 // Example:
 //   printf 'hello world\nhello there world\nbye now\n' > /tmp/docs.txt
 //   ./build/examples/dssj_cli /tmp/docs.txt --threshold=500
+//
+// Two-process example (coordinator + one worker on localhost):
+//   ./build/examples/dssj_cli /tmp/docs.txt \
+//       --transport=tcp --connect=127.0.0.1:9101,127.0.0.1:9102 &
+//   ./build/examples/dssj_worker --rank=1 \
+//       --transport=tcp --connect=127.0.0.1:9101,127.0.0.1:9102
 
 #include <cstdio>
 #include <memory>
@@ -31,21 +47,15 @@
 
 #include "common/flags.h"
 #include "core/join_topology.h"
+#include "join_flags.h"
 #include "text/corpus.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <file> [--function=jaccard|cosine|dice] [--threshold=permille]\n"
-               "          [--joiners=N] [--strategy=length|prefix|broadcast]\n"
-               "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
-               "          [--max-pairs=N] [--batch_size=N]\n"
-               "          [--checkpoint_interval=N] [--max_restarts=N]\n"
-               "          [--fault_script='kill:joiner:0@500; ...']\n"
-               "          [--shed_policy=none|probe|oldest|bundle] [--shed_watermark=F]\n"
-               "          [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]\n",
-               argv0);
+               "usage: %s <file>\n%s          [--max-pairs=N]\n",
+               argv0, dssj_examples::JoinFlagsUsage());
   return 2;
 }
 
@@ -54,138 +64,52 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   auto parsed = dssj::Flags::Parse(argc, argv);
   if (!parsed.ok() || parsed.value().positional().size() != 1) return Usage(argv[0]);
-  const dssj::Flags& flags = parsed.value();
-  const std::string path = flags.positional()[0];
 
-  const std::string function = flags.GetString("function", "jaccard");
-  const int64_t threshold = flags.GetInt("threshold", 800);
-  const int joiners = static_cast<int>(flags.GetInt("joiners", 4));
-  const std::string strategy = flags.GetString("strategy", "length");
-  const std::string local = flags.GetString("local", "record");
-  const int64_t window = flags.GetInt("window", 0);
-  const int64_t qgram = flags.GetInt("qgram", 0);
-  const int64_t max_pairs = flags.GetInt("max-pairs", 20);
-  const int64_t batch_size = flags.GetInt("batch_size", 32);
-  if (batch_size < 1) {
-    std::fprintf(stderr, "--batch_size must be >= 1\n");
-    return Usage(argv[0]);
-  }
-  const int64_t checkpoint_interval = flags.GetInt("checkpoint_interval", 0);
-  const int64_t max_restarts = flags.GetInt("max_restarts", 3);
-  const std::string fault_script = flags.GetString("fault_script", "");
-  if (checkpoint_interval < 0 || max_restarts < 0) {
-    std::fprintf(stderr, "--checkpoint_interval and --max_restarts must be >= 0\n");
-    return Usage(argv[0]);
-  }
-  const std::string shed_policy_name = flags.GetString("shed_policy", "none");
-  const double shed_watermark = flags.GetDouble("shed_watermark", 0.75);
-  const int64_t max_index_bytes = flags.GetInt("max_index_bytes", 0);
-  const int64_t stall_timeout_ms = flags.GetInt("stall_timeout_ms", 0);
-  const double arrival_rate = flags.GetDouble("arrival_rate", 0.0);
-  dssj::stream::ShedPolicy shed_policy = dssj::stream::ShedPolicy::kNone;
-  if (!dssj::stream::ParseShedPolicy(shed_policy_name, &shed_policy)) {
-    std::fprintf(stderr, "unknown shed policy '%s'\n", shed_policy_name.c_str());
-    return Usage(argv[0]);
-  }
-  if (shed_watermark <= 0.0 || shed_watermark > 1.0) {
-    std::fprintf(stderr, "--shed_watermark must be in (0, 1]\n");
-    return Usage(argv[0]);
-  }
-  if (max_index_bytes < 0 || stall_timeout_ms < 0 || arrival_rate < 0.0) {
-    std::fprintf(stderr,
-                 "--max_index_bytes, --stall_timeout_ms and --arrival_rate must be >= 0\n");
-    return Usage(argv[0]);
-  }
-  for (const std::string& key : flags.UnusedKeys()) {
-    std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
-    return Usage(argv[0]);
-  }
-
-  dssj::SimilarityFunction fn;
-  if (function == "jaccard") {
-    fn = dssj::SimilarityFunction::kJaccard;
-  } else if (function == "cosine") {
-    fn = dssj::SimilarityFunction::kCosine;
-  } else if (function == "dice") {
-    fn = dssj::SimilarityFunction::kDice;
-  } else {
-    std::fprintf(stderr, "unknown similarity function '%s'\n", function.c_str());
+  dssj_examples::JoinCliConfig cfg;
+  if (!dssj_examples::ParseJoinFlags(parsed.value(), &cfg)) return Usage(argv[0]);
+  dssj::DistributedJoinOptions& options = cfg.options;
+  if (options.rank != 0) {
+    std::fprintf(stderr, "dssj_cli is the coordinator; run dssj_worker for ranks > 0\n");
     return Usage(argv[0]);
   }
 
   std::unique_ptr<dssj::Tokenizer> tokenizer;
-  if (qgram > 0) {
-    tokenizer = std::make_unique<dssj::QGramTokenizer>(static_cast<int>(qgram));
+  if (cfg.qgram > 0) {
+    tokenizer = std::make_unique<dssj::QGramTokenizer>(static_cast<int>(cfg.qgram));
   } else {
     tokenizer = std::make_unique<dssj::WordTokenizer>();
   }
-  auto corpus = dssj::LoadCorpusFromFile(path, *tokenizer);
+  auto corpus = dssj::LoadCorpusFromFile(cfg.corpus_path, *tokenizer);
   if (!corpus.ok()) {
     std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
     return 1;
   }
 
-  dssj::DistributedJoinOptions options;
-  options.sim = dssj::SimilaritySpec(fn, threshold);
-  options.num_joiners = joiners;
-  options.collect_results = true;
-  options.batch_size = static_cast<size_t>(batch_size);
-  if (!fault_script.empty() || checkpoint_interval > 0) {
-    // Validate here so a typo'd script is a usage error, not an abort.
-    auto script = dssj::stream::FaultScript::Parse(fault_script);
-    if (!script.ok()) {
-      std::fprintf(stderr, "bad --fault_script: %s\n", script.status().message().c_str());
-      return Usage(argv[0]);
-    }
-    options.supervise = true;
-    options.fault_script = fault_script;
-    options.supervision.checkpoint_interval = static_cast<uint64_t>(checkpoint_interval);
-    options.supervision.max_restarts = static_cast<int>(max_restarts);
-  }
-  options.shed_policy = shed_policy;
-  options.shed_watermark = shed_watermark;
-  options.max_index_bytes = static_cast<size_t>(max_index_bytes);
-  options.stall_timeout_micros = stall_timeout_ms * 1000;
-  options.arrival_rate_per_sec = arrival_rate;
-  if (window > 0) options.window = dssj::WindowSpec::ByCount(static_cast<size_t>(window));
-  if (strategy == "length") {
-    options.strategy = dssj::DistributionStrategy::kLengthBased;
+  if (options.strategy == dssj::DistributionStrategy::kLengthBased) {
     options.length_partition = dssj::PlanLengthPartition(
-        corpus.value().records, options.sim, joiners,
+        corpus.value().records, options.sim, options.num_joiners,
         dssj::PartitionMethod::kLoadAwareGreedy);
-  } else if (strategy == "prefix") {
-    options.strategy = dssj::DistributionStrategy::kPrefixBased;
-  } else if (strategy == "broadcast") {
-    options.strategy = dssj::DistributionStrategy::kBroadcast;
-  } else {
-    std::fprintf(stderr, "unknown strategy '%s'\n", strategy.c_str());
-    return Usage(argv[0]);
-  }
-  if (local == "bundle") {
-    options.local = dssj::LocalAlgorithm::kBundle;
-  } else if (local != "record") {
-    std::fprintf(stderr, "unknown local algorithm '%s'\n", local.c_str());
-    return Usage(argv[0]);
   }
 
   const dssj::DistributedJoinResult result =
       dssj::RunDistributedJoin(corpus.value().records, options);
 
-  std::printf("%llu documents, %s, %s/%s, %d joiners -> %llu similar pairs "
+  std::printf("%llu documents, %s, %s/%s, %d joiners [%s] -> %llu similar pairs "
               "(%.0f rec/s wall)\n",
               static_cast<unsigned long long>(result.input_records),
-              options.sim.ToString().c_str(), strategy.c_str(), local.c_str(), joiners,
+              options.sim.ToString().c_str(), cfg.strategy.c_str(), cfg.local.c_str(),
+              options.num_joiners, dssj::JoinTransportName(options.transport),
               static_cast<unsigned long long>(result.result_count), result.throughput_rps);
-  if (shed_policy != dssj::stream::ShedPolicy::kNone || max_index_bytes > 0) {
+  if (options.shed_policy != dssj::stream::ShedPolicy::kNone || options.max_index_bytes > 0) {
     std::printf("overload: policy=%s shed_probes=%llu (<= %llu pairs lost), "
                 "budget_evictions=%llu horizon_seq=%llu\n",
-                dssj::stream::ShedPolicyName(shed_policy),
+                dssj::stream::ShedPolicyName(options.shed_policy),
                 static_cast<unsigned long long>(result.shed_probes),
                 static_cast<unsigned long long>(result.shed_pairs_upper_bound),
                 static_cast<unsigned long long>(result.budget_evictions),
                 static_cast<unsigned long long>(result.eviction_horizon_seq));
   }
-  if (stall_timeout_ms > 0 && !result.ok) {
+  if (!result.ok && options.stall_timeout_micros > 0) {
     std::fprintf(stderr, "run failed: %s\n", result.failure_message.c_str());
     return 1;
   }
@@ -197,17 +121,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.checkpoints),
                 static_cast<unsigned long long>(result.checkpoint_bytes),
                 result.ok ? "" : " [FAILED]");
-    if (!result.ok) {
-      std::fprintf(stderr, "run failed: %s\n", result.failure_message.c_str());
-      return 1;
-    }
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "run failed: %s\n", result.failure_message.c_str());
+    return 1;
   }
   int64_t shown = 0;
   for (const dssj::ResultPair& pair : result.pairs) {
-    if (shown++ >= max_pairs) {
+    if (shown++ >= cfg.max_pairs) {
       std::printf("... (%llu more; raise --max-pairs)\n",
                   static_cast<unsigned long long>(result.pairs.size()) -
-                      static_cast<unsigned long long>(max_pairs));
+                      static_cast<unsigned long long>(cfg.max_pairs));
       break;
     }
     std::printf("line %llu ~ line %llu\n",

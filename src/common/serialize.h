@@ -19,9 +19,17 @@ class BinaryWriter {
  public:
   explicit BinaryWriter(std::string* out) : out_(out) {}
 
+  void WriteU8(uint8_t v) { Append(&v, sizeof(v)); }
+  void WriteU16(uint16_t v) { Append(&v, sizeof(v)); }
   void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
   void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
+
+  /// String with a u32 length prefix (wire frames; WriteBytes uses u64).
+  void WriteBytesU32(const std::string& blob) {
+    WriteU32(static_cast<uint32_t>(blob.size()));
+    out_->append(blob);
+  }
 
   void WriteU32Vec(const std::vector<uint32_t>& v) {
     WriteU64(v.size());
@@ -80,6 +88,62 @@ class BinaryReader {
     CHECK_LE(n, static_cast<size_t>(end_ - p_)) << "truncated checkpoint blob";
     std::memcpy(dst, p_, n);
     p_ += n;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// Bounds-checked reader for *untrusted* bytes (network frames): unlike
+/// BinaryReader, a truncated or malformed input is an expected runtime
+/// condition, so every read reports success instead of aborting. After any
+/// read returns false the reader is poisoned (all further reads fail).
+class SafeBinaryReader {
+ public:
+  SafeBinaryReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+
+  bool ReadU8(uint8_t* out) { return ReadPod(out); }
+  bool ReadU16(uint16_t* out) { return ReadPod(out); }
+  bool ReadU32(uint32_t* out) { return ReadPod(out); }
+  bool ReadU64(uint64_t* out) { return ReadPod(out); }
+  bool ReadI64(int64_t* out) { return ReadPod(out); }
+
+  /// Reads a u32 length prefix and that many raw bytes (BinaryWriter::
+  /// WriteBytesU32 counterpart).
+  bool ReadBytesU32(std::string* out) {
+    uint32_t n = 0;
+    if (!ReadU32(&n) || n > remaining()) return Fail();
+    out->assign(p_, n);
+    p_ += n;
+    return true;
+  }
+
+  /// View variant of ReadBytesU32: no copy, pointers valid while the
+  /// underlying buffer lives.
+  bool ReadSpanU32(const char** data, size_t* size) {
+    uint32_t n = 0;
+    if (!ReadU32(&n) || n > remaining()) return Fail();
+    *data = p_;
+    *size = n;
+    p_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool AtEnd() const { return p_ == end_; }
+
+ private:
+  template <typename T>
+  bool ReadPod(T* out) {
+    if (sizeof(T) > remaining()) return Fail();
+    std::memcpy(out, p_, sizeof(T));
+    p_ += sizeof(T);
+    return true;
+  }
+
+  bool Fail() {
+    p_ = end_ = nullptr;
+    return false;
   }
 
   const char* p_;

@@ -8,6 +8,7 @@
 #include "common/serialize.h"
 #include "common/stats.h"
 #include "core/brute_force_joiner.h"
+#include "net/transport.h"
 #include "stream/topology.h"
 
 namespace dssj {
@@ -198,6 +199,9 @@ class JoinerBolt : public stream::Bolt {
       }
     }
     if (metrics_ != nullptr) {
+      // app_results rides the transport's metrics barrier, so the
+      // coordinator's result_count is cluster-wide under kTcp.
+      metrics_->app_results.Add(result_count_);
       metrics_->shed_probes.Add(shed_probes_);
       metrics_->shed_pairs_upper_bound.Add(shed_ub_);
     }
@@ -401,6 +405,32 @@ const char* LocalAlgorithmName(LocalAlgorithm a) {
   return "unknown";
 }
 
+const char* JoinTransportName(JoinTransport t) {
+  switch (t) {
+    case JoinTransport::kInproc:
+      return "inproc";
+    case JoinTransport::kLoopback:
+      return "loopback";
+    case JoinTransport::kTcp:
+      return "tcp";
+  }
+  return "unknown";
+}
+
+net::PayloadCodec RecordWireCodec() {
+  net::PayloadCodec codec;
+  codec.encode = [](const std::shared_ptr<const void>& payload, std::string* out) {
+    EncodeRecord(*static_cast<const Record*>(payload.get()), out);
+  };
+  codec.decode = [](const char* data, size_t size, std::shared_ptr<const void>* out) {
+    auto record = std::make_shared<Record>();
+    if (!DecodeRecord(data, size, record.get())) return false;
+    *out = std::shared_ptr<const void>(std::move(record));
+    return true;
+  };
+  return codec;
+}
+
 const char* PartitionMethodName(PartitionMethod m) {
   switch (m) {
     case PartitionMethod::kLoadAwareGreedy:
@@ -518,7 +548,26 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
                                          const DistributedJoinOptions& options) {
   CHECK_GE(options.num_joiners, 1);
   CHECK_GE(options.num_dispatchers, 1);
-  const int workers = options.num_workers > 0 ? options.num_workers : options.num_joiners;
+  int workers = options.num_workers > 0 ? options.num_workers : options.num_joiners;
+
+  std::shared_ptr<stream::Transport> transport;
+  if (options.transport == JoinTransport::kLoopback) {
+    transport = std::make_shared<net::LoopbackTransport>(workers, RecordWireCodec());
+  } else if (options.transport == JoinTransport::kTcp) {
+    StatusOr<std::vector<net::Endpoint>> cluster = net::ParseClusterSpec(options.cluster);
+    CHECK(cluster.ok()) << "bad cluster spec: " << cluster.status().message();
+    workers = static_cast<int>(cluster.value().size());
+    CHECK_GE(options.rank, 0);
+    CHECK_LT(options.rank, workers) << "rank outside the cluster";
+    net::TcpTransportOptions net_options;
+    net_options.cluster = std::move(cluster).value();
+    net_options.rank = options.rank;
+    net_options.listen_override = options.listen;
+    net_options.send_queue_capacity = options.net_send_queue;
+    net_options.connect_timeout_micros = options.net_connect_timeout_micros;
+    net_options.codec = RecordWireCodec();
+    transport = std::make_shared<net::TcpTransport>(std::move(net_options));
+  }
 
   auto shared = std::make_shared<SharedState>(options.num_joiners);
   auto input_copy = std::make_shared<const std::vector<RecordPtr>>(input);
@@ -542,27 +591,40 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   overload.stall_timeout_micros = options.stall_timeout_micros;
   overload.fail_fast = options.watchdog_fail_fast;
   if (overload.enabled()) builder.SetOverload(overload);
-  builder.SetSpout(
+  if (transport != nullptr) builder.SetTransport(transport);
+  const bool pin = transport != nullptr;
+  stream::SpoutDeclarer source = builder.SetSpout(
       kSourceName,
       [input_copy, &options] {
         return std::make_unique<RecordStreamSpout>(input_copy, options.arrival_rate_per_sec);
       },
       1);
-  builder
-      .SetBolt(
-          kDispatcherName,
-          [&options, shared] { return std::make_unique<DispatcherBolt>(&options, shared); },
-          options.num_dispatchers)
-      .ShuffleGrouping(kSourceName);
-  builder
-      .SetBolt(
-          kJoinerName,
-          [&options, shared] { return std::make_unique<JoinerBolt>(&options, shared); },
-          options.num_joiners)
-      .DirectGrouping(kDispatcherName);
+  if (pin) source.SetPlacement({0});
+  stream::BoltDeclarer dispatcher =
+      builder
+          .SetBolt(
+              kDispatcherName,
+              [&options, shared] { return std::make_unique<DispatcherBolt>(&options, shared); },
+              options.num_dispatchers)
+          .ShuffleGrouping(kSourceName);
+  if (pin) dispatcher.SetPlacement(std::vector<int>(options.num_dispatchers, 0));
+  stream::BoltDeclarer joiner =
+      builder
+          .SetBolt(
+              kJoinerName,
+              [&options, shared] { return std::make_unique<JoinerBolt>(&options, shared); },
+              options.num_joiners)
+          .DirectGrouping(kDispatcherName);
+  if (pin) {
+    std::vector<int> placement(options.num_joiners);
+    for (int i = 0; i < options.num_joiners; ++i) placement[i] = i % workers;
+    joiner.SetPlacement(std::move(placement));
+  }
   if (options.collect_results) {
-    builder.SetBolt(kSinkName, [shared] { return std::make_unique<SinkBolt>(shared); }, 1)
-        .GlobalGrouping(kJoinerName);
+    stream::BoltDeclarer sink =
+        builder.SetBolt(kSinkName, [shared] { return std::make_unique<SinkBolt>(shared); }, 1)
+            .GlobalGrouping(kJoinerName);
+    if (pin) sink.SetPlacement({0});
   }
 
   std::unique_ptr<stream::Topology> topology = builder.Build();
@@ -575,6 +637,11 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
                               ? static_cast<double>(input.size()) / result.elapsed_seconds
                               : 0.0;
   result.result_count = shared->result_count.load(std::memory_order_relaxed);
+  if (options.transport == JoinTransport::kTcp) {
+    // Remote joiners publish result_count through the metrics barrier, not
+    // the process-local SharedState.
+    result.result_count = stream::Aggregate(topology->TasksOf(kJoinerName)).app_results;
+  }
   if (options.collect_results) result.pairs = std::move(shared->pairs);
 
   const stream::ComponentAggregate dispatch =

@@ -14,6 +14,7 @@
 #include "core/router.h"
 #include "core/similarity.h"
 #include "core/window.h"
+#include "net/wire.h"
 #include "stream/fault.h"
 #include "stream/overload.h"
 #include "text/record.h"
@@ -28,6 +29,21 @@ const char* DistributionStrategyName(DistributionStrategy s);
 /// Which local join algorithm each joiner partition runs.
 enum class LocalAlgorithm { kRecord, kBundle, kBruteForce };
 const char* LocalAlgorithmName(LocalAlgorithm a);
+
+/// How the topology's workers map onto the machine (docs/INTERNALS.md §9).
+/// kInproc: the classic single-process run — worker placement is a
+/// simulation, tuples move on in-process queues. kLoopback: still one
+/// process, but every cross-worker tuple is wire-encoded and re-parsed
+/// (measures serialization/framing cost; results identical to kInproc).
+/// kTcp: real multi-process execution — each rank in `cluster` hosts its
+/// workers' tasks and cross-worker links run over localhost/LAN TCP.
+enum class JoinTransport { kInproc, kLoopback, kTcp };
+const char* JoinTransportName(JoinTransport t);
+
+/// Payload codec for Record payloads crossing process boundaries
+/// (EncodeRecord/DecodeRecord). Shared by the join topology and the
+/// transport tests.
+net::PayloadCodec RecordWireCodec();
 
 /// How to derive the length partition for the length-based strategy.
 /// kLoadAwareFull uses the JoinCostModel (pair work + probe-visit
@@ -92,7 +108,28 @@ struct DistributedJoinOptions {
   size_t batch_size = 32;
 
   /// Simulated workers for communication accounting; 0 = num_joiners.
+  /// Ignored under kTcp, where the worker count is the cluster size.
   int num_workers = 0;
+
+  /// Execution substrate (see JoinTransport). Under kLoopback and kTcp the
+  /// run pins placement deterministically: source, dispatchers, and sink on
+  /// worker 0, joiner i on worker i % num_workers — so every rank builds
+  /// the identical plan and the coordinator owns the result set.
+  JoinTransport transport = JoinTransport::kInproc;
+  /// This process's rank for kTcp (0 = coordinator; collects results and
+  /// cluster-wide metrics). Every rank must run RunDistributedJoin with the
+  /// same options (and the same input on rank 0 — other ranks never read
+  /// it) differing only in `rank`.
+  int rank = 0;
+  /// Rank-ordered "host:port,host:port,..." list for kTcp.
+  std::string cluster;
+  /// Optional bind override for this rank ("0.0.0.0:port"); default is
+  /// cluster[rank].
+  std::string listen;
+  /// Per-peer bounded send buffer, in frames (network backpressure bound).
+  size_t net_send_queue = 1024;
+  /// How long TCP connect retries cover workers starting out of order.
+  int64_t net_connect_timeout_micros = 30'000'000;
 
   /// Source pacing in records/second; 0 = replay as fast as possible.
   double arrival_rate_per_sec = 0.0;
@@ -152,6 +189,15 @@ struct LatencySummary {
 
 /// Everything a run produces: results (or their count), timing, and the
 /// communication/load metrics the paper's evaluation reports.
+///
+/// Under JoinTransport::kTcp the coordinator (rank 0) reports cluster-wide
+/// values for every counter that rides the end-of-run metrics barrier —
+/// result_count, communication, busy times, fault/overload counters — and
+/// owns `pairs` (the sink is placed on worker 0). Fields published through
+/// process-local shared state (joiner_stats, latency, shed_probe_seqs,
+/// replication_factor/total_stores, router_*) cover only the joiners this
+/// rank hosts. Worker ranks (> 0) report their local view; use ok() /
+/// failure_message there.
 struct DistributedJoinResult {
   std::vector<ResultPair> pairs;  ///< filled iff options.collect_results
   uint64_t result_count = 0;

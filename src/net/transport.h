@@ -1,0 +1,181 @@
+#ifndef DSSJ_NET_TRANSPORT_H_
+#define DSSJ_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "stream/channel.h"
+#include "stream/queue.h"
+
+namespace dssj::net {
+
+/// One worker's address on the cluster.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses a rank-ordered cluster spec "host:port,host:port,...". Rank i
+/// listens on the i-th endpoint. Hosts may be names or literal IPs.
+StatusOr<std::vector<Endpoint>> ParseClusterSpec(const std::string& spec);
+
+/// Binds `n` ephemeral localhost ports and returns them (then releases the
+/// sockets, so a race with other port consumers is possible — test helper,
+/// not production logic). Returns an empty vector when sockets are
+/// unavailable (sandboxed runner); callers skip in that case.
+std::vector<uint16_t> PickFreePorts(int n);
+
+/// Single-process transport that still exercises the wire format: the
+/// topology places tasks on `num_workers` simulated workers, and every
+/// cross-worker delivery is encoded to frame bytes, re-parsed, and handed
+/// back through the inbound sink. hosts_all_tasks() is true, so one process
+/// hosts everything — this is the reference for "what does serialization
+/// cost" (bench_communication) and the bridge between the simulated
+/// remote_byte_cost model and real sockets.
+class LoopbackTransport final : public stream::Transport {
+ public:
+  LoopbackTransport(int num_workers, PayloadCodec codec)
+      : num_workers_(num_workers), codec_(std::move(codec)) {}
+
+  int local_rank() const override { return 0; }
+  int num_ranks() const override { return num_workers_; }
+  bool hosts_all_tasks() const override { return true; }
+
+  void Start(const stream::TransportPlan& plan, InboundSink sink,
+             FailureSink on_failure) override;
+  std::unique_ptr<stream::Channel> OpenChannel(int dst_task) override;
+  void InjectDisconnect(int dst_task, int64_t reconnect_delay_micros) override;
+  FinishReport Finish(const LocalSummary& local, const MetricsMerge& merge) override;
+
+ private:
+  friend class LoopbackChannel;
+
+  const int num_workers_;
+  const PayloadCodec codec_;
+  InboundSink sink_;
+  FailureSink on_failure_;
+};
+
+struct TcpTransportOptions {
+  /// Rank-ordered worker endpoints; cluster.size() is the world size.
+  std::vector<Endpoint> cluster;
+  /// This process's rank in [0, cluster.size()). Rank 0 is the coordinator:
+  /// it aggregates worker metrics and failure reports at Finish.
+  int rank = 0;
+  /// Optional bind override ("host:port"); defaults to cluster[rank]. Lets
+  /// a worker bind 0.0.0.0 while peers dial a routable name.
+  std::string listen_override;
+  /// Bounded send buffer per peer connection, in frames. A full buffer
+  /// blocks the producer — backpressure extends across the wire.
+  size_t send_queue_capacity = 1024;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// How long a sender retries dialing a peer (covers workers starting in
+  /// any order) before the run is failed.
+  int64_t connect_timeout_micros = 30'000'000;
+  /// Coordinator's budget for the end-of-run barrier (workers' DONE frames).
+  int64_t finish_timeout_micros = 120'000'000;
+  PayloadCodec codec;
+};
+
+/// Real multi-process transport over TCP. Each rank listens on its cluster
+/// endpoint; for every directed rank pair that communicates, the producer
+/// side dials one unidirectional connection (write-only for the dialer), so
+/// a scripted disconnect can close the socket and rely on the kernel
+/// delivering everything already written (FIN after data) — no frame is
+/// lost across a reconnect. Frames from one rank to one rank share that
+/// single connection, which (with per-rank receive ordering across
+/// reconnects) preserves per-link FIFO, the invariant the exactly-once
+/// layer needs.
+class TcpTransport final : public stream::Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options);
+  ~TcpTransport() override;
+
+  int local_rank() const override { return options_.rank; }
+  int num_ranks() const override { return static_cast<int>(options_.cluster.size()); }
+
+  void Start(const stream::TransportPlan& plan, InboundSink sink,
+             FailureSink on_failure) override;
+  std::unique_ptr<stream::Channel> OpenChannel(int dst_task) override;
+  void InjectDisconnect(int dst_task, int64_t reconnect_delay_micros) override;
+  FinishReport Finish(const LocalSummary& local, const MetricsMerge& merge) override;
+
+ private:
+  friend class TcpChannel;
+
+  /// One frame's bytes queued toward a peer, or (bytes empty,
+  /// disconnect_delay_micros >= 0) an in-band marker telling the sender
+  /// thread to close the connection and redial after the delay — in-band so
+  /// the cut lands exactly between the frames submitted before and after
+  /// InjectDisconnect.
+  struct OutFrame {
+    std::string bytes;
+    int64_t disconnect_delay_micros = -1;
+  };
+
+  /// Sender half of one directed rank pair: a bounded frame queue drained
+  /// by a thread that owns the socket (dial, retry, write, scripted
+  /// disconnect).
+  struct SenderConn {
+    int peer_rank = -1;
+    std::unique_ptr<stream::BoundedQueue<OutFrame>> queue;
+    std::thread thread;
+  };
+
+  SenderConn* GetSender(int peer_rank);
+  void SenderLoop(SenderConn* conn);
+  void AcceptLoop();
+  void ReaderLoop(int fd);
+  void HandleFrame(Frame&& frame);
+  void FailRun(const std::string& message);
+  /// Dials `peer` with retry/backoff until the connect timeout. Returns -1
+  /// on timeout/shutdown.
+  int DialPeer(int peer_rank);
+  bool SendAll(int fd, const char* data, size_t size);
+  void CloseSenders();
+  void JoinReaders();
+
+  const TcpTransportOptions options_;
+  stream::TransportPlan plan_;
+  InboundSink sink_;
+  FailureSink on_failure_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex sender_mu_;  ///< guards senders_ creation
+  std::map<int, std::unique_ptr<SenderConn>> senders_;
+
+  /// Reader bookkeeping. A reconnect spawns a fresh reader for the same
+  /// peer rank; the new reader waits for the old one to drain to EOF before
+  /// delivering, so frames from one rank stay in order across reconnects.
+  std::mutex reader_mu_;
+  std::condition_variable reader_cv_;
+  std::vector<std::thread> reader_threads_;
+  std::map<int, int> active_readers_by_rank_;
+  int live_readers_ = 0;
+
+  /// End-of-run state collected from peers (coordinator side).
+  std::mutex finish_mu_;
+  std::condition_variable finish_cv_;
+  std::vector<bool> done_;  ///< by rank
+  std::vector<std::pair<int, std::string>> remote_metrics_;
+  bool remote_failed_ = false;
+  std::string remote_failure_;
+};
+
+}  // namespace dssj::net
+
+#endif  // DSSJ_NET_TRANSPORT_H_

@@ -1,0 +1,125 @@
+#ifndef DSSJ_NET_WIRE_H_
+#define DSSJ_NET_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "stream/channel.h"
+#include "stream/value.h"
+
+namespace dssj::net {
+
+/// Wire format for inter-worker links: length-prefixed frames over a byte
+/// stream. Every frame is
+///
+///   [u32 length][u8 type][body...]
+///
+/// where `length` counts the bytes after itself (type + body). All integers
+/// are little endian. The body layout per type:
+///
+///   kHello:   u32 magic, u16 version, u16 sender rank. First frame on every
+///             connection; both sides reject a mismatched magic/version.
+///   kData:    i32 source_task, i32 dst_task, u32 count, then `count` tuples
+///             of [u64 link_seq][encoded tuple]. Batching amortizes the
+///             frame header over the transport batch.
+///   kEos:     i32 source_task, i32 dst_task, u64 final link count
+///             (Envelope::link_seq semantics for EOS markers).
+///   kMetrics: i32 task_id, u32-length-prefixed SerializeTaskCounters blob.
+///   kDone:    u16 sender rank. Worker's end-of-run marker: everything this
+///             rank will ever send has been sent.
+///   kFail:    u16 sender rank, u32-length-prefixed failure message.
+///
+/// Sequence numbers ride inside kData/kEos bodies, so replay, drop recovery
+/// and shed-loss accounting observe exactly the numbers the producer's
+/// collector assigned — process boundaries are invisible to them.
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kData = 2,
+  kEos = 3,
+  kMetrics = 4,
+  kDone = 5,
+  kFail = 6,
+};
+
+inline constexpr uint32_t kWireMagic = 0x314a5344;  // "DSJ1"
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Hard ceiling on a single frame's `length` field. A peer announcing more
+/// is malformed (or malicious) and the connection is failed rather than
+/// letting it drive allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Application codec for opaque tuple payloads (shared_ptr<const void>
+/// fields). The stream layer treats payloads as pointers; to cross a process
+/// boundary the application supplies the byte encoding (the join topology
+/// registers a Record codec). encode appends to *out; decode returns false
+/// on malformed bytes.
+struct PayloadCodec {
+  std::function<void(const std::shared_ptr<const void>& payload, std::string* out)> encode;
+  std::function<bool(const char* data, size_t size, std::shared_ptr<const void>* out)> decode;
+};
+
+/// Appends one tuple's field encoding (used inside kData bodies):
+/// u32 payload_bytes, u32 num_fields, then per field a u8 tag —
+/// 0 int64, 1 double (u64 bit cast), 2 string (u32 len + bytes),
+/// 3 payload via codec (u32 len + bytes), 4 null payload. Requires a codec
+/// when the tuple carries a non-null payload field (CHECK otherwise).
+void EncodeTuple(const stream::Tuple& tuple, const PayloadCodec* codec, std::string* out);
+
+/// Decodes one EncodeTuple blob from `r`'s current position. Returns false
+/// on truncation, unknown tags, or codec failure.
+bool DecodeTuple(SafeBinaryReader& r, const PayloadCodec* codec, stream::Tuple* out);
+
+/// Frame builders. Each appends one complete frame (length prefix included)
+/// to *out, so a send buffer concatenates frames directly.
+void AppendHelloFrame(uint16_t rank, std::string* out);
+void AppendDataFrame(int32_t source_task, int32_t dst_task,
+                     const std::vector<stream::Envelope>& batch, const PayloadCodec* codec,
+                     std::string* out);
+void AppendEosFrame(int32_t source_task, int32_t dst_task, uint64_t final_count,
+                    std::string* out);
+
+/// Encodes a mixed envelope batch bound for `dst_task` as a frame sequence:
+/// maximal runs of data envelopes sharing a source task become one kData
+/// frame, each EOS marker becomes a kEos frame in position. This is what a
+/// channel submits per PushBatch.
+void AppendEnvelopeFrames(int32_t dst_task, const std::vector<stream::Envelope>& envs,
+                          const PayloadCodec* codec, std::string* out);
+void AppendMetricsFrame(int32_t task_id, const std::string& blob, std::string* out);
+void AppendDoneFrame(uint16_t rank, std::string* out);
+void AppendFailFrame(uint16_t rank, const std::string& message, std::string* out);
+
+/// One parsed frame. kData populates `envelopes` (source_task/link_seq set
+/// per envelope, eos=false); kEos populates a single EOS envelope.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  uint16_t rank = 0;             ///< kHello / kDone / kFail
+  int32_t dst_task = -1;         ///< kData / kEos
+  int32_t task_id = -1;          ///< kMetrics
+  std::string blob;              ///< kMetrics blob / kFail message
+  std::vector<stream::Envelope> envelopes;  ///< kData / kEos
+};
+
+enum class ParseStatus {
+  kFrame,     ///< one frame decoded; *consumed bytes were used
+  kNeedMore,  ///< buffer holds only a frame prefix; read more bytes
+  kError,     ///< malformed input; the connection must be failed
+};
+
+/// Incremental frame parser over a receive buffer. Examines `size` bytes at
+/// `data`; on kFrame sets *consumed to the full frame size (prefix
+/// included) and fills *frame. Rejects frames whose announced length
+/// exceeds max_frame_bytes, unknown types, truncated bodies, trailing
+/// garbage inside a body, and kHello magic/version mismatches (*error gets
+/// a description on kError).
+ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
+                       uint32_t max_frame_bytes, Frame* frame, size_t* consumed,
+                       std::string* error);
+
+}  // namespace dssj::net
+
+#endif  // DSSJ_NET_WIRE_H_

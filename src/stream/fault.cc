@@ -63,15 +63,21 @@ Status ParseLinkFault(LinkFaultKind kind, const std::string& stmt, const std::st
     return Malformed(stmt, "bad destination '<comp>:<task>'");
   }
   std::string seq_part = Trim(body.substr(at + 1));
-  if (kind == LinkFaultKind::kDelay) {
+  if (kind == LinkFaultKind::kDelay || kind == LinkFaultKind::kDisconnect) {
+    // delay requires '@<seq>x<micros>'; disconnect's 'x<micros>' (the
+    // reconnect delay) is optional and defaults to reconnecting at once.
     const size_t x = seq_part.find('x');
-    if (x == std::string::npos) return Malformed(stmt, "delay needs '@<seq>x<micros>'");
-    uint64_t micros = 0;
-    if (!ParseU64(Trim(seq_part.substr(x + 1)), &micros)) {
-      return Malformed(stmt, "bad delay micros");
+    if (x == std::string::npos && kind == LinkFaultKind::kDelay) {
+      return Malformed(stmt, "delay needs '@<seq>x<micros>'");
     }
-    fault.delay_micros = static_cast<int64_t>(micros);
-    seq_part = Trim(seq_part.substr(0, x));
+    if (x != std::string::npos) {
+      uint64_t micros = 0;
+      if (!ParseU64(Trim(seq_part.substr(x + 1)), &micros)) {
+        return Malformed(stmt, "bad delay micros");
+      }
+      fault.delay_micros = static_cast<int64_t>(micros);
+      seq_part = Trim(seq_part.substr(0, x));
+    }
   }
   if (!ParseU64(seq_part, &fault.at_seq) || fault.at_seq == 0) {
     return Malformed(stmt, "bad link sequence number (1-based)");
@@ -82,6 +88,9 @@ Status ParseLinkFault(LinkFaultKind kind, const std::string& stmt, const std::st
   } else if (kind == LinkFaultKind::kDuplicate) {
     script->DuplicateAt(fault.src_component, fault.src_index, fault.dst_component,
                         fault.dst_index, fault.at_seq);
+  } else if (kind == LinkFaultKind::kDisconnect) {
+    script->DisconnectAt(fault.src_component, fault.src_index, fault.dst_component,
+                         fault.dst_index, fault.at_seq, fault.delay_micros);
   } else {
     script->DelayAt(fault.src_component, fault.src_index, fault.dst_component, fault.dst_index,
                     fault.at_seq, fault.delay_micros);
@@ -124,6 +133,9 @@ StatusOr<FaultScript> FaultScript::Parse(const std::string& text) {
       if (!s.ok()) return s;
     } else if (verb == "delay") {
       const Status s = ParseLinkFault(LinkFaultKind::kDelay, stmt, body, &script);
+      if (!s.ok()) return s;
+    } else if (verb == "disconnect") {
+      const Status s = ParseLinkFault(LinkFaultKind::kDisconnect, stmt, body, &script);
       if (!s.ok()) return s;
     } else {
       return Malformed(stmt, "unknown verb '" + verb + "'");

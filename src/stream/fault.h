@@ -40,9 +40,13 @@ struct KillFault {
 };
 
 enum class LinkFaultKind {
-  kDrop,       ///< envelope never reaches the consumer queue (recovered from retention)
-  kDuplicate,  ///< envelope is delivered twice (consumer discards the copy)
-  kDelay,      ///< producer sleeps before delivering the envelope
+  kDrop,        ///< envelope never reaches the consumer queue (recovered from retention)
+  kDuplicate,   ///< envelope is delivered twice (consumer discards the copy)
+  kDelay,       ///< producer sleeps before delivering the envelope
+  kDisconnect,  ///< network fault: the remote connection carrying this link is
+                ///< severed just before this envelope and re-established after
+                ///< delay_micros; no envelope is lost (clean close drains the
+                ///< socket). On an in-process link it degrades to a delay.
 };
 
 /// A fault on one (producer task → consumer task) link, firing when that
@@ -67,6 +71,7 @@ struct LinkFault {
 ///   drop:<comp>:<i>-><comp>:<j>@<seq>
 ///   dup:<comp>:<i>-><comp>:<j>@<seq>
 ///   delay:<comp>:<i>-><comp>:<j>@<seq>x<micros>
+///   disconnect:<comp>:<i>-><comp>:<j>@<seq>x<micros>
 ///
 /// Statements are ';'-separated; whitespace around tokens is ignored, e.g.
 /// "kill:joiner:0@500; drop:dispatcher:0->joiner:1@120".
@@ -96,6 +101,16 @@ class FaultScript {
                        int dst_index, uint64_t at_seq, int64_t delay_micros) {
     links_.push_back(LinkFault{LinkFaultKind::kDelay, src, src_index, dst, dst_index, at_seq,
                                delay_micros});
+    return *this;
+  }
+  /// Severs the remote connection carrying the (src task → dst task) link
+  /// just before the envelope with canonical sequence `at_seq`, then
+  /// reconnects after `reconnect_delay_micros`. Applied to the transport
+  /// when the link crosses workers; an in-process link just delays.
+  FaultScript& DisconnectAt(const std::string& src, int src_index, const std::string& dst,
+                            int dst_index, uint64_t at_seq, int64_t reconnect_delay_micros) {
+    links_.push_back(LinkFault{LinkFaultKind::kDisconnect, src, src_index, dst, dst_index,
+                               at_seq, reconnect_delay_micros});
     return *this;
   }
 

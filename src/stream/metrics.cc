@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/serialize.h"
+
 namespace dssj::stream {
 
 ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
@@ -26,12 +28,65 @@ ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
     agg.link_dups_discarded += t.metrics->link_dups_discarded.Get();
     agg.shed_probes += t.metrics->shed_probes.Get();
     agg.shed_pairs_upper_bound += t.metrics->shed_pairs_upper_bound.Get();
+    agg.app_results += t.metrics->app_results.Get();
     agg.queue_time_at_capacity_micros_max = std::max(
         agg.queue_time_at_capacity_micros_max, t.metrics->queue_time_at_capacity_micros.Get());
     agg.queue_oldest_age_micros_max =
         std::max(agg.queue_oldest_age_micros_max, t.metrics->queue_oldest_age_micros.Get());
   }
   return agg;
+}
+
+namespace {
+
+// Additive counters in blob order. New fields append; readers merge the
+// min(written, known) prefix, which keeps coordinator and worker builds
+// compatible across one field-list revision.
+using CounterField = Counter TaskMetrics::*;
+constexpr CounterField kCounterFields[] = {
+    &TaskMetrics::executed,
+    &TaskMetrics::emitted,
+    &TaskMetrics::remote_messages,
+    &TaskMetrics::remote_bytes,
+    &TaskMetrics::total_messages,
+    &TaskMetrics::total_bytes,
+    &TaskMetrics::busy_nanos,
+    &TaskMetrics::restarts,
+    &TaskMetrics::replayed_tuples,
+    &TaskMetrics::checkpoints,
+    &TaskMetrics::checkpoint_bytes,
+    &TaskMetrics::checkpoint_nanos,
+    &TaskMetrics::link_drops_recovered,
+    &TaskMetrics::link_dups_discarded,
+    &TaskMetrics::shed_probes,
+    &TaskMetrics::shed_pairs_upper_bound,
+    &TaskMetrics::app_results,
+};
+constexpr size_t kNumCounterFields = sizeof(kCounterFields) / sizeof(kCounterFields[0]);
+
+}  // namespace
+
+void SerializeTaskCounters(const TaskMetrics& m, std::string* out) {
+  BinaryWriter w(out);
+  w.WriteU32(static_cast<uint32_t>(kNumCounterFields));
+  for (const CounterField f : kCounterFields) w.WriteU64((m.*f).Get());
+  w.WriteU64(m.queue_highwater.Get());
+}
+
+bool MergeTaskCounters(const std::string& blob, TaskMetrics* m) {
+  SafeBinaryReader r(blob.data(), blob.size());
+  uint32_t written = 0;
+  if (!r.ReadU32(&written)) return false;
+  const size_t common = std::min<size_t>(written, kNumCounterFields);
+  for (size_t i = 0; i < written; ++i) {
+    uint64_t v = 0;
+    if (!r.ReadU64(&v)) return false;
+    if (i < common) (m->*kCounterFields[i]).Add(v);
+  }
+  uint64_t highwater = 0;
+  if (!r.ReadU64(&highwater)) return false;
+  m->queue_highwater.Update(highwater);
+  return true;
 }
 
 }  // namespace dssj::stream

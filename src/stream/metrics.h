@@ -54,6 +54,10 @@ struct TaskMetrics {
   Counter shed_probes;
   /// Σ stored-window size at each shed — an upper bound on pairs lost.
   Counter shed_pairs_upper_bound;
+  /// Application-defined result counter (e.g. pairs found by a joiner
+  /// task). Components publish into it at Finish so multi-process runs can
+  /// aggregate results on the coordinator without sharing memory.
+  Counter app_results;
   /// Queue-health snapshots (see QueueHealth), refreshed by the executor
   /// once per batch and by the watchdog tick. EWMA is scaled ×1000 to fit
   /// an integer gauge.
@@ -96,12 +100,25 @@ struct ComponentAggregate {
   // Overload control (zero when no shed policy / watchdog is active).
   uint64_t shed_probes = 0;
   uint64_t shed_pairs_upper_bound = 0;
+  uint64_t app_results = 0;
   int64_t queue_time_at_capacity_micros_max = 0;
   int64_t queue_oldest_age_micros_max = 0;
 };
 
 /// Sums `tasks` (typically Topology::TasksOf(component)).
 ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks);
+
+/// Serializes a task's counters into a portable blob (fixed field order
+/// with a leading count, so old readers accept new writers and vice versa).
+/// Used by the network transport to ship worker-side metrics to the
+/// coordinator at end of run.
+void SerializeTaskCounters(const TaskMetrics& m, std::string* out);
+
+/// Merges a SerializeTaskCounters blob into `m`: counters add, the queue
+/// high-watermark max-merges. Returns false on a malformed blob (left
+/// partially merged only if the blob was truncated mid-field — callers
+/// treat false as a transport-level failure).
+bool MergeTaskCounters(const std::string& blob, TaskMetrics* m);
 
 }  // namespace dssj::stream
 

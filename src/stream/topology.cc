@@ -15,26 +15,14 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "stream/channel.h"
 #include "stream/queue.h"
 
 namespace dssj::stream {
 namespace internal_topology {
 
-/// A unit travelling through an inbound queue: either a data tuple or an
-/// end-of-stream marker from one upstream task.
-struct Envelope {
-  Tuple tuple;
-  int32_t source_task = -1;
-  bool eos = false;
-  /// Simulated deserialization cost charged to the consumer's busy time.
-  int64_t extra_busy_ns = 0;
-  /// Canonical per-link sequence number (1-based over the data envelopes of
-  /// one producer-task → consumer-task link), assigned by the producer's
-  /// collector. 0 when the topology runs unsupervised (nothing tracks it).
-  /// On an EOS marker this instead carries the link's final data count, so
-  /// the consumer can detect (and recover) trailing dropped envelopes.
-  uint64_t link_seq = 0;
-};
+// Envelope (the unit travelling through inbound queues and channels) lives
+// in stream/channel.h now that transports frame it onto the wire.
 
 namespace {
 
@@ -75,9 +63,13 @@ struct Task {
   int comp = -1;
   int local_index = 0;
   int worker = 0;
-  std::unique_ptr<BoundedQueue<Envelope>> queue;  // bolts only
+  /// Hosted (locally executing) bolt tasks only; null for spouts and for
+  /// tasks a transport places on another rank.
+  std::unique_ptr<BoundedQueue<Envelope>> queue;
   std::unique_ptr<Spout> spout;
   std::unique_ptr<Bolt> bolt;
+  /// Allocated for every task, hosted or not: rank 0 folds remote tasks'
+  /// counters into these at the transport's end-of-run barrier.
   std::unique_ptr<TaskMetrics> metrics;
   std::thread thread;
 };
@@ -101,6 +93,15 @@ struct TopologyImpl {
   bool submitted = false;
   std::atomic<int64_t> start_us{0};
   std::atomic<int64_t> end_us{0};
+
+  // Inter-worker transport (SetTransport). When null the worker placement
+  // is a single-process simulation. local_rank caches transport->
+  // local_rank(); `hosted` (by task id) marks the tasks this process
+  // actually executes — non-hosted tasks keep only their metrics slot.
+  std::shared_ptr<Transport> transport;
+  int local_rank = 0;
+  std::vector<uint8_t> hosted;
+  bool finish_done = false;
 
   // Fault tolerance. `supervised` turns executors into supervisors (and
   // enables the per-link emission bookkeeping recovery needs);
@@ -154,7 +155,44 @@ struct TopologyImpl {
   bool FetchRetained(int src, int dst, uint64_t seq, Envelope* out);
   /// Sleeps the current (exponential) restart backoff and doubles it.
   void SleepBackoff(int64_t* backoff_micros) const;
+
+  bool Hosted(int task_id) const { return hosted[static_cast<size_t>(task_id)] != 0; }
+  /// Producer endpoint for dst_task as seen from a producer on
+  /// `producer_worker` (== local_rank for a real transport; under a
+  /// hosts-all transport each simulated worker gets its own view, so
+  /// cross-worker edges still pay the wire codec).
+  std::unique_ptr<Channel> MakeChannel(int producer_worker, int dst_task);
+  /// Transport inbound path: lands a decoded batch on a hosted task's queue.
+  size_t DeliverInbound(int dst_task, std::vector<Envelope>&& batch);
+  /// Transport failure path: fails the run and closes every hosted queue so
+  /// local tasks unwind instead of waiting for remote envelopes.
+  void FailFromTransport(const std::string& message);
 };
+
+std::unique_ptr<Channel> TopologyImpl::MakeChannel(int producer_worker, int dst_task) {
+  Task& dst = tasks[static_cast<size_t>(dst_task)];
+  const bool cross = transport != nullptr && (transport->hosts_all_tasks()
+                                                  ? dst.worker != producer_worker
+                                                  : dst.worker != local_rank);
+  if (cross) return transport->OpenChannel(dst_task);
+  CHECK(dst.queue != nullptr) << "channel to a task without an inbound queue";
+  return std::make_unique<InprocChannel>(dst.queue.get());
+}
+
+size_t TopologyImpl::DeliverInbound(int dst_task, std::vector<Envelope>&& batch) {
+  Task& target = tasks[static_cast<size_t>(dst_task)];
+  if (target.queue == nullptr) return 0;  // not hosted here
+  const size_t depth = target.queue->PushBatch(&batch);
+  target.metrics->queue_highwater.Update(depth);
+  return depth;
+}
+
+void TopologyImpl::FailFromTransport(const std::string& message) {
+  MarkFailed("transport: " + message);
+  for (Task& task : tasks) {
+    if (task.queue != nullptr) task.queue->Close();
+  }
+}
 
 void TopologyImpl::NoteTaskExit(int task_id) {
   if (task_exited != nullptr) task_exited[task_id].store(1, std::memory_order_relaxed);
@@ -337,6 +375,7 @@ class CollectorImpl : public OutputCollector {
       : topo_(topo), task_(task), comp_(*topo->comps[task->comp]),
         batch_size_(topo->batch_size), tracking_(topo->supervised) {
     rr_.assign(comp_.subs_out.size(), static_cast<uint64_t>(task->local_index));
+    channels_.resize(topo->tasks.size());
     if (batch_size_ > 1) {
       pending_.resize(topo->tasks.size());
       in_dirty_.assign(topo->tasks.size(), 0);
@@ -368,8 +407,8 @@ class CollectorImpl : public OutputCollector {
       const ComponentSpec& consumer = *topo_->comps[sub.consumer_comp];
       for (int i = 0; i < consumer.parallelism; ++i) {
         const int t = consumer.first_task + i;
-        topo_->tasks[t].queue->Push(Envelope{Tuple(), task_->id, /*eos=*/true, 0,
-                                             tracking_ ? emitted_[t] : 0});
+        ChannelTo(t)->Push(Envelope{Tuple(), task_->id, /*eos=*/true, 0,
+                                    tracking_ ? emitted_[t] : 0});
       }
     }
   }
@@ -482,8 +521,12 @@ class CollectorImpl : public OutputCollector {
     if (link_faults_ != nullptr && HandleLinkFault(task_id, env)) return;
     if (batch_size_ <= 1) {
       if (tracking_) delivered_[task_id] = seq;
-      const size_t depth = target.queue->Push(std::move(env));
-      target.metrics->queue_highwater.Update(depth);
+      Channel* ch = ChannelTo(task_id);
+      const size_t depth = ch->Push(std::move(env));
+      // Remote channels report their send-buffer depth; only an in-process
+      // push observes the consumer queue (remote highwater is tracked on
+      // the receiving side by DeliverInbound).
+      if (ch->inproc()) target.metrics->queue_highwater.Update(depth);
       return;
     }
     std::vector<Envelope>& buffer = pending_[task_id];
@@ -509,6 +552,20 @@ class CollectorImpl : public OutputCollector {
         case LinkFaultKind::kDelay:
           std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_micros));
           break;
+        case LinkFaultKind::kDisconnect: {
+          // Sever the connection exactly between this envelope's
+          // predecessors and the envelope itself: flush what's staged, cut,
+          // then deliver normally (a clean close loses nothing).
+          if (batch_size_ > 1) FlushTarget(task_id);
+          if (!ChannelTo(task_id)->inproc()) {
+            topo_->transport->InjectDisconnect(task_id, fault.delay_micros);
+          } else {
+            // In-process link: no socket to sever; degrade to the stall the
+            // outage would have caused.
+            std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_micros));
+          }
+          break;
+        }
         case LinkFaultKind::kDrop:
           drop = true;
           break;
@@ -517,19 +574,24 @@ class CollectorImpl : public OutputCollector {
           break;
       }
     }
-    if (!drop && !duplicate) return false;  // delay alone: deliver normally
+    if (!drop && !duplicate) return false;  // delay/disconnect: deliver normally
     // Per-link FIFO: everything staged for this consumer must reach the
     // queue before the faulted envelope is retained or duplicated, so the
     // consumer's sequence guard sees the gap (or the copy) in order.
     if (batch_size_ > 1) FlushTarget(task_id);
     const uint64_t seq = env.link_seq;
+    Channel* ch = ChannelTo(task_id);
     Task& target = topo_->tasks[task_id];
     if (drop) {
       topo_->Retain(task_->id, task_id, seq, std::move(env));
     } else {
       Envelope copy = env;
-      target.metrics->queue_highwater.Update(target.queue->Push(std::move(copy)));
-      target.metrics->queue_highwater.Update(target.queue->Push(std::move(env)));
+      const size_t d1 = ch->Push(std::move(copy));
+      const size_t d2 = ch->Push(std::move(env));
+      if (ch->inproc()) {
+        target.metrics->queue_highwater.Update(d1);
+        target.metrics->queue_highwater.Update(d2);
+      }
     }
     if (tracking_) delivered_[task_id] = seq;
     return true;
@@ -540,11 +602,20 @@ class CollectorImpl : public OutputCollector {
     if (buffer.empty()) return;
     // Everything in the buffer is about to be irreversibly handed over.
     if (tracking_) delivered_[task_id] = buffer.back().link_seq;
-    Task& target = topo_->tasks[task_id];
-    const size_t depth = target.queue->PushBatch(&buffer);
-    target.metrics->queue_highwater.Update(depth);
-    // A closed (failed-consumer) queue leaves a remainder; it has no reader.
+    Channel* ch = ChannelTo(task_id);
+    const size_t depth = ch->PushBatch(&buffer);
+    if (ch->inproc()) topo_->tasks[task_id].metrics->queue_highwater.Update(depth);
+    // A closed (failed-consumer) endpoint leaves a remainder; it has no
+    // reader.
     buffer.clear();
+  }
+
+  /// Lazily opened per-consumer-task endpoint (in-process queue or
+  /// transport channel). Per-collector so channels stay single-producer.
+  Channel* ChannelTo(int task_id) {
+    std::unique_ptr<Channel>& ch = channels_[static_cast<size_t>(task_id)];
+    if (ch == nullptr) ch = topo_->MakeChannel(task_->worker, task_id);
+    return ch.get();
   }
 
   TopologyImpl* topo_;
@@ -555,6 +626,7 @@ class CollectorImpl : public OutputCollector {
   const std::unordered_map<int, std::vector<ResolvedLinkFault>>* link_faults_ = nullptr;
   std::vector<uint64_t> rr_;
   std::vector<int> targets_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< by consumer task id
   std::vector<uint64_t> emitted_;    ///< canonical per-link emission counts
   std::vector<uint64_t> delivered_;  ///< monotonic per-link delivery counts
   std::vector<std::vector<Envelope>> pending_;  ///< staged per consumer task
@@ -660,10 +732,13 @@ void TopologyImpl::RunSpoutTask(Task& task) {
   bool gave_up = false;
 
   while (true) {
-    // A watchdog-failed run has closed every queue; emitting further is
-    // pointless (pushes are rejected), and a paced spout would otherwise
-    // keep sleeping through the rest of its schedule.
-    if (overload_active && failed.load(std::memory_order_acquire)) break;
+    // A watchdog- or transport-failed run has closed every queue; emitting
+    // further is pointless (pushes are rejected), and a paced spout would
+    // otherwise keep sleeping through the rest of its schedule.
+    if ((overload_active || transport != nullptr) &&
+        failed.load(std::memory_order_acquire)) {
+      break;
+    }
     if (!kills.empty() && calls == kills.front()) {
       kills.pop_front();
       if (restarts >= supervision.max_restarts) {
@@ -1055,6 +1130,11 @@ TopologyBuilder& TopologyBuilder::SetFaultScript(FaultScript script) {
   return *this;
 }
 
+TopologyBuilder& TopologyBuilder::SetTransport(std::shared_ptr<Transport> transport) {
+  impl_->transport = std::move(transport);
+  return *this;
+}
+
 std::unique_ptr<Topology> TopologyBuilder::Build() {
   CHECK(impl_ != nullptr) << "builder already consumed";
   TopologyImpl& t = *impl_;
@@ -1094,7 +1174,18 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
     }
   }
 
-  // Materialize tasks.
+  // Materialize tasks. With a real (non-hosts-all) transport this process
+  // instantiates components only for the tasks placed on its own rank; the
+  // rest exist as metric slots, and the per-rank placement must agree
+  // across processes (every rank runs the same Build on the same spec).
+  const bool hosts_all = t.transport == nullptr || t.transport->hosts_all_tasks();
+  if (t.transport != nullptr) {
+    t.local_rank = t.transport->local_rank();
+    if (!hosts_all) {
+      CHECK_EQ(t.num_workers, t.transport->num_ranks())
+          << "SetNumWorkers must equal the transport's world size";
+    }
+  }
   for (auto& comp_ptr : t.comps) {
     ComponentSpec& comp = *comp_ptr;
     comp.first_task = static_cast<int>(t.tasks.size());
@@ -1111,14 +1202,19 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
       CHECK_GE(task.worker, 0);
       CHECK_LT(task.worker, t.num_workers);
       task.metrics = std::make_unique<TaskMetrics>();
+      const bool host_here = hosts_all || task.worker == t.local_rank;
+      t.hosted.push_back(host_here ? 1 : 0);
+      if (!host_here) {
+        t.tasks.push_back(std::move(task));
+        continue;
+      }
       if (comp.is_spout) {
         task.spout = comp.spout_factory();
         CHECK(task.spout != nullptr);
       } else {
         task.bolt = comp.bolt_factory();
         CHECK(task.bolt != nullptr);
-        task.queue = std::make_unique<BoundedQueue<internal_topology::Envelope>>(
-            t.queue_capacity);
+        task.queue = std::make_unique<BoundedQueue<Envelope>>(t.queue_capacity);
       }
       t.tasks.push_back(std::move(task));
     }
@@ -1127,7 +1223,10 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
   if (t.overload_active) {
     t.task_exited = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
     for (size_t i = 0; i < t.tasks.size(); ++i) {
-      t.task_exited[i].store(0, std::memory_order_relaxed);
+      // Non-hosted tasks run elsewhere; for the local watchdog they are
+      // permanently "exited" (their progress is invisible here).
+      t.task_exited[i].store(t.Hosted(static_cast<int>(i)) ? 0 : 1,
+                             std::memory_order_relaxed);
       if (t.tasks[i].queue != nullptr) t.tasks[i].queue->EnableHealthTracking();
     }
   }
@@ -1163,6 +1262,15 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
     }
     CHECK(edge) << "fault script link " << fault.src_component << "->" << fault.dst_component
                 << " is not an edge of the topology";
+    if (!hosts_all &&
+        (fault.kind == LinkFaultKind::kDrop || fault.kind == LinkFaultKind::kDuplicate)) {
+      // Drop retention (and the consumer-side gap recovery that drains it)
+      // lives in one process; across real workers only disconnect faults
+      // model network loss.
+      CHECK_EQ(t.tasks[src].worker, t.tasks[dst].worker)
+          << "scripted drop/dup on " << fault.src_component << "->" << fault.dst_component
+          << " crosses workers; with a real transport these faults must stay co-located";
+    }
     t.link_plan[src][dst].push_back(
         ResolvedLinkFault{fault.kind, fault.at_seq, fault.delay_micros});
   }
@@ -1173,6 +1281,23 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
                   return a.seq < b.seq;
                 });
     }
+  }
+
+  // Hand the placement to the transport and open the inbound path. The
+  // impl pointer outlives the transport's threads: Wait() runs the
+  // transport's Finish barrier (joining them) before the impl can die.
+  if (t.transport != nullptr) {
+    TransportPlan plan;
+    plan.num_tasks = static_cast<int>(t.tasks.size());
+    plan.task_worker.reserve(t.tasks.size());
+    for (const Task& task : t.tasks) plan.task_worker.push_back(task.worker);
+    TopologyImpl* tp = &t;
+    t.transport->Start(
+        plan,
+        [tp](int dst_task, std::vector<Envelope>&& batch) {
+          return tp->DeliverInbound(dst_task, std::move(batch));
+        },
+        [tp](const std::string& message) { tp->FailFromTransport(message); });
   }
 
   return std::unique_ptr<Topology>(new Topology(std::move(impl_)));
@@ -1193,9 +1318,10 @@ void Topology::Submit() {
   for (Task& task : t.tasks) {
     if (task.spout != nullptr) {
       task.thread = std::thread([&t, &task] { t.RunSpoutTask(task); });
-    } else {
+    } else if (task.bolt != nullptr) {
       task.thread = std::thread([&t, &task] { t.RunBoltTask(task); });
     }
+    // Tasks hosted on another rank get no executor here.
   }
   if (t.overload_active && t.overload.stall_timeout_micros > 0) {
     t.watchdog = std::thread([&t] { t.RunWatchdog(); });
@@ -1203,10 +1329,41 @@ void Topology::Submit() {
 }
 
 void Topology::Wait() {
-  for (Task& task : impl_->tasks) {
+  TopologyImpl& t = *impl_;
+  for (Task& task : t.tasks) {
     if (task.thread.joinable()) task.thread.join();
   }
-  impl_->StopWatchdog();
+  t.StopWatchdog();
+  if (t.transport != nullptr && !t.finish_done) {
+    t.finish_done = true;
+    // End-of-run barrier: workers ship their hosted tasks' counters (and
+    // any local failure) to rank 0; rank 0 folds the blobs into its metric
+    // slots, so AllTasks()/Aggregate on the coordinator see cluster-wide
+    // numbers. Joins every transport thread — after this the impl can die.
+    Transport::LocalSummary local;
+    local.failed = t.failed.load(std::memory_order_acquire);
+    {
+      std::lock_guard<std::mutex> lock(t.fail_mu);
+      local.failure_message = t.failure_message;
+    }
+    if (t.transport->local_rank() != 0 && !t.transport->hosts_all_tasks()) {
+      for (const Task& task : t.tasks) {
+        if (!t.Hosted(task.id)) continue;
+        std::string blob;
+        SerializeTaskCounters(*task.metrics, &blob);
+        local.task_metrics.emplace_back(task.id, std::move(blob));
+      }
+    }
+    TopologyImpl* tp = &t;
+    const Transport::FinishReport report =
+        t.transport->Finish(local, [tp](int task_id, const std::string& blob) {
+          if (task_id < 0 || task_id >= static_cast<int>(tp->tasks.size())) return;
+          if (!MergeTaskCounters(blob, tp->tasks[task_id].metrics.get())) {
+            LOG(ERROR) << "discarding malformed metrics blob for task " << task_id;
+          }
+        });
+    if (report.remote_failed) t.MarkFailed(report.remote_failure);
+  }
 }
 
 void Topology::Run() {

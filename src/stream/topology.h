@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/channel.h"
 #include "stream/component.h"
 #include "stream/fault.h"
 #include "stream/metrics.h"
@@ -181,11 +182,24 @@ class TopologyBuilder {
   TopologyBuilder& SetOverload(OverloadOptions options);
 
   /// Installs a deterministic fault schedule (task kills, link
-  /// drop/duplicate/delay); implies supervision (with default
+  /// drop/duplicate/delay/disconnect); implies supervision (with default
   /// SupervisorOptions unless SetSupervision was called). Script targets
   /// are validated at Build(): unknown components, out-of-range task
   /// indices, or link faults on non-edges abort via CHECK.
   TopologyBuilder& SetFaultScript(FaultScript script);
+
+  /// Attaches an inter-worker transport, making the worker placement real:
+  /// this process hosts only the tasks whose worker equals the transport's
+  /// local rank (all tasks under hosts_all_tasks(), e.g. LoopbackTransport),
+  /// and every cross-worker link is routed through a transport channel —
+  /// wire-encoded, sequence numbers preserved end-to-end. Without a
+  /// transport the worker placement stays a single-process simulation.
+  /// With a real transport, SetNumWorkers must match the transport's world
+  /// size, and scripted drop/dup faults must stay on co-located links
+  /// (their retention map is process-local). Wait() runs the transport's
+  /// end-of-run barrier: rank 0 folds every remote task's counters into its
+  /// own metrics view and surfaces remote failures through ok().
+  TopologyBuilder& SetTransport(std::shared_ptr<Transport> transport);
 
   /// Validates the dataflow (existing sources, a DAG, bolts have inputs),
   /// instantiates components, and returns the runnable topology. The

@@ -50,6 +50,7 @@ class Tuple {
   /// string fields are sized automatically; call this once per tuple whose
   /// payloads should count more than a pointer.
   void set_payload_bytes(size_t bytes) { payload_bytes_ = bytes; }
+  size_t payload_bytes() const { return payload_bytes_; }
 
   /// Estimated bytes on the (simulated) wire: 8 per scalar, 4+len per
   /// string, declared payload bytes for opaque fields, plus a fixed header.

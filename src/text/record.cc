@@ -1,6 +1,9 @@
 #include "text/record.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "common/serialize.h"
 
 namespace dssj {
 
@@ -28,6 +31,31 @@ size_t OverlapSize(const std::vector<TokenId>& a, const std::vector<TokenId>& b)
 RecordPtr MakeRecord(uint64_t id, uint64_t seq, std::vector<TokenId> tokens, int64_t timestamp) {
   NormalizeTokens(tokens);
   return std::make_shared<const Record>(id, seq, timestamp, std::move(tokens));
+}
+
+void EncodeRecord(const Record& r, std::string* out) {
+  BinaryWriter w(out);
+  w.WriteU64(r.id);
+  w.WriteU64(r.seq);
+  w.WriteI64(r.timestamp);
+  w.WriteU32(static_cast<uint32_t>(r.tokens.size()));
+  if (!r.tokens.empty()) {
+    out->append(reinterpret_cast<const char*>(r.tokens.data()),
+                r.tokens.size() * sizeof(TokenId));
+  }
+}
+
+bool DecodeRecord(const char* data, size_t size, Record* out) {
+  SafeBinaryReader r(data, size);
+  uint32_t n = 0;
+  if (!r.ReadU64(&out->id) || !r.ReadU64(&out->seq) || !r.ReadI64(&out->timestamp) ||
+      !r.ReadU32(&n)) {
+    return false;
+  }
+  if (r.remaining() != static_cast<size_t>(n) * sizeof(TokenId)) return false;
+  out->tokens.resize(n);
+  if (n > 0) std::memcpy(out->tokens.data(), data + (size - r.remaining()), r.remaining());
+  return true;
 }
 
 }  // namespace dssj

@@ -53,6 +53,15 @@ size_t OverlapSize(const std::vector<TokenId>& a, const std::vector<TokenId>& b)
 RecordPtr MakeRecord(uint64_t id, uint64_t seq, std::vector<TokenId> tokens,
                      int64_t timestamp = 0);
 
+/// Appends the record's wire encoding (id, seq, timestamp, tokens; little
+/// endian) to `*out`. The inverse of DecodeRecord; used as the network
+/// payload codec for record-carrying tuples.
+void EncodeRecord(const Record& r, std::string* out);
+
+/// Decodes an EncodeRecord blob. Returns false on truncated or malformed
+/// input (network bytes are untrusted) — `*out` is unspecified then.
+bool DecodeRecord(const char* data, size_t size, Record* out);
+
 }  // namespace dssj
 
 #endif  // DSSJ_TEXT_RECORD_H_

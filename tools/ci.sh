@@ -24,6 +24,14 @@ cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-
 echo "== overload scenarios =="
 (cd build && ctest -L overload --output-on-failure)
 
+echo "== multi-process smoke =="
+# `net`-labeled tests open localhost sockets; net_smoke_test additionally
+# fork/execs the real dssj_cli + dssj_worker binaries and diffs the result
+# set against a single-process run. Sandboxed runners without sockets can
+# skip the whole surface with `ctest -LE net` (the tests also self-skip
+# when no localhost port can be bound).
+(cd build && ctest -L net --output-on-failure)
+
 if [[ "$RUN_SANITIZE" == "1" ]]; then
   # Each sanitizer gets its own build tree; only the `tsan_safe`-labeled
   # tests (the queue/executor/supervision concurrency surface) are built and
@@ -40,11 +48,20 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest -L tsan_safe --output-on-failure)
 
   echo "== address sanitizer =="
+  # ASan also covers the network surface: the transport threads + wire
+  # parser run under it in-process, and the multi-process smoke re-runs
+  # with both spawned binaries ASan-instrumented.
+  ASAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}"
+                net_wire_test net_transport_test net_smoke_test
+                dssj_cli dssj_worker)
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
-  cmake --build build-asan -j --target "${TSAN_SAFE_TARGETS[@]}"
-  (cd build-asan && ASAN_OPTIONS="detect_leaks=1" ctest -L tsan_safe --output-on-failure)
+  cmake --build build-asan -j --target "${ASAN_TARGETS[@]}"
+  (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
+    ctest -L 'tsan_safe|net' --output-on-failure)
+  (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
+    ctest -R net_wire_test --output-on-failure)
 
   echo "== undefined behavior sanitizer =="
   # UBSan is cheap enough to cover the overload/shedding surface on top of
