@@ -29,7 +29,7 @@ inline const char* JoinFlagsUsage() {
   return "          [--function=jaccard|cosine|dice] [--threshold=permille]\n"
          "          [--joiners=N] [--strategy=length|prefix|broadcast]\n"
          "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
-         "          [--batch_size=N]\n"
+         "          [--batch_size=N] [--queue=mutex|ring]\n"
          "          [--transport=inproc|loopback|tcp] [--workers=N]\n"
          "          [--connect=host:port,host:port,...] [--listen=host:port]\n"
          "          [--checkpoint_interval=N] [--max_restarts=N]\n"
@@ -58,6 +58,12 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
   const int64_t batch_size = flags.GetInt("batch_size", 32);
   if (batch_size < 1) {
     std::fprintf(stderr, "--batch_size must be >= 1\n");
+    return false;
+  }
+
+  const std::string queue = flags.GetString("queue", "ring");
+  if (!dssj::stream::ParseQueueImpl(queue, &options.queue_impl)) {
+    std::fprintf(stderr, "unknown queue implementation '%s' (mutex|ring)\n", queue.c_str());
     return false;
   }
 

@@ -575,6 +575,8 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   stream::TopologyBuilder builder;
   builder.SetNumWorkers(workers)
       .SetQueueCapacity(options.queue_capacity)
+      .SetQueueImpl(options.queue_impl)
+      .SetPinThreads(options.pin_threads)
       .SetBatchSize(options.batch_size)
       .SetRemoteByteCostNanos(options.remote_byte_cost_ns);
   if (options.supervise || !options.fault_script.empty()) {

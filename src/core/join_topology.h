@@ -17,6 +17,7 @@
 #include "net/wire.h"
 #include "stream/fault.h"
 #include "stream/overload.h"
+#include "stream/queue.h"
 #include "text/record.h"
 
 namespace dssj {
@@ -98,6 +99,16 @@ struct DistributedJoinOptions {
 
   /// Per-task inbound queue capacity (backpressure bound).
   size_t queue_capacity = 4096;
+
+  /// Inbound-queue implementation for co-located links (--queue): lock-free
+  /// rings (default) or the mutex+condvar BoundedQueue. Results are
+  /// byte-identical either way; the ring keeps per-tuple dispatch cost off
+  /// the verification path (see TopologyBuilder::SetQueueImpl).
+  stream::QueueImpl queue_impl = stream::QueueImpl::kRing;
+
+  /// Pins executor threads round-robin across cores (see
+  /// TopologyBuilder::SetPinThreads). Benchmarks only.
+  bool pin_threads = false;
 
   /// Tuple-transport batch size (see TopologyBuilder::SetBatchSize): tuples
   /// are moved between tasks in groups of up to this many under one lock

@@ -162,6 +162,35 @@ MergeResult BlockMerge(const TokenId* a, size_t na, const TokenId* b, size_t nb,
   return MergeFrom(a, na, b, nb, 0, 0, 0, required);
 }
 
+/// Counts matches of a tiny side `s` against the long side `l` with one
+/// resumable bounded binary search per token. For one or two tokens this
+/// beats both the gallop (whose doubling phase re-probes cache lines the
+/// lower_bound touches anyway) and the block kernel (whose tail would walk
+/// `l` linearly) — the shape the bundle joiner's delta-based member
+/// resolution produces constantly: a full-length probe against a one- or
+/// two-token add/remove diff.
+MergeResult SearchIntersect(const TokenId* s, size_t ns, const TokenId* l, size_t nl) {
+  MergeResult res{0, 0, false};
+  const TokenId* from = l;
+  const TokenId* end = l + nl;
+  for (size_t k = 0; k < ns; ++k) {
+    from = std::lower_bound(from, end, s[k]);
+    ++res.steps;
+    if (from == end) break;
+    if (*from == s[k]) {
+      ++res.overlap;
+      ++from;
+    }
+  }
+  return res;
+}
+
+/// Sides at or below this length dispatch to SearchIntersect. Measured on
+/// the bench host: at 1-2 tokens the binary search wins against every other
+/// kernel for any long-side length; from 4 tokens up the block merge (or
+/// the gallop, once the skew passes kGallopSkew/2) is ahead.
+constexpr size_t kTinyIntersect = 2;
+
 /// Counts matches of the short side `s` against the long side `l` by
 /// resumable exponential (galloping) search: each short token brackets its
 /// position by doubling steps from the previous match, then binary-searches
@@ -277,10 +306,23 @@ size_t IntersectCount(const TokenId* probe, size_t nprobe, const TokenId* diff, 
       }
     }
   } else if (nprobe != 0 && ndiff != 0) {
-    if (ndiff * 8 < nprobe) {
-      res = GallopIntersect(diff, ndiff, probe, nprobe, 0);
-    } else if (nprobe * 8 < ndiff) {
-      res = GallopIntersect(probe, nprobe, diff, ndiff, 0);
+    // Per-shape kernel selection (ISSUE: delta-based member resolution used
+    // to defeat the block kernel globally): the short side and the
+    // long/short ratio pick the cheapest kernel for this call.
+    const TokenId* s = diff;
+    size_t ns = ndiff;
+    const TokenId* l = probe;
+    size_t nl = nprobe;
+    if (ns > nl) {
+      std::swap(s, l);
+      std::swap(ns, nl);
+    }
+    if (ns <= kTinyIntersect) {
+      // Against a short long side the plain merge's dozen branch-free steps
+      // still undercut two binary searches.
+      res = nl <= kShortMerge ? ScalarMergeCore(l, nl, s, ns, 0) : SearchIntersect(s, ns, l, nl);
+    } else if (ns * 8 < nl) {
+      res = GallopIntersect(s, ns, l, nl, 0);
     } else {
       res = BlockMerge(probe, nprobe, diff, ndiff, 0);
     }

@@ -15,7 +15,8 @@ namespace dssj::stream {
 
 /// A unit travelling over one producer-task → consumer-task link: either a
 /// data tuple or an end-of-stream marker from one upstream task. Within a
-/// process envelopes move through BoundedQueue<Envelope>; across processes
+/// process envelopes move through a Queue<Envelope> (the mutex BoundedQueue
+/// or a lock-free ring, per QueueImpl); across processes
 /// they are framed by the wire format (src/net/wire.h) with every field
 /// except extra_busy_ns preserved end-to-end.
 struct Envelope {
@@ -37,7 +38,7 @@ struct Envelope {
 /// Producer-side endpoint of one consumer task. The topology routes every
 /// delivery through a Channel so the same collector code drives an
 /// in-process queue, a serializing loopback, or a TCP connection. Semantics
-/// mirror BoundedQueue: Push/PushBatch block for backpressure and return
+/// mirror Queue<T>: Push/PushBatch block for backpressure and return
 /// the depth after the push (the consumer queue for in-process channels,
 /// the bounded send buffer for remote ones), or 0 when the endpoint is
 /// closed and the items were rejected. Channels are not thread-safe — each
@@ -63,14 +64,14 @@ class Channel {
 /// fast path, byte-for-byte the pre-transport delivery.
 class InprocChannel final : public Channel {
  public:
-  explicit InprocChannel(BoundedQueue<Envelope>* queue) : queue_(queue) {}
+  explicit InprocChannel(Queue<Envelope>* queue) : queue_(queue) {}
 
   size_t Push(Envelope env) override { return queue_->Push(std::move(env)); }
   size_t PushBatch(std::vector<Envelope>* envs) override { return queue_->PushBatch(envs); }
   bool inproc() const override { return true; }
 
  private:
-  BoundedQueue<Envelope>* queue_;
+  Queue<Envelope>* queue_;
 };
 
 /// Task → worker(rank) placement handed to a transport at start.

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,86 @@
 #include "stream/overload.h"
 
 namespace dssj::stream {
+
+/// Which inbound-queue implementation a topology's co-located links use.
+/// kMutex is the seed BoundedQueue (mutex + condvar); kRing is the lock-free
+/// ring fabric (SpscRingQueue for 1:1 links, RingQueue for fan-in links —
+/// see stream/ring_queue.h). Both implement the same Queue<T> contract and
+/// produce byte-identical results; the ring keeps the per-tuple cost off the
+/// kernel-arbitration path and is the default.
+enum class QueueImpl { kMutex, kRing };
+
+inline const char* QueueImplName(QueueImpl impl) {
+  switch (impl) {
+    case QueueImpl::kMutex: return "mutex";
+    case QueueImpl::kRing: return "ring";
+  }
+  return "unknown";
+}
+
+/// Parses "mutex" / "ring". Returns false (and leaves *out untouched) on
+/// anything else.
+inline bool ParseQueueImpl(const std::string& name, QueueImpl* out) {
+  if (name == "mutex") {
+    *out = QueueImpl::kMutex;
+  } else if (name == "ring") {
+    *out = QueueImpl::kRing;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The contract every co-located link implementation satisfies — the channel
+/// concept InprocChannel and the executors program against. Semantics are
+/// those documented on BoundedQueue (the reference implementation): bounded
+/// blocking FIFO with per-producer ordering, batch transfers, and Close()
+/// that unblocks both sides while keeping accepted items poppable.
+template <typename T>
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Blocks until there is room, then enqueues. Returns the queue depth
+  /// right after the push (>= 1), or 0 when the queue was closed and the
+  /// item rejected.
+  virtual size_t Push(T item) = 0;
+
+  /// Enqueues every element of `*items` in order, draining the vector;
+  /// blocks for backpressure. If the queue closes mid-batch the unaccepted
+  /// remainder is left in `*items` (in order). Returns the depth right
+  /// after the last accepted element.
+  virtual size_t PushBatch(std::vector<T>* items) = 0;
+
+  /// Blocks until an item is available, then dequeues it. Must not be
+  /// called on a closed-and-drained queue.
+  virtual T Pop() = 0;
+
+  /// Blocks until at least one item is available, then appends up to
+  /// `max_items` to `*out`. Returns the number popped — 0 only when the
+  /// queue is closed and drained.
+  virtual size_t PopBatch(std::vector<T>* out, size_t max_items) = 0;
+
+  /// Non-blocking: appends everything currently queued to `*out`.
+  virtual size_t Drain(std::vector<T>* out) = 0;
+
+  /// Non-blocking pop; returns false if the queue is empty.
+  virtual bool TryPop(T* out) = 0;
+
+  /// Stops accepting new items and wakes every blocked producer and
+  /// consumer. Idempotent; thread-safe against concurrent Push/Pop.
+  virtual void Close() = 0;
+
+  virtual bool closed() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t capacity() const = 0;
+
+  /// Turns on queue-health tracking; must be called before concurrent use.
+  virtual void EnableHealthTracking() = 0;
+
+  /// Point-in-time health snapshot (zeros unless tracking is enabled).
+  virtual QueueHealth Health() const = 0;
+};
 
 /// Bounded blocking multi-producer multi-consumer FIFO queue. Push blocks
 /// when full (this is the topology's backpressure mechanism) and Pop blocks
@@ -34,7 +115,7 @@ namespace dssj::stream {
 /// remainder in its input vector — while items accepted before the close
 /// stay poppable until the queue drains, after which PopBatch returns 0.
 template <typename T>
-class BoundedQueue {
+class BoundedQueue final : public Queue<T> {
  public:
   /// Requires capacity >= 1.
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) { CHECK_GE(capacity, 1u); }
@@ -46,7 +127,7 @@ class BoundedQueue {
   /// right after the push (for high-watermark accounting), or 0 when the
   /// queue was closed and the item rejected (a successful push always
   /// reports depth >= 1).
-  size_t Push(T item) {
+  size_t Push(T item) override {
     std::unique_lock<std::mutex> lock(mu_);
     if (!WaitForRoom(lock)) return 0;
     items_.push_back(std::move(item));
@@ -67,7 +148,7 @@ class BoundedQueue {
   /// element lands. If the queue closes mid-batch, elements not yet
   /// accepted are left in `*items` (in order) and the depth so far is
   /// returned.
-  size_t PushBatch(std::vector<T>* items) {
+  size_t PushBatch(std::vector<T>* items) override {
     if (items->empty()) {
       std::lock_guard<std::mutex> lock(mu_);
       return items_.size();
@@ -112,7 +193,7 @@ class BoundedQueue {
   /// Blocks until an item is available, then dequeues it. Must not be
   /// called on a closed-and-drained queue (use PopBatch/TryPop when the
   /// queue may close).
-  T Pop() {
+  T Pop() override {
     std::unique_lock<std::mutex> lock(mu_);
     CHECK(WaitForItem(lock)) << "Pop on a closed, drained queue";
     T item = std::move(items_.front());
@@ -127,7 +208,7 @@ class BoundedQueue {
   /// Blocks until at least one item is available, then appends up to
   /// `max_items` to `*out` under one lock. Returns the number popped —
   /// 0 only when the queue is closed and drained.
-  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+  size_t PopBatch(std::vector<T>* out, size_t max_items) override {
     CHECK_GE(max_items, 1u);
     std::unique_lock<std::mutex> lock(mu_);
     if (!WaitForItem(lock)) return 0;
@@ -142,7 +223,7 @@ class BoundedQueue {
 
   /// Non-blocking: appends everything currently queued to `*out`. Returns
   /// the number drained (possibly zero).
-  size_t Drain(std::vector<T>* out) {
+  size_t Drain(std::vector<T>* out) override {
     std::unique_lock<std::mutex> lock(mu_);
     const size_t n = items_.size();
     MoveOut(out, n);
@@ -154,7 +235,7 @@ class BoundedQueue {
   }
 
   /// Non-blocking pop; returns false if the queue is empty.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) override {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
@@ -169,7 +250,7 @@ class BoundedQueue {
   /// Stops accepting new items and wakes every blocked producer and
   /// consumer. Items already accepted remain poppable. Idempotent;
   /// thread-safe against concurrent Push/Pop from any thread.
-  void Close() {
+  void Close() override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
@@ -178,23 +259,23 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
-  bool closed() const {
+  bool closed() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;
   }
 
-  size_t size() const {
+  size_t size() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
   }
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const override { return capacity_; }
 
   /// Turns on queue-health tracking (depth EWMA, time at capacity, oldest
   /// item age) at the cost of one clock read per queue operation. Must be
   /// called before any concurrent use (the topology does it at Build time);
   /// queues without it pay only a dead branch per operation.
-  void EnableHealthTracking() {
+  void EnableHealthTracking() override {
     std::lock_guard<std::mutex> lock(mu_);
     health_ = true;
   }
@@ -202,7 +283,7 @@ class BoundedQueue {
   /// Point-in-time health snapshot (all zeros unless EnableHealthTracking
   /// was called). QueueHealth::force_shed is not set here — the topology
   /// wrapper owns that bit.
-  QueueHealth Health() const {
+  QueueHealth Health() const override {
     QueueHealth h;
     std::lock_guard<std::mutex> lock(mu_);
     h.depth = items_.size();

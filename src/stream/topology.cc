@@ -12,11 +12,17 @@
 #include <unordered_map>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "stream/channel.h"
 #include "stream/queue.h"
+#include "stream/ring_queue.h"
 
 namespace dssj::stream {
 namespace internal_topology {
@@ -65,7 +71,7 @@ struct Task {
   int worker = 0;
   /// Hosted (locally executing) bolt tasks only; null for spouts and for
   /// tasks a transport places on another rank.
-  std::unique_ptr<BoundedQueue<Envelope>> queue;
+  std::unique_ptr<Queue<Envelope>> queue;
   std::unique_ptr<Spout> spout;
   std::unique_ptr<Bolt> bolt;
   /// Allocated for every task, hosted or not: rank 0 folds remote tasks'
@@ -87,6 +93,8 @@ struct TopologyImpl {
   std::vector<Task> tasks;
   int num_workers = 1;
   size_t queue_capacity = 1024;
+  QueueImpl queue_impl = QueueImpl::kRing;
+  bool pin_threads = false;
   size_t batch_size = 32;
   double remote_byte_cost_ns = 0.0;
   bool built = false;
@@ -1001,6 +1009,22 @@ void AddInput(ComponentSpec* spec, const std::string& source, Grouping grouping)
   spec->inputs.emplace_back(source, std::move(grouping));
 }
 
+/// Pins an executor thread to one core (SetPinThreads). Linux-only; a no-op
+/// elsewhere, and best-effort on Linux (a failed setaffinity just leaves
+/// the thread floating — pinning is a measurement aid, not a correctness
+/// requirement).
+void PinThreadToCore(std::thread& thread, unsigned core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)core;
+#endif
+}
+
 }  // namespace
 
 BoltDeclarer& BoltDeclarer::ShuffleGrouping(const std::string& source) {
@@ -1087,6 +1111,16 @@ TopologyBuilder& TopologyBuilder::SetNumWorkers(int workers) {
 TopologyBuilder& TopologyBuilder::SetQueueCapacity(size_t capacity) {
   CHECK_GE(capacity, 1u);
   impl_->queue_capacity = capacity;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetQueueImpl(QueueImpl impl) {
+  impl_->queue_impl = impl;
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::SetPinThreads(bool pin) {
+  impl_->pin_threads = pin;
   return *this;
 }
 
@@ -1214,7 +1248,10 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
       } else {
         task.bolt = comp.bolt_factory();
         CHECK(task.bolt != nullptr);
-        task.queue = std::make_unique<BoundedQueue<Envelope>>(t.queue_capacity);
+        // An SPSC ring is safe only when exactly one producer-task thread
+        // can ever push and no transport thread delivers inbound batches.
+        const bool spsc_safe = comp.upstream_tasks == 1 && t.transport == nullptr;
+        task.queue = MakeQueue<Envelope>(t.queue_impl, t.queue_capacity, spsc_safe);
       }
       t.tasks.push_back(std::move(task));
     }
@@ -1315,6 +1352,8 @@ void Topology::Submit() {
   CHECK(!t.submitted) << "topology already submitted";
   t.submitted = true;
   t.start_us.store(NowMicros(), std::memory_order_relaxed);
+  const unsigned ncores = std::max(1u, std::thread::hardware_concurrency());
+  unsigned spawned = 0;
   for (Task& task : t.tasks) {
     if (task.spout != nullptr) {
       task.thread = std::thread([&t, &task] { t.RunSpoutTask(task); });
@@ -1322,6 +1361,9 @@ void Topology::Submit() {
       task.thread = std::thread([&t, &task] { t.RunBoltTask(task); });
     }
     // Tasks hosted on another rank get no executor here.
+    if (t.pin_threads && task.thread.joinable()) {
+      PinThreadToCore(task.thread, spawned++ % ncores);
+    }
   }
   if (t.overload_active && t.overload.stall_timeout_micros > 0) {
     t.watchdog = std::thread([&t] { t.RunWatchdog(); });

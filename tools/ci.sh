@@ -36,7 +36,8 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   # Each sanitizer gets its own build tree; only the `tsan_safe`-labeled
   # tests (the queue/executor/supervision concurrency surface) are built and
   # run — the full suite under sanitizers is too slow for this host.
-  TSAN_SAFE_TARGETS=(queue_test topology_test topology_stress_test
+  TSAN_SAFE_TARGETS=(queue_test ring_queue_test queue_equivalence_test
+                     topology_test topology_stress_test
                      stream_substrate_misc_test fault_recovery_test
                      distributed_join_test)
 
@@ -46,6 +47,14 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target "${TSAN_SAFE_TARGETS[@]}"
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest -L tsan_safe --output-on-failure)
+
+  echo "== ring-queue race repetition (TSan, N=200) =="
+  # The close/wake interleavings in the lock-free rings are the raciest
+  # code in the repo and a single pass rarely explores them; hammer the
+  # ring stress tests 200 times under TSan so a stranded-waiter or
+  # missed-close schedule has real odds of surfacing.
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+    ctest -R ring_queue_test --repeat until-fail:200 --output-on-failure)
 
   echo "== address sanitizer =="
   # ASan also covers the network surface: the transport threads + wire
