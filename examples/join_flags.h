@@ -31,6 +31,7 @@ inline const char* JoinFlagsUsage() {
          "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
          "          [--batch_size=N] [--queue=mutex|ring]\n"
          "          [--transport=inproc|loopback|tcp] [--workers=N]\n"
+         "          [--wire_codec=raw|delta|delta+lz]\n"
          "          [--connect=host:port,host:port,...] [--listen=host:port]\n"
          "          [--checkpoint_interval=N] [--max_restarts=N]\n"
          "          [--fault_script='kill:joiner:0@500; ...']\n"
@@ -88,6 +89,11 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
   }
   if (workers < 0 || rank < 0) {
     std::fprintf(stderr, "--workers and --rank must be >= 0\n");
+    return false;
+  }
+  const std::string wire_codec = flags.GetString("wire_codec", "delta");
+  if (!dssj::net::ParseWireCodec(wire_codec, &options.wire_codec)) {
+    std::fprintf(stderr, "unknown wire codec '%s' (raw|delta|delta+lz)\n", wire_codec.c_str());
     return false;
   }
   options.num_workers = static_cast<int>(workers);

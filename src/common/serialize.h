@@ -31,9 +31,33 @@ class BinaryWriter {
     out_->append(blob);
   }
 
+  /// LEB128 varint: 7 value bits per byte, low group first, high bit set on
+  /// every byte except the last. Always emits the minimal (canonical)
+  /// encoding; SafeBinaryReader::ReadVarint rejects anything else.
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      WriteU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    WriteU8(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-mapped varint for signed values (small magnitudes of either
+  /// sign stay short).
+  void WriteVarintI64(int64_t v) {
+    WriteVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
   void WriteU32Vec(const std::vector<uint32_t>& v) {
     WriteU64(v.size());
     if (!v.empty()) Append(v.data(), v.size() * sizeof(uint32_t));
+  }
+
+  /// Same layout as WriteU32Vec from a raw span (token views that are not
+  /// materialized as vectors).
+  void WriteU32Span(const uint32_t* data, size_t n) {
+    WriteU64(n);
+    if (n > 0) Append(data, n * sizeof(uint32_t));
   }
 
   void WriteBytes(const std::string& blob) {
@@ -94,6 +118,58 @@ class BinaryReader {
   const char* end_;
 };
 
+/// Canonical LEB128 decode over a raw byte range. On success advances `p`
+/// past the varint; on failure leaves `p` untouched. *Canonical encodings
+/// only*: a value has exactly one accepted byte sequence, so redundantly
+/// padded varints (a zero final group) and encodings that overflow 64 bits
+/// are rejected, not silently normalized. The 1-4 byte cases are unrolled —
+/// delta-coded wire sections are dominated by short varints (token gaps,
+/// counts, lengths) and this is the receive path's hottest decode.
+inline bool DecodeCanonicalVarint(const uint8_t*& p, const uint8_t* end, uint64_t* out) {
+  const size_t avail = static_cast<size_t>(end - p);
+  if (avail >= 1 && p[0] < 0x80) {
+    *out = p[0];
+    p += 1;
+    return true;
+  }
+  // Below here byte 0 has its continuation bit set (or the input is empty).
+  if (avail >= 2 && p[1] < 0x80) {
+    if (p[1] == 0) return false;  // non-minimal (trailing zero group)
+    *out = static_cast<uint64_t>(p[0] & 0x7f) | static_cast<uint64_t>(p[1]) << 7;
+    p += 2;
+    return true;
+  }
+  if (avail >= 3 && p[2] < 0x80) {
+    if (p[2] == 0) return false;
+    *out = static_cast<uint64_t>(p[0] & 0x7f) | static_cast<uint64_t>(p[1] & 0x7f) << 7 |
+           static_cast<uint64_t>(p[2]) << 14;
+    p += 3;
+    return true;
+  }
+  if (avail >= 4 && p[3] < 0x80) {
+    if (p[3] == 0) return false;
+    *out = static_cast<uint64_t>(p[0] & 0x7f) | static_cast<uint64_t>(p[1] & 0x7f) << 7 |
+           static_cast<uint64_t>(p[2] & 0x7f) << 14 | static_cast<uint64_t>(p[3]) << 21;
+    p += 4;
+    return true;
+  }
+  uint64_t v = 0;
+  uint8_t byte = 0;
+  int i = 0;
+  const uint8_t* q = p;
+  do {
+    if (i == 10 || q == end) return false;  // 64 bits never need more than 10 groups
+    byte = *q++;
+    if (i == 9 && byte > 1) return false;  // bits past position 63
+    v |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+    ++i;
+  } while (byte & 0x80);
+  if (i > 1 && byte == 0) return false;  // non-minimal (trailing zero group)
+  *out = v;
+  p = q;
+  return true;
+}
+
 /// Bounds-checked reader for *untrusted* bytes (network frames): unlike
 /// BinaryReader, a truncated or malformed input is an expected runtime
 /// condition, so every read reports success instead of aborting. After any
@@ -118,6 +194,36 @@ class SafeBinaryReader {
     return true;
   }
 
+  /// LEB128 varint (BinaryWriter::WriteVarint counterpart). *Canonical
+  /// encodings only* (see DecodeCanonicalVarint): rejecting redundant
+  /// paddings keeps wire bytes bijective with values — byte-identical
+  /// re-encoding is a meaningful equivalence check.
+  bool ReadVarint(uint64_t* out) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(p_);
+    if (!DecodeCanonicalVarint(p, reinterpret_cast<const uint8_t*>(end_), out)) {
+      return Fail();
+    }
+    p_ = reinterpret_cast<const char*>(p);
+    return true;
+  }
+
+  /// Varint bounded to u32 range (token counts, lengths).
+  bool ReadVarint32(uint32_t* out) {
+    uint64_t v = 0;
+    if (!ReadVarint(&v)) return false;
+    if (v > 0xffffffffull) return Fail();
+    *out = static_cast<uint32_t>(v);
+    return true;
+  }
+
+  /// Zigzag-mapped varint (BinaryWriter::WriteVarintI64 counterpart).
+  bool ReadVarintI64(int64_t* out) {
+    uint64_t v = 0;
+    if (!ReadVarint(&v)) return false;
+    *out = static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+    return true;
+  }
+
   /// View variant of ReadBytesU32: no copy, pointers valid while the
   /// underlying buffer lives.
   bool ReadSpanU32(const char** data, size_t* size) {
@@ -125,6 +231,26 @@ class SafeBinaryReader {
     if (!ReadU32(&n) || n > remaining()) return Fail();
     *data = p_;
     *size = n;
+    p_ += n;
+    return true;
+  }
+
+  /// View of the next `n` bytes (caller already knows the length, e.g. from
+  /// a varint prefix it read itself).
+  bool ReadSpan(const char** data, size_t* size, uint64_t n) {
+    if (n > remaining()) return Fail();
+    *data = p_;
+    *size = static_cast<size_t>(n);
+    p_ += n;
+    return true;
+  }
+
+  /// Varint length prefix + that many raw bytes (the delta-codec string
+  /// layout).
+  bool ReadBytesVarint(std::string* out) {
+    uint64_t n = 0;
+    if (!ReadVarint(&n) || n > remaining()) return Fail();
+    out->assign(p_, static_cast<size_t>(n));
     p_ += n;
     return true;
   }

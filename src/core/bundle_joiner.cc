@@ -277,7 +277,7 @@ void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission
   } else {
     bundle_id = next_bundle_id_++;
     bundle = &bundles_[bundle_id];
-    bundle->pivot = r->tokens;
+    bundle->pivot.assign(r->tokens.begin(), r->tokens.end());
     bundle->min_size = bundle->max_size = member.size;
     approx_bytes_ += ApproxBundleBytes(*bundle);  // indexed still empty here
     ++stats_.bundles_created;

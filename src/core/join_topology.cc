@@ -299,7 +299,14 @@ class JoinerBolt : public stream::Bolt {
       if (options_->collect_results) shed_seqs_.push_back(record->seq);
     }
     if (!store && !probe) return;
-    joiner_->Process(record, store, probe, [&](const ResultPair& pair) {
+    // Detach-on-store: a record entering the index outlives this frame's
+    // processing window, so a frame-borrowed token array is copied to
+    // owning storage here — otherwise every stored record would pin its
+    // whole frame arena (and checkpoints would serialize borrowed spans
+    // racing frame-buffer recycling). Probe-only traffic — the bulk under
+    // replicating strategies — keeps the zero-copy borrow.
+    const RecordPtr durable = store ? DetachRecord(record) : record;
+    joiner_->Process(durable, store, probe, [&](const ResultPair& pair) {
       // Exactly-once rule: only the probe that arrives after its partner
       // reports the pair (see DESIGN.md §4).
       if (pair.partner_seq >= pair.probe_seq) return;
@@ -419,13 +426,41 @@ const char* JoinTransportName(JoinTransport t) {
 
 net::PayloadCodec RecordWireCodec() {
   net::PayloadCodec codec;
-  codec.encode = [](const std::shared_ptr<const void>& payload, std::string* out) {
-    EncodeRecord(*static_cast<const Record*>(payload.get()), out);
+  codec.encode = [](net::WireCodec wire, const std::shared_ptr<const void>& payload,
+                    std::string* out) {
+    const Record& r = *static_cast<const Record*>(payload.get());
+    if (wire == net::WireCodec::kRaw) {
+      EncodeRecord(r, out);
+    } else {
+      EncodeRecordDelta(r, out);
+    }
   };
-  codec.decode = [](const char* data, size_t size, std::shared_ptr<const void>* out) {
-    auto record = std::make_shared<Record>();
-    if (!DecodeRecord(data, size, record.get())) return false;
-    *out = std::shared_ptr<const void>(std::move(record));
+  codec.decode = [](net::WireCodec wire, const char* data, size_t size,
+                    const std::shared_ptr<net::FrameArena>& arena,
+                    std::shared_ptr<const void>* out) {
+    const bool raw = wire == net::WireCodec::kRaw;
+    if (arena == nullptr) {
+      // Materializing path (no stable frame storage): the record owns its
+      // tokens.
+      auto record = std::make_shared<Record>();
+      const bool ok = raw ? DecodeRecord(data, size, record.get())
+                          : DecodeRecordDelta(data, size, record.get());
+      if (!ok) return false;
+      *out = std::shared_ptr<const void>(std::move(record));
+      return true;
+    }
+    // Zero-copy path: the record lives in arena storage and its tokens
+    // either alias the frame bytes (raw, aligned, little-endian) or decode
+    // into arena token chunks. The aliasing shared_ptr pins the arena, so
+    // the views stay valid for as long as anyone holds the payload.
+    const auto alloc = [](void* ctx, size_t n) -> TokenId* {
+      return static_cast<net::FrameArena*>(ctx)->AllocTokens(n);
+    };
+    Record* record = arena->AllocRecord();
+    const bool ok = raw ? DecodeRecordBorrowed(data, size, alloc, arena.get(), record)
+                        : DecodeRecordDeltaBorrowed(data, size, alloc, arena.get(), record);
+    if (!ok) return false;
+    *out = std::shared_ptr<const void>(arena, record);
     return true;
   };
   return codec;
@@ -552,7 +587,8 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
 
   std::shared_ptr<stream::Transport> transport;
   if (options.transport == JoinTransport::kLoopback) {
-    transport = std::make_shared<net::LoopbackTransport>(workers, RecordWireCodec());
+    transport = std::make_shared<net::LoopbackTransport>(
+        workers, RecordWireCodec(), options.wire_codec, options.net_arena_pool);
   } else if (options.transport == JoinTransport::kTcp) {
     StatusOr<std::vector<net::Endpoint>> cluster = net::ParseClusterSpec(options.cluster);
     CHECK(cluster.ok()) << "bad cluster spec: " << cluster.status().message();
@@ -566,6 +602,8 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
     net_options.send_queue_capacity = options.net_send_queue;
     net_options.connect_timeout_micros = options.net_connect_timeout_micros;
     net_options.codec = RecordWireCodec();
+    net_options.wire_codec = options.wire_codec;
+    net_options.arena_pool_capacity = options.net_arena_pool;
     transport = std::make_shared<net::TcpTransport>(std::move(net_options));
   }
 

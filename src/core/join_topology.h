@@ -41,9 +41,13 @@ const char* LocalAlgorithmName(LocalAlgorithm a);
 enum class JoinTransport { kInproc, kLoopback, kTcp };
 const char* JoinTransportName(JoinTransport t);
 
-/// Payload codec for Record payloads crossing process boundaries
-/// (EncodeRecord/DecodeRecord). Shared by the join topology and the
-/// transport tests.
+/// Payload codec for Record payloads crossing process boundaries. Dispatches
+/// on the per-call wire codec: raw (EncodeRecord/DecodeRecord) or delta
+/// (EncodeRecordDelta/DecodeRecordDelta). When the transport supplies a
+/// frame arena, decoding is zero-copy: records and their token arrays live
+/// in arena storage (raw token bytes alias the frame buffer directly) and
+/// are handed out as aliasing shared_ptrs pinning the arena. Shared by the
+/// join topology and the transport tests.
 net::PayloadCodec RecordWireCodec();
 
 /// How to derive the length partition for the length-based strategy.
@@ -141,6 +145,14 @@ struct DistributedJoinOptions {
   size_t net_send_queue = 1024;
   /// How long TCP connect retries cover workers starting out of order.
   int64_t net_connect_timeout_micros = 30'000'000;
+  /// Tuple-section coding for frames this process sends under kLoopback /
+  /// kTcp (--wire_codec=raw|delta|delta+lz). Frames are self-describing, so
+  /// mixed-codec clusters still interoperate; results are byte-identical
+  /// across codecs.
+  net::WireCodec wire_codec = net::WireCodec::kDelta;
+  /// Frame-arena recycling bound for the zero-copy receive path (0 = free
+  /// every arena immediately; used by borrow-lifetime tests under ASan).
+  size_t net_arena_pool = 8;
 
   /// Source pacing in records/second; 0 = replay as fast as possible.
   double arrival_rate_per_sec = 0.0;

@@ -118,7 +118,7 @@ inline void WriteRecordTo(const Record& r, BinaryWriter* w) {
   w->WriteU64(r.id);
   w->WriteU64(r.seq);
   w->WriteI64(r.timestamp);
-  w->WriteU32Vec(r.tokens);
+  w->WriteU32Span(r.tokens.data(), r.tokens.size());
 }
 
 inline RecordPtr ReadRecordFrom(BinaryReader* r) {

@@ -267,8 +267,7 @@ size_t VerifyOverlap(const TokenId* a, size_t na, const TokenId* b, size_t nb,
   return res.overlap;
 }
 
-size_t VerifyOverlap(const std::vector<TokenId>& a, const std::vector<TokenId>& b,
-                     size_t required, VerifyCounters* counters) {
+size_t VerifyOverlap(TokenSpan a, TokenSpan b, size_t required, VerifyCounters* counters) {
   return VerifyOverlap(a.data(), a.size(), b.data(), b.size(), required, counters);
 }
 
@@ -334,8 +333,7 @@ size_t IntersectCount(const TokenId* probe, size_t nprobe, const TokenId* diff, 
   return res.overlap;
 }
 
-size_t IntersectCount(const std::vector<TokenId>& probe, const std::vector<TokenId>& diff,
-                      VerifyCounters* counters) {
+size_t IntersectCount(TokenSpan probe, TokenSpan diff, VerifyCounters* counters) {
   return IntersectCount(probe.data(), probe.size(), diff.data(), diff.size(), counters);
 }
 
@@ -360,8 +358,7 @@ size_t DiffBoundRecurse(const TokenId* a, size_t na, const TokenId* b, size_t nb
 
 }  // namespace
 
-size_t SymmetricDifferenceLowerBound(const std::vector<TokenId>& a,
-                                     const std::vector<TokenId>& b, int max_depth) {
+size_t SymmetricDifferenceLowerBound(TokenSpan a, TokenSpan b, int max_depth) {
   return DiffBoundRecurse(a.data(), a.size(), b.data(), b.size(), max_depth);
 }
 

@@ -39,8 +39,10 @@ VerifyKernel GetVerifyKernel();
 size_t VerifyOverlap(const TokenId* a, size_t na, const TokenId* b, size_t nb,
                      size_t required, VerifyCounters* counters = nullptr);
 
-size_t VerifyOverlap(const std::vector<TokenId>& a, const std::vector<TokenId>& b,
-                     size_t required, VerifyCounters* counters = nullptr);
+/// TokenSpan convenience form: accepts std::vector<TokenId>, TokenArray
+/// (owning or frame-borrowed) and raw spans alike.
+size_t VerifyOverlap(TokenSpan a, TokenSpan b, size_t required,
+                     VerifyCounters* counters = nullptr);
 
 /// The reference scalar merge loop (pre-optimization behaviour), exposed so
 /// fuzz tests can cross-check the block/SIMD kernel and benches can measure
@@ -55,8 +57,7 @@ size_t VerifyOverlapScalar(const TokenId* a, size_t na, const TokenId* b, size_t
 size_t IntersectCount(const TokenId* probe, size_t nprobe, const TokenId* diff,
                       size_t ndiff, VerifyCounters* counters = nullptr);
 
-size_t IntersectCount(const std::vector<TokenId>& probe, const std::vector<TokenId>& diff,
-                      VerifyCounters* counters = nullptr);
+size_t IntersectCount(TokenSpan probe, TokenSpan diff, VerifyCounters* counters = nullptr);
 
 /// Lower-bounds the symmetric-difference size |a △ b| of two ascending
 /// token arrays in O(2^depth · log) by divide and conquer (the PPJoin+
@@ -67,8 +68,7 @@ size_t IntersectCount(const std::vector<TokenId>& probe, const std::vector<Token
 /// symmetric difference. Since overlap = (|a| + |b| − |a △ b|) / 2, a pair
 /// requiring overlap α can be pruned when the bound exceeds
 /// |a| + |b| − 2α.
-size_t SymmetricDifferenceLowerBound(const std::vector<TokenId>& a,
-                                     const std::vector<TokenId>& b, int max_depth);
+size_t SymmetricDifferenceLowerBound(TokenSpan a, TokenSpan b, int max_depth);
 
 }  // namespace dssj
 

@@ -1,0 +1,127 @@
+#include "net/block_compress.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace dssj::net {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Hash32(uint32_t v) {
+  // Fibonacci hashing of the 4-byte window; top bits index the table.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLen(size_t len, std::string* out) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+void EmitSequence(const char* lit, size_t nlit, size_t offset, size_t match,
+                  std::string* out) {
+  const size_t lit_nib = nlit < 15 ? nlit : 15;
+  const size_t match_code = match == 0 ? 0 : match - kMinMatch;
+  const size_t match_nib = match_code < 15 ? match_code : 15;
+  out->push_back(static_cast<char>((lit_nib << 4) | match_nib));
+  if (lit_nib == 15) PutLen(nlit - 15, out);
+  out->append(lit, nlit);
+  if (match == 0) return;  // final literal-only sequence
+  const uint16_t off16 = static_cast<uint16_t>(offset);
+  out->push_back(static_cast<char>(off16 & 0xff));
+  out->push_back(static_cast<char>(off16 >> 8));
+  if (match_nib == 15) PutLen(match_code - 15, out);
+}
+
+}  // namespace
+
+void BlockCompress(const char* in, size_t n, std::string* out) {
+  out->reserve(out->size() + n / 2 + 16);
+  // Candidate positions of recently seen 4-byte windows. Positions are
+  // stored +1 so 0 means "empty"; stale entries are filtered by the offset
+  // bound and the content check.
+  uint32_t table[1u << kHashBits] = {0};
+  size_t anchor = 0;
+  size_t i = 0;
+  // Stop probing once fewer than kMinMatch bytes remain (nothing left to
+  // match); the tail goes out as the final literal run.
+  while (i + kMinMatch <= n) {
+    const uint32_t window = Load32(in + i);
+    uint32_t& slot = table[Hash32(window)];
+    const size_t cand = slot == 0 ? SIZE_MAX : slot - 1;
+    slot = static_cast<uint32_t>(i + 1);
+    if (cand == SIZE_MAX || i - cand > kMaxOffset || Load32(in + cand) != window) {
+      ++i;
+      continue;
+    }
+    size_t match = kMinMatch;
+    while (i + match < n && in[cand + match] == in[i + match]) ++match;
+    EmitSequence(in + anchor, i - anchor, i - cand, match, out);
+    i += match;
+    anchor = i;
+  }
+  EmitSequence(in + anchor, n - anchor, 0, 0, out);
+}
+
+bool BlockDecompress(const char* in, size_t n, char* out, size_t raw_len) {
+  const char* ip = in;
+  const char* const iend = in + n;
+  size_t op = 0;
+
+  const auto read_len = [&](size_t base) -> size_t {
+    size_t len = base;
+    if (base == 15) {
+      uint8_t b;
+      do {
+        if (ip == iend) return SIZE_MAX;
+        b = static_cast<uint8_t>(*ip++);
+        len += b;
+      } while (b == 255);
+    }
+    return len;
+  };
+
+  while (ip != iend) {
+    const uint8_t token = static_cast<uint8_t>(*ip++);
+    const size_t nlit = read_len(token >> 4);
+    if (nlit == SIZE_MAX) return false;
+    if (nlit > static_cast<size_t>(iend - ip) || nlit > raw_len - op) return false;
+    std::memcpy(out + op, ip, nlit);
+    ip += nlit;
+    op += nlit;
+    if (ip == iend) {
+      // Final sequence: literals only; its match nibble must be 0 (a lying
+      // nibble would promise a match the input cannot deliver).
+      if ((token & 0x0f) != 0) return false;
+      break;
+    }
+    if (iend - ip < 2) return false;
+    const size_t offset = static_cast<uint8_t>(ip[0]) |
+                          (static_cast<size_t>(static_cast<uint8_t>(ip[1])) << 8);
+    ip += 2;
+    if (offset == 0 || offset > op) return false;
+    const size_t match_code = read_len(token & 0x0f);
+    if (match_code == SIZE_MAX) return false;
+    const size_t match = match_code + kMinMatch;
+    if (match > raw_len - op) return false;
+    // Byte-wise copy: matches may overlap their own output (offset < match
+    // length encodes a run).
+    const char* src = out + op - offset;
+    for (size_t k = 0; k < match; ++k) out[op + k] = src[k];
+    op += match;
+  }
+  return op == raw_len;
+}
+
+}  // namespace dssj::net

@@ -1,0 +1,48 @@
+#ifndef DSSJ_NET_BLOCK_COMPRESS_H_
+#define DSSJ_NET_BLOCK_COMPRESS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace dssj::net {
+
+/// Self-contained LZ77 byte compressor for wire frame sections (the
+/// `delta+lz` codec), format-compatible with nothing on purpose — no
+/// external dependency, no streaming state, one block per frame.
+///
+/// Block format (LZ4-style sequences):
+///
+///   sequence := token literals* (offset match_ext*)?
+///   token    := u8, high nibble = literal count, low nibble = match length
+///               minus 4; nibble value 15 means "extended": u8 continuation
+///               bytes follow (each adds its value; a byte < 255 terminates).
+///   offset   := u16 little endian, 1..65535, distance back into the output.
+///
+/// The final sequence carries literals only (its match nibble is 0 and no
+/// offset follows — input simply ends after the literals). Matches are at
+/// least 4 bytes and may self-overlap (offset < match length), which is the
+/// run-length case.
+///
+/// Decompression is bomb-proof by contract: the caller pre-declares the
+/// exact decompressed size (carried on the wire *outside* the block and
+/// bounds-checked against the frame ceiling before any allocation), and
+/// BlockDecompress fails unless the block reproduces exactly that many
+/// bytes without reading past `in + n` or writing past `out + raw_len`.
+
+/// Worst-case compressed size for `n` input bytes (incompressible input
+/// costs the literal-extension overhead).
+inline size_t BlockCompressBound(size_t n) { return n + n / 255 + 16; }
+
+/// Appends the compressed block for in[0..n) to *out.
+void BlockCompress(const char* in, size_t n, std::string* out);
+
+/// Decompresses a block that must inflate to exactly `raw_len` bytes into
+/// `out` (caller-allocated). Returns false on any malformed input: offsets
+/// of zero or past the produced prefix, output over- or underrun, or
+/// truncated sequences. Never reads outside in[0..n) or writes outside
+/// out[0..raw_len).
+bool BlockDecompress(const char* in, size_t n, char* out, size_t raw_len);
+
+}  // namespace dssj::net
+
+#endif  // DSSJ_NET_BLOCK_COMPRESS_H_

@@ -153,17 +153,21 @@ class LoopbackChannel final : public stream::Channel {
 
   size_t PushBatch(std::vector<stream::Envelope>* envs) override {
     if (envs->empty()) return 1;
-    bytes_.clear();
-    AppendEnvelopeFrames(dst_task_, *envs, &transport_->codec_, &bytes_);
+    // Encode straight into arena-owned storage, then parse with that arena:
+    // decoded payloads borrow the frame bytes (zero extra copy) and pin the
+    // arena via aliasing shared_ptrs until the last consumer drops them.
+    std::shared_ptr<FrameArena> arena = transport_->arena_pool_.Acquire();
+    std::string& bytes = arena->bytes();
+    AppendEnvelopeFrames(transport_->wire_, dst_task_, *envs, &transport_->codec_, &bytes);
     size_t depth = 0;
     size_t off = 0;
-    while (off < bytes_.size()) {
-      Frame frame;
+    Frame frame;  // reused: ParseFrame keeps envelope capacity across frames
+    while (off < bytes.size()) {
       size_t consumed = 0;
       std::string error;
       const ParseStatus st =
-          ParseFrame(bytes_.data() + off, bytes_.size() - off, &transport_->codec_,
-                     kDefaultMaxFrameBytes, &frame, &consumed, &error);
+          ParseFrame(bytes.data() + off, bytes.size() - off, &transport_->codec_,
+                     kDefaultMaxFrameBytes, &frame, &consumed, &error, arena);
       if (st != ParseStatus::kFrame) {
         transport_->on_failure_("loopback frame round-trip failed: " + error);
         return 0;
@@ -181,7 +185,6 @@ class LoopbackChannel final : public stream::Channel {
  private:
   LoopbackTransport* transport_;
   const int dst_task_;
-  std::string bytes_;  ///< reused encode buffer (channels are single-producer)
 };
 
 void LoopbackTransport::Start(const stream::TransportPlan& plan, InboundSink sink,
@@ -228,7 +231,8 @@ class TcpChannel final : public stream::Channel {
   size_t PushBatch(std::vector<stream::Envelope>* envs) override {
     if (envs->empty()) return 1;
     TcpTransport::OutFrame out;
-    AppendEnvelopeFrames(dst_task_, *envs, &transport_->options_.codec, &out.bytes);
+    AppendEnvelopeFrames(transport_->options_.wire_codec, dst_task_, *envs,
+                         &transport_->options_.codec, &out.bytes);
     const size_t depth = conn_->queue->Push(std::move(out));
     if (depth == 0) return 0;  // transport shut down; remainder rejected
     envs->clear();
@@ -243,7 +247,8 @@ class TcpChannel final : public stream::Channel {
   TcpTransport::SenderConn* conn_;
 };
 
-TcpTransport::TcpTransport(TcpTransportOptions options) : options_(std::move(options)) {
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)), arena_pool_(options_.arena_pool_capacity) {
   CHECK(!options_.cluster.empty()) << "TcpTransport needs a cluster spec";
   CHECK(options_.rank >= 0 && options_.rank < static_cast<int>(options_.cluster.size()))
       << "rank " << options_.rank << " outside cluster of " << options_.cluster.size();
@@ -443,6 +448,7 @@ void TcpTransport::ReaderLoop(int fd) {
   int peer = -1;
   bool failed = false;
   char chunk[64 * 1024];
+  Frame frame;  // reused: ParseFrame keeps envelope capacity across frames
   while (!shutdown_.load() && !failed) {
     pollfd p{fd, POLLIN, 0};
     const int pr = ::poll(&p, 1, 100);
@@ -455,12 +461,34 @@ void TcpTransport::ReaderLoop(int fd) {
     }
     buf.append(chunk, static_cast<size_t>(n));
     while (!failed) {
-      Frame frame;
       size_t consumed = 0;
       std::string error;
+      // Zero-copy receive: a complete DATA frame is bulk-copied out of the
+      // rolling receive buffer (which compacts underneath views) into a
+      // pooled arena and parsed *there*, so decoded payloads can alias
+      // stable frame bytes. Other frame types (and incomplete prefixes)
+      // take the plain materializing path.
+      std::shared_ptr<FrameArena> arena;
+      const char* base = buf.data() + off;
+      const size_t avail = buf.size() - off;
+      if (avail > sizeof(uint32_t)) {
+        uint32_t body_len = 0;
+        std::memcpy(&body_len, base, sizeof(body_len));
+        if (body_len >= 1 && body_len <= options_.max_frame_bytes &&
+            avail >= sizeof(uint32_t) + body_len &&
+            static_cast<uint8_t>(base[sizeof(uint32_t)]) ==
+                static_cast<uint8_t>(FrameType::kData)) {
+          arena = arena_pool_.Acquire();
+          arena->bytes().assign(base, sizeof(uint32_t) + body_len);
+          base = arena->bytes().data();
+        }
+      }
       const ParseStatus st =
-          ParseFrame(buf.data() + off, buf.size() - off, &options_.codec,
-                     options_.max_frame_bytes, &frame, &consumed, &error);
+          arena != nullptr
+              ? ParseFrame(base, arena->bytes().size(), &options_.codec,
+                           options_.max_frame_bytes, &frame, &consumed, &error, arena)
+              : ParseFrame(base, avail, &options_.codec, options_.max_frame_bytes, &frame,
+                           &consumed, &error);
       if (st == ParseStatus::kNeedMore) break;
       if (st == ParseStatus::kError) {
         FailRun("malformed frame from peer: " + error);

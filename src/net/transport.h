@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/frame_arena.h"
 #include "net/wire.h"
 #include "stream/channel.h"
 #include "stream/queue.h"
@@ -44,8 +45,15 @@ std::vector<uint16_t> PickFreePorts(int n);
 /// remote_byte_cost model and real sockets.
 class LoopbackTransport final : public stream::Transport {
  public:
-  LoopbackTransport(int num_workers, PayloadCodec codec)
-      : num_workers_(num_workers), codec_(std::move(codec)) {}
+  /// `wire` picks the tuple-section coding for every frame this transport
+  /// encodes; `arena_pool_capacity` bounds the recycled frame-arena free
+  /// list (0 = never recycle, the ASan-friendly borrow-test mode).
+  LoopbackTransport(int num_workers, PayloadCodec codec,
+                    WireCodec wire = WireCodec::kDelta, size_t arena_pool_capacity = 8)
+      : num_workers_(num_workers),
+        codec_(std::move(codec)),
+        wire_(wire),
+        arena_pool_(arena_pool_capacity) {}
 
   int local_rank() const override { return 0; }
   int num_ranks() const override { return num_workers_; }
@@ -62,6 +70,8 @@ class LoopbackTransport final : public stream::Transport {
 
   const int num_workers_;
   const PayloadCodec codec_;
+  const WireCodec wire_;
+  FrameArenaPool arena_pool_;
   InboundSink sink_;
   FailureSink on_failure_;
 };
@@ -85,6 +95,12 @@ struct TcpTransportOptions {
   /// Coordinator's budget for the end-of-run barrier (workers' DONE frames).
   int64_t finish_timeout_micros = 120'000'000;
   PayloadCodec codec;
+  /// Tuple-section coding for frames this rank sends. Receivers decode
+  /// whatever the frame's codec byte announces, so ranks may differ.
+  WireCodec wire_codec = WireCodec::kDelta;
+  /// Recycled frame-arena free list bound for the zero-copy receive path
+  /// (0 = never recycle; see FrameArenaPool).
+  size_t arena_pool_capacity = 8;
 };
 
 /// Real multi-process transport over TCP. Each rank listens on its cluster
@@ -146,6 +162,7 @@ class TcpTransport final : public stream::Transport {
   void JoinReaders();
 
   const TcpTransportOptions options_;
+  FrameArenaPool arena_pool_;
   stream::TransportPlan plan_;
   InboundSink sink_;
   FailureSink on_failure_;

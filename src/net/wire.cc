@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "net/block_compress.h"
 
 namespace dssj::net {
 namespace {
@@ -36,6 +37,64 @@ bool SetError(std::string* error, const std::string& what) {
   return false;
 }
 
+/// The tuple section of a kData frame in `delta` layout (also the
+/// pre-compression plaintext of `delta+lz`): per envelope a link_seq —
+/// first one a plain varint, the rest zigzag gaps to the previous
+/// envelope — then the delta-coded tuple.
+void EncodeDeltaSection(const stream::Envelope* envs, size_t count,
+                        const PayloadCodec* codec, std::string* out) {
+  BinaryWriter w(out);
+  uint64_t prev_seq = 0;
+  for (size_t i = 0; i < count; ++i) {
+    DCHECK(!envs[i].eos) << "EOS markers travel as kEos frames";
+    const uint64_t seq = envs[i].link_seq;
+    if (i == 0) {
+      w.WriteVarint(seq);
+    } else {
+      w.WriteVarintI64(static_cast<int64_t>(seq - prev_seq));
+    }
+    prev_seq = seq;
+    EncodeTuple(WireCodec::kDelta, envs[i].tuple, codec, out);
+  }
+}
+
+/// Decodes a tuple section (either layout) into frame->envelopes. `r` must
+/// be scoped to exactly the section bytes and is consumed fully.
+bool ParseTupleSection(WireCodec wire, SafeBinaryReader& r, const PayloadCodec* codec,
+                       const std::shared_ptr<FrameArena>& arena, int32_t source_task,
+                       uint32_t count, Frame* frame, std::string* error) {
+  // Cheap per-envelope size floors stop a corrupt count from driving a huge
+  // reserve: raw needs link_seq (8) + tuple header (8) per envelope, delta
+  // at least one byte each for link_seq / payload_bytes / num_fields.
+  const uint64_t floor_per_env = wire == WireCodec::kRaw ? 16 : 3;
+  if (static_cast<uint64_t>(count) * floor_per_env > r.remaining()) {
+    return SetError(error, "DATA count exceeds frame size");
+  }
+  frame->envelopes.reserve(count);
+  uint64_t prev_seq = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    stream::Envelope& env = frame->envelopes.emplace_back();
+    env.source_task = source_task;
+    if (wire == WireCodec::kRaw) {
+      if (!r.ReadU64(&env.link_seq)) return SetError(error, "truncated DATA envelope");
+    } else {
+      if (i == 0) {
+        if (!r.ReadVarint(&env.link_seq)) return SetError(error, "truncated DATA envelope");
+      } else {
+        int64_t gap = 0;
+        if (!r.ReadVarintI64(&gap)) return SetError(error, "truncated DATA envelope");
+        env.link_seq = prev_seq + static_cast<uint64_t>(gap);
+      }
+      prev_seq = env.link_seq;
+    }
+    if (!DecodeTuple(wire, r, codec, arena, &env.tuple)) {
+      return SetError(error, "malformed tuple in DATA");
+    }
+  }
+  if (!r.AtEnd()) return SetError(error, "trailing bytes in DATA tuple section");
+  return true;
+}
+
 /// Body decoders. Each gets a reader scoped to exactly the frame body (type
 /// byte already consumed) and must consume it fully — trailing bytes are a
 /// framing error.
@@ -53,34 +112,71 @@ bool ParseHello(SafeBinaryReader& r, Frame* frame, std::string* error) {
   return true;
 }
 
-bool ParseData(SafeBinaryReader& r, const PayloadCodec* codec, Frame* frame,
-               std::string* error) {
-  int64_t source_task = 0;
+bool ParseData(SafeBinaryReader& r, const PayloadCodec* codec, uint32_t max_frame_bytes,
+               const std::shared_ptr<FrameArena>& arena, Frame* frame, std::string* error) {
+  uint8_t codec_byte = 0;
+  int32_t source_task = 0;
   uint32_t count = 0;
   {
     uint32_t src_u = 0;
     uint32_t dst_u = 0;
-    if (!r.ReadU32(&src_u) || !r.ReadU32(&dst_u) || !r.ReadU32(&count)) {
+    if (!r.ReadU8(&codec_byte) || !r.ReadU32(&src_u) || !r.ReadU32(&dst_u) ||
+        !r.ReadU32(&count)) {
       return SetError(error, "truncated DATA header");
     }
     source_task = static_cast<int32_t>(src_u);
     frame->dst_task = static_cast<int32_t>(dst_u);
   }
-  // Each envelope needs at least its link_seq (8) plus the tuple's
-  // payload_bytes + num_fields header (8): a cheap bound that stops a
-  // corrupt count from driving a huge reserve.
-  if (static_cast<uint64_t>(count) * 16 > r.remaining()) {
-    return SetError(error, "DATA count exceeds frame size");
+  if (codec_byte > static_cast<uint8_t>(WireCodec::kDeltaLz)) {
+    return SetError(error, "unknown wire codec " + std::to_string(codec_byte) + " in DATA");
   }
-  frame->envelopes.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    stream::Envelope env;
-    env.source_task = static_cast<int32_t>(source_task);
-    if (!r.ReadU64(&env.link_seq)) return SetError(error, "truncated DATA envelope");
-    if (!DecodeTuple(r, codec, &env.tuple)) return SetError(error, "malformed tuple in DATA");
-    frame->envelopes.push_back(std::move(env));
+  const WireCodec wire = static_cast<WireCodec>(codec_byte);
+
+  if (wire != WireCodec::kDeltaLz) {
+    return ParseTupleSection(wire, r, codec, arena, source_task, count, frame, error);
   }
-  return true;
+
+  // Compressed section: vu raw_len, vu comp_len, comp_len bytes filling the
+  // rest of the body. raw_len is bounded by the frame ceiling *before* any
+  // allocation, so a lying header cannot drive memory (decompression bomb).
+  uint64_t raw_len = 0;
+  uint64_t comp_len = 0;
+  if (!r.ReadVarint(&raw_len) || !r.ReadVarint(&comp_len)) {
+    return SetError(error, "truncated DATA compression header");
+  }
+  if (raw_len > max_frame_bytes) {
+    return SetError(error, "compressed DATA section declares " + std::to_string(raw_len) +
+                               " raw bytes (max " + std::to_string(max_frame_bytes) + ")");
+  }
+  if (comp_len != r.remaining()) {
+    return SetError(error, "compressed DATA section length mismatch");
+  }
+  const char* comp = nullptr;
+  size_t comp_size = 0;
+  if (!r.ReadSpan(&comp, &comp_size, comp_len)) {
+    return SetError(error, "truncated compressed DATA section");
+  }
+  const char* section = nullptr;
+  std::string local;
+  if (comp_len == raw_len) {
+    // Stored verbatim (the encoder found the section incompressible).
+    section = comp;
+  } else {
+    char* block = nullptr;
+    if (arena != nullptr) {
+      block = arena->AllocBlock(raw_len);
+    } else {
+      local.resize(raw_len);
+      block = local.data();
+    }
+    if (!BlockDecompress(comp, comp_size, block, raw_len)) {
+      return SetError(error, "corrupt compressed DATA section");
+    }
+    section = block;
+  }
+  SafeBinaryReader sr(section, raw_len);
+  return ParseTupleSection(WireCodec::kDelta, sr, codec, arena, source_task, count, frame,
+                           error);
 }
 
 bool ParseEos(SafeBinaryReader& r, Frame* frame, std::string* error) {
@@ -115,15 +211,52 @@ bool ParseFail(SafeBinaryReader& r, Frame* frame, std::string* error) {
 
 }  // namespace
 
-void EncodeTuple(const stream::Tuple& tuple, const PayloadCodec* codec, std::string* out) {
+const char* WireCodecName(WireCodec codec) {
+  switch (codec) {
+    case WireCodec::kRaw:
+      return "raw";
+    case WireCodec::kDelta:
+      return "delta";
+    case WireCodec::kDeltaLz:
+      return "delta+lz";
+  }
+  return "?";
+}
+
+bool ParseWireCodec(const std::string& name, WireCodec* out) {
+  if (name == "raw") {
+    *out = WireCodec::kRaw;
+  } else if (name == "delta") {
+    *out = WireCodec::kDelta;
+  } else if (name == "delta+lz" || name == "delta-lz" || name == "lz") {
+    *out = WireCodec::kDeltaLz;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void EncodeTuple(WireCodec wire, const stream::Tuple& tuple, const PayloadCodec* codec,
+                 std::string* out) {
+  DCHECK(wire != WireCodec::kDeltaLz) << "compression wraps whole sections, not tuples";
+  const bool delta = wire == WireCodec::kDelta;
   BinaryWriter w(out);
-  w.WriteU32(static_cast<uint32_t>(tuple.payload_bytes()));
-  w.WriteU32(static_cast<uint32_t>(tuple.num_fields()));
+  if (delta) {
+    w.WriteVarint(tuple.payload_bytes());
+    w.WriteVarint(tuple.num_fields());
+  } else {
+    w.WriteU32(static_cast<uint32_t>(tuple.payload_bytes()));
+    w.WriteU32(static_cast<uint32_t>(tuple.num_fields()));
+  }
   for (size_t i = 0; i < tuple.num_fields(); ++i) {
     const stream::Value& v = tuple.field(i);
     if (const auto* n = std::get_if<int64_t>(&v)) {
       w.WriteU8(kTagInt);
-      w.WriteI64(*n);
+      if (delta) {
+        w.WriteVarintI64(*n);
+      } else {
+        w.WriteI64(*n);
+      }
     } else if (const auto* d = std::get_if<double>(&v)) {
       uint64_t bits = 0;
       std::memcpy(&bits, d, sizeof(bits));
@@ -131,7 +264,12 @@ void EncodeTuple(const stream::Tuple& tuple, const PayloadCodec* codec, std::str
       w.WriteU64(bits);
     } else if (const auto* s = std::get_if<std::string>(&v)) {
       w.WriteU8(kTagString);
-      w.WriteBytesU32(*s);
+      if (delta) {
+        w.WriteVarint(s->size());
+        out->append(*s);
+      } else {
+        w.WriteBytesU32(*s);
+      }
     } else {
       const auto& p = std::get<std::shared_ptr<const void>>(v);
       if (p == nullptr) {
@@ -140,29 +278,52 @@ void EncodeTuple(const stream::Tuple& tuple, const PayloadCodec* codec, std::str
         CHECK(codec != nullptr && codec->encode)
             << "tuple carries an opaque payload but the transport has no payload codec";
         w.WriteU8(kTagPayload);
-        const size_t len_at = out->size();
-        w.WriteU32(0);  // patched below
-        codec->encode(p, out);
-        const uint32_t len = static_cast<uint32_t>(out->size() - len_at - sizeof(uint32_t));
-        std::memcpy(out->data() + len_at, &len, sizeof(len));
+        if (delta) {
+          // Varint length prefix: encode to scratch first (the length is
+          // variable width, so no patch-in-place like the raw path).
+          thread_local std::string scratch;
+          scratch.clear();
+          codec->encode(wire, p, &scratch);
+          w.WriteVarint(scratch.size());
+          out->append(scratch);
+        } else {
+          const size_t len_at = out->size();
+          w.WriteU32(0);  // patched below
+          codec->encode(wire, p, out);
+          const uint32_t len = static_cast<uint32_t>(out->size() - len_at - sizeof(uint32_t));
+          std::memcpy(out->data() + len_at, &len, sizeof(len));
+        }
       }
     }
   }
 }
 
-bool DecodeTuple(SafeBinaryReader& r, const PayloadCodec* codec, stream::Tuple* out) {
-  uint32_t payload_bytes = 0;
-  uint32_t num_fields = 0;
-  if (!r.ReadU32(&payload_bytes) || !r.ReadU32(&num_fields)) return false;
+bool DecodeTuple(WireCodec wire, SafeBinaryReader& r, const PayloadCodec* codec,
+                 const std::shared_ptr<FrameArena>& arena, stream::Tuple* out) {
+  const bool delta = wire == WireCodec::kDelta;
+  uint64_t payload_bytes = 0;
+  uint64_t num_fields = 0;
+  if (delta) {
+    if (!r.ReadVarint(&payload_bytes) || !r.ReadVarint(&num_fields)) return false;
+  } else {
+    uint32_t pb = 0, nf = 0;
+    if (!r.ReadU32(&pb) || !r.ReadU32(&nf)) return false;
+    payload_bytes = pb;
+    num_fields = nf;
+  }
   if (num_fields > r.remaining()) return false;  // >= 1 tag byte per field
-  stream::Tuple tuple;
-  for (uint32_t i = 0; i < num_fields; ++i) {
+  // Decodes straight into *out; on failure the caller discards the whole
+  // frame, so partial fills never escape.
+  stream::Tuple& tuple = *out;
+  tuple = stream::Tuple();
+  tuple.Reserve(static_cast<size_t>(num_fields));
+  for (uint64_t i = 0; i < num_fields; ++i) {
     uint8_t tag = 0;
     if (!r.ReadU8(&tag)) return false;
     switch (tag) {
       case kTagInt: {
         int64_t n = 0;
-        if (!r.ReadI64(&n)) return false;
+        if (delta ? !r.ReadVarintI64(&n) : !r.ReadI64(&n)) return false;
         tuple.Append(n);
         break;
       }
@@ -176,17 +337,22 @@ bool DecodeTuple(SafeBinaryReader& r, const PayloadCodec* codec, stream::Tuple* 
       }
       case kTagString: {
         std::string s;
-        if (!r.ReadBytesU32(&s)) return false;
+        if (delta ? !r.ReadBytesVarint(&s) : !r.ReadBytesU32(&s)) return false;
         tuple.Append(std::move(s));
         break;
       }
       case kTagPayload: {
         const char* data = nullptr;
         size_t size = 0;
-        if (!r.ReadSpanU32(&data, &size)) return false;
+        if (delta) {
+          uint64_t len = 0;
+          if (!r.ReadVarint(&len) || !r.ReadSpan(&data, &size, len)) return false;
+        } else {
+          if (!r.ReadSpanU32(&data, &size)) return false;
+        }
         if (codec == nullptr || !codec->decode) return false;
         std::shared_ptr<const void> p;
-        if (!codec->decode(data, size, &p)) return false;
+        if (!codec->decode(wire, data, size, arena, &p)) return false;
         tuple.Append(std::move(p));
         break;
       }
@@ -198,7 +364,6 @@ bool DecodeTuple(SafeBinaryReader& r, const PayloadCodec* codec, stream::Tuple* 
     }
   }
   tuple.set_payload_bytes(payload_bytes);
-  *out = std::move(tuple);
   return true;
 }
 
@@ -213,31 +378,56 @@ void AppendHelloFrame(uint16_t rank, std::string* out) {
 
 namespace {
 
-void AppendDataFrameRange(int32_t source_task, int32_t dst_task, const stream::Envelope* envs,
-                          size_t count, const PayloadCodec* codec, std::string* out) {
+void AppendDataFrameRange(WireCodec wire, int32_t source_task, int32_t dst_task,
+                          const stream::Envelope* envs, size_t count,
+                          const PayloadCodec* codec, std::string* out) {
   const size_t at = BeginFrame(FrameType::kData, out);
   BinaryWriter w(out);
+  w.WriteU8(static_cast<uint8_t>(wire));
   w.WriteU32(static_cast<uint32_t>(source_task));
   w.WriteU32(static_cast<uint32_t>(dst_task));
   w.WriteU32(static_cast<uint32_t>(count));
-  for (size_t i = 0; i < count; ++i) {
-    DCHECK(!envs[i].eos) << "EOS markers travel as kEos frames";
-    w.WriteU64(envs[i].link_seq);
-    EncodeTuple(envs[i].tuple, codec, out);
+  switch (wire) {
+    case WireCodec::kRaw:
+      for (size_t i = 0; i < count; ++i) {
+        DCHECK(!envs[i].eos) << "EOS markers travel as kEos frames";
+        w.WriteU64(envs[i].link_seq);
+        EncodeTuple(wire, envs[i].tuple, codec, out);
+      }
+      break;
+    case WireCodec::kDelta:
+      EncodeDeltaSection(envs, count, codec, out);
+      break;
+    case WireCodec::kDeltaLz: {
+      thread_local std::string section;
+      thread_local std::string compressed;
+      section.clear();
+      compressed.clear();
+      EncodeDeltaSection(envs, count, codec, &section);
+      BlockCompress(section.data(), section.size(), &compressed);
+      w.WriteVarint(section.size());
+      // Store the section verbatim when compression does not win;
+      // comp_len == raw_len is the decoder's "stored" marker.
+      const std::string& body = compressed.size() < section.size() ? compressed : section;
+      w.WriteVarint(body.size());
+      out->append(body);
+      break;
+    }
   }
   EndFrame(at, out);
 }
 
 }  // namespace
 
-void AppendDataFrame(int32_t source_task, int32_t dst_task,
+void AppendDataFrame(WireCodec wire, int32_t source_task, int32_t dst_task,
                      const std::vector<stream::Envelope>& batch, const PayloadCodec* codec,
                      std::string* out) {
-  AppendDataFrameRange(source_task, dst_task, batch.data(), batch.size(), codec, out);
+  AppendDataFrameRange(wire, source_task, dst_task, batch.data(), batch.size(), codec, out);
 }
 
-void AppendEnvelopeFrames(int32_t dst_task, const std::vector<stream::Envelope>& envs,
-                          const PayloadCodec* codec, std::string* out) {
+void AppendEnvelopeFrames(WireCodec wire, int32_t dst_task,
+                          const std::vector<stream::Envelope>& envs, const PayloadCodec* codec,
+                          std::string* out) {
   size_t i = 0;
   while (i < envs.size()) {
     if (envs[i].eos) {
@@ -247,7 +437,7 @@ void AppendEnvelopeFrames(int32_t dst_task, const std::vector<stream::Envelope>&
     }
     size_t j = i + 1;
     while (j < envs.size() && !envs[j].eos && envs[j].source_task == envs[i].source_task) ++j;
-    AppendDataFrameRange(envs[i].source_task, dst_task, &envs[i], j - i, codec, out);
+    AppendDataFrameRange(wire, envs[i].source_task, dst_task, &envs[i], j - i, codec, out);
     i = j;
   }
 }
@@ -287,7 +477,7 @@ void AppendFailFrame(uint16_t rank, const std::string& message, std::string* out
 
 ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
                        uint32_t max_frame_bytes, Frame* frame, size_t* consumed,
-                       std::string* error) {
+                       std::string* error, const std::shared_ptr<FrameArena>& arena) {
   *consumed = 0;
   if (size < sizeof(uint32_t)) return ParseStatus::kNeedMore;
   uint32_t body_len = 0;
@@ -301,7 +491,7 @@ ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
 
   const char* body = data + sizeof(uint32_t);
   SafeBinaryReader r(body + 1, body_len - 1);
-  *frame = Frame();
+  frame->Clear();
   frame->type = static_cast<FrameType>(static_cast<uint8_t>(body[0]));
   bool ok = false;
   switch (frame->type) {
@@ -309,7 +499,7 @@ ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
       ok = ParseHello(r, frame, error);
       break;
     case FrameType::kData:
-      ok = ParseData(r, codec, frame, error);
+      ok = ParseData(r, codec, max_frame_bytes, arena, frame, error);
       break;
     case FrameType::kEos:
       ok = ParseEos(r, frame, error);

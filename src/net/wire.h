@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/serialize.h"
+#include "net/frame_arena.h"
 #include "stream/channel.h"
 #include "stream/value.h"
 
@@ -18,14 +19,27 @@ namespace dssj::net {
 ///
 ///   [u32 length][u8 type][body...]
 ///
-/// where `length` counts the bytes after itself (type + body). All integers
-/// are little endian. The body layout per type:
+/// where `length` counts the bytes after itself (type + body). All fixed-
+/// width integers are little endian; `vu` below denotes a canonical LEB128
+/// varint and `vz` a zigzag-mapped varint (see SafeBinaryReader::ReadVarint
+/// for the canonicality rule). The body layout per type:
 ///
 ///   kHello:   u32 magic, u16 version, u16 sender rank. First frame on every
 ///             connection; both sides reject a mismatched magic/version.
-///   kData:    i32 source_task, i32 dst_task, u32 count, then `count` tuples
-///             of [u64 link_seq][encoded tuple]. Batching amortizes the
-///             frame header over the transport batch.
+///   kData:    u8 wire codec, i32 source_task, i32 dst_task, u32 count,
+///             then a tuple section whose layout the codec byte picks (the
+///             frame is self-describing — receivers never consult local
+///             configuration):
+///               raw:      count x [u64 link_seq][raw tuple]
+///               delta:    count x [link_seq: first vu, then vz of the gap
+///                         to the previous envelope][delta tuple]
+///               delta+lz: vu raw_len, vu comp_len, then comp_len bytes —
+///                         an LZ block (net/block_compress.h) inflating to
+///                         exactly raw_len bytes of `delta` section, or the
+///                         section verbatim when comp_len == raw_len (the
+///                         encoder stores incompressible sections raw).
+///                         raw_len above the frame ceiling is rejected
+///                         before any allocation (decompression-bomb guard).
 ///   kEos:     i32 source_task, i32 dst_task, u64 final link count
 ///             (Envelope::link_seq semantics for EOS markers).
 ///   kMetrics: i32 task_id, u32-length-prefixed SerializeTaskCounters blob.
@@ -45,39 +59,86 @@ enum class FrameType : uint8_t {
   kFail = 6,
 };
 
+/// Tuple-section coding for kData frames, selectable per transport via
+/// --wire_codec. Inside a frame the codec is a self-describing byte, so
+/// mixed-codec peers interoperate (each side decodes what it is sent).
+///
+///   kRaw:     fixed-width fields, token arrays as plain u32 arrays. The
+///             v1-equivalent layout; also the zero-copy sweet spot (token
+///             arrays alias the frame buffer directly on little-endian
+///             hosts).
+///   kDelta:   varint lengths/ids everywhere it pays, sorted token arrays
+///             delta-coded (gap - 1 per step; strict ascent makes that
+///             bijective). The default: the dominant payload bytes are
+///             token gaps, which are small.
+///   kDeltaLz: kDelta plus a per-frame LZ block over the whole tuple
+///             section. Cheapest on the wire, costs a compressor pass.
+enum class WireCodec : uint8_t {
+  kRaw = 0,
+  kDelta = 1,
+  kDeltaLz = 2,
+};
+
+/// "raw" / "delta" / "delta+lz" (flag spelling).
+const char* WireCodecName(WireCodec codec);
+bool ParseWireCodec(const std::string& name, WireCodec* out);
+
 inline constexpr uint32_t kWireMagic = 0x314a5344;  // "DSJ1"
-inline constexpr uint16_t kWireVersion = 1;
+inline constexpr uint16_t kWireVersion = 2;
 
 /// Hard ceiling on a single frame's `length` field. A peer announcing more
 /// is malformed (or malicious) and the connection is failed rather than
-/// letting it drive allocation.
+/// letting it drive allocation. Also bounds the declared decompressed size
+/// of a delta+lz tuple section.
 inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
 
 /// Application codec for opaque tuple payloads (shared_ptr<const void>
 /// fields). The stream layer treats payloads as pointers; to cross a process
 /// boundary the application supplies the byte encoding (the join topology
-/// registers a Record codec). encode appends to *out; decode returns false
-/// on malformed bytes.
+/// registers a Record codec).
+///
+/// Both callbacks receive the *payload* coding to use, which is kRaw or
+/// kDelta (a kDeltaLz frame delta-codes its payloads and compresses on
+/// top). encode appends to *out; decode returns false on malformed bytes.
+///
+/// decode additionally receives the frame arena (may be null). When
+/// non-null, `data` points into arena-owned storage and the codec may
+/// return a *borrowed* payload — views into `data` or into arena
+/// allocations — wrapped in an aliasing shared_ptr that owns the arena, so
+/// the backing memory outlives every handed-out pointer. When null, the
+/// payload must own all its storage.
 struct PayloadCodec {
-  std::function<void(const std::shared_ptr<const void>& payload, std::string* out)> encode;
-  std::function<bool(const char* data, size_t size, std::shared_ptr<const void>* out)> decode;
+  std::function<void(WireCodec wire, const std::shared_ptr<const void>& payload,
+                     std::string* out)>
+      encode;
+  std::function<bool(WireCodec wire, const char* data, size_t size,
+                     const std::shared_ptr<FrameArena>& arena,
+                     std::shared_ptr<const void>* out)>
+      decode;
 };
 
-/// Appends one tuple's field encoding (used inside kData bodies):
+/// Appends one tuple's field encoding (used inside kData bodies). For kRaw:
 /// u32 payload_bytes, u32 num_fields, then per field a u8 tag —
 /// 0 int64, 1 double (u64 bit cast), 2 string (u32 len + bytes),
-/// 3 payload via codec (u32 len + bytes), 4 null payload. Requires a codec
-/// when the tuple carries a non-null payload field (CHECK otherwise).
-void EncodeTuple(const stream::Tuple& tuple, const PayloadCodec* codec, std::string* out);
+/// 3 payload via codec (u32 len + bytes), 4 null payload. For kDelta the
+/// same tag stream with varint coding: vu payload_bytes, vu num_fields,
+/// ints as vz, strings/payloads as vu len + bytes (doubles stay 8 raw
+/// bytes — IEEE bits do not varint well). Requires a codec when the tuple
+/// carries a non-null payload field (CHECK otherwise). `wire` must be kRaw
+/// or kDelta.
+void EncodeTuple(WireCodec wire, const stream::Tuple& tuple, const PayloadCodec* codec,
+                 std::string* out);
 
 /// Decodes one EncodeTuple blob from `r`'s current position. Returns false
-/// on truncation, unknown tags, or codec failure.
-bool DecodeTuple(SafeBinaryReader& r, const PayloadCodec* codec, stream::Tuple* out);
+/// on truncation, unknown tags, non-canonical varints, or codec failure.
+/// `arena` is forwarded to the payload codec (see PayloadCodec).
+bool DecodeTuple(WireCodec wire, SafeBinaryReader& r, const PayloadCodec* codec,
+                 const std::shared_ptr<FrameArena>& arena, stream::Tuple* out);
 
 /// Frame builders. Each appends one complete frame (length prefix included)
 /// to *out, so a send buffer concatenates frames directly.
 void AppendHelloFrame(uint16_t rank, std::string* out);
-void AppendDataFrame(int32_t source_task, int32_t dst_task,
+void AppendDataFrame(WireCodec wire, int32_t source_task, int32_t dst_task,
                      const std::vector<stream::Envelope>& batch, const PayloadCodec* codec,
                      std::string* out);
 void AppendEosFrame(int32_t source_task, int32_t dst_task, uint64_t final_count,
@@ -87,8 +148,9 @@ void AppendEosFrame(int32_t source_task, int32_t dst_task, uint64_t final_count,
 /// maximal runs of data envelopes sharing a source task become one kData
 /// frame, each EOS marker becomes a kEos frame in position. This is what a
 /// channel submits per PushBatch.
-void AppendEnvelopeFrames(int32_t dst_task, const std::vector<stream::Envelope>& envs,
-                          const PayloadCodec* codec, std::string* out);
+void AppendEnvelopeFrames(WireCodec wire, int32_t dst_task,
+                          const std::vector<stream::Envelope>& envs, const PayloadCodec* codec,
+                          std::string* out);
 void AppendMetricsFrame(int32_t task_id, const std::string& blob, std::string* out);
 void AppendDoneFrame(uint16_t rank, std::string* out);
 void AppendFailFrame(uint16_t rank, const std::string& message, std::string* out);
@@ -102,6 +164,18 @@ struct Frame {
   int32_t task_id = -1;          ///< kMetrics
   std::string blob;              ///< kMetrics blob / kFail message
   std::vector<stream::Envelope> envelopes;  ///< kData / kEos
+
+  /// Resets to the default-constructed state but keeps the envelope vector's
+  /// and blob's capacity, so a Frame reused across a parse loop stops
+  /// allocating after the first full-sized kData frame.
+  void Clear() {
+    type = FrameType::kHello;
+    rank = 0;
+    dst_task = -1;
+    task_id = -1;
+    blob.clear();
+    envelopes.clear();
+  }
 };
 
 enum class ParseStatus {
@@ -113,12 +187,21 @@ enum class ParseStatus {
 /// Incremental frame parser over a receive buffer. Examines `size` bytes at
 /// `data`; on kFrame sets *consumed to the full frame size (prefix
 /// included) and fills *frame. Rejects frames whose announced length
-/// exceeds max_frame_bytes, unknown types, truncated bodies, trailing
-/// garbage inside a body, and kHello magic/version mismatches (*error gets
-/// a description on kError).
+/// exceeds max_frame_bytes, unknown types and codecs, truncated bodies,
+/// non-canonical varints, non-monotone token deltas, corrupt or lying
+/// compressed sections, trailing garbage inside a body, and kHello
+/// magic/version mismatches (*error gets a description on kError).
+///
+/// Zero-copy contract: when `arena` is non-null, `data` MUST point into
+/// storage owned by that arena (the transport copies or encodes each
+/// complete frame into arena->bytes() before parsing). Decoded payloads may
+/// then borrow — they alias the frame bytes or arena allocations, pinned by
+/// aliasing shared_ptrs that own the arena. With a null arena every decoded
+/// payload owns its storage and `data` may be any transient buffer.
 ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
                        uint32_t max_frame_bytes, Frame* frame, size_t* consumed,
-                       std::string* error);
+                       std::string* error,
+                       const std::shared_ptr<FrameArena>& arena = nullptr);
 
 }  // namespace dssj::net
 

@@ -19,6 +19,13 @@ namespace dssj::stream {
 /// or a lock-free ring, per QueueImpl); across processes
 /// they are framed by the wire format (src/net/wire.h) with every field
 /// except extra_busy_ns preserved end-to-end.
+///
+/// Envelopes parsed from the network may carry *borrowed* payloads: record
+/// token arrays that alias the receive arena holding the raw frame bytes
+/// (see src/net/frame_arena.h). The alias is safe to pass along the
+/// topology — the tuple's shared_ptr pins the arena — but any consumer that
+/// stores tokens past the tuple's lifetime (index inserts, checkpoints,
+/// shed-log captures) must detach first via DetachRecord().
 struct Envelope {
   Tuple tuple;
   int32_t source_task = -1;

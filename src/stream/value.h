@@ -19,13 +19,107 @@ namespace dssj::stream {
 /// edge crosses simulated workers.
 using Value = std::variant<int64_t, double, std::string, std::shared_ptr<const void>>;
 
+namespace detail {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_MEMORY__)
+#define DSSJ_VALUE_FREELIST 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(memory_sanitizer)
+#define DSSJ_VALUE_FREELIST 0
+#endif
+#endif
+#ifndef DSSJ_VALUE_FREELIST
+#define DSSJ_VALUE_FREELIST 1
+#endif
+
+/// Allocator for a tuple's field vector. Almost every tuple carries a
+/// handful of fields, and the frame receive path constructs one short-lived
+/// field vector per decoded tuple, so requests of up to kSmall elements are
+/// served from a thread-local freelist of fixed kSmall-element blocks
+/// instead of malloc. Larger vectors fall through to operator new. Stateless
+/// (all instances compare equal), so vector moves still steal the buffer.
+/// Disabled under ASan/MSan: recycling would hide use-after-free of freed
+/// tuples from the sanitizer.
+template <typename T>
+class SmallVecAllocator {
+ public:
+  using value_type = T;
+  static constexpr size_t kSmall = 4;
+
+  SmallVecAllocator() noexcept = default;
+  template <typename U>
+  SmallVecAllocator(const SmallVecAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+#if DSSJ_VALUE_FREELIST
+    if (n <= kSmall) {
+      auto& fl = Freelist();
+      if (!fl.blocks.empty()) {
+        T* p = static_cast<T*>(fl.blocks.back());
+        fl.blocks.pop_back();
+        return p;
+      }
+      return static_cast<T*>(::operator new(kSmall * sizeof(T)));
+    }
+#endif
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+#if DSSJ_VALUE_FREELIST
+    // Any allocation with n <= kSmall handed out a full kSmall-element
+    // block, so every block on the freelist has the same size.
+    if (n <= kSmall) {
+      auto& fl = Freelist();
+      if (fl.blocks.size() < kMaxFree) {
+        fl.blocks.push_back(p);
+        return;
+      }
+    }
+#else
+    (void)n;
+#endif
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const SmallVecAllocator&, const SmallVecAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const SmallVecAllocator&, const SmallVecAllocator&) noexcept {
+    return false;
+  }
+
+ private:
+  /// Caps per-thread retention (kMaxFree * kSmall * sizeof(Value) bytes);
+  /// producer/consumer threads free into their own lists, so an unbounded
+  /// list on a consumer-only thread would grow forever.
+  static constexpr size_t kMaxFree = 4096;
+
+  struct FreelistHolder {
+    std::vector<void*> blocks;
+    ~FreelistHolder() {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  };
+
+  static FreelistHolder& Freelist() {
+    thread_local FreelistHolder fl;
+    return fl;
+  }
+};
+
+}  // namespace detail
+
 /// The unit of data flowing through a topology. A tuple is an ordered list
 /// of fields plus a serialized-size estimate used by the network accounting.
 /// Copyable (copies share opaque payloads).
 class Tuple {
  public:
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  explicit Tuple(std::vector<Value> values) {
+    values_.reserve(values.size());
+    for (Value& v : values) values_.push_back(std::move(v));
+  }
 
   size_t num_fields() const { return values_.size(); }
   const Value& field(size_t i) const {
@@ -45,6 +139,9 @@ class Tuple {
   }
 
   void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Pre-sizes the field vector (frame decoding knows the count up front).
+  void Reserve(size_t n) { values_.reserve(n); }
 
   /// Declares the wire size of opaque payload fields (bytes). Scalar and
   /// string fields are sized automatically; call this once per tuple whose
@@ -67,7 +164,7 @@ class Tuple {
   }
 
  private:
-  std::vector<Value> values_;
+  std::vector<Value, detail::SmallVecAllocator<Value>> values_;
   size_t payload_bytes_ = 0;
 };
 
@@ -188,10 +285,10 @@ class TupleBatch {
 /// MakeTuple(int64_t{1}, 2.0, std::string("x"), payload_ptr).
 template <typename... Args>
 Tuple MakeTuple(Args&&... args) {
-  std::vector<Value> values;
-  values.reserve(sizeof...(Args));
-  (values.push_back(Value(std::forward<Args>(args))), ...);
-  return Tuple(std::move(values));
+  Tuple t;
+  t.Reserve(sizeof...(Args));
+  (t.Append(Value(std::forward<Args>(args))), ...);
+  return t;
 }
 
 }  // namespace dssj::stream

@@ -21,10 +21,13 @@ TEST(RecordTest, NormalizeSortsAndDedups) {
 }
 
 TEST(RecordTest, OverlapSize) {
-  EXPECT_EQ(OverlapSize({1, 2, 3}, {2, 3, 4}), 2u);
-  EXPECT_EQ(OverlapSize({1, 2, 3}, {4, 5}), 0u);
-  EXPECT_EQ(OverlapSize({}, {1}), 0u);
-  EXPECT_EQ(OverlapSize({1, 2, 3}, {1, 2, 3}), 3u);
+  const auto overlap = [](std::vector<TokenId> a, std::vector<TokenId> b) {
+    return OverlapSize(a, b);
+  };
+  EXPECT_EQ(overlap({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(overlap({1, 2, 3}, {4, 5}), 0u);
+  EXPECT_EQ(overlap({}, {1}), 0u);
+  EXPECT_EQ(overlap({1, 2, 3}, {1, 2, 3}), 3u);
 }
 
 TEST(RecordTest, MakeRecordNormalizesAndStamps) {

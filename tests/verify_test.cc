@@ -79,7 +79,7 @@ TEST(IntersectCountTest, MatchesOverlapSizeOnBothCodePaths) {
 
 TEST(IntersectCountTest, CountsDiffVerifications) {
   VerifyCounters counters;
-  IntersectCount({1, 2, 3}, {2}, &counters);
+  IntersectCount(std::vector<TokenId>{1, 2, 3}, std::vector<TokenId>{2}, &counters);
   EXPECT_EQ(counters.diff_verifications, 1u);
 }
 

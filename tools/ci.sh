@@ -27,9 +27,11 @@ echo "== overload scenarios =="
 echo "== multi-process smoke =="
 # `net`-labeled tests open localhost sockets; net_smoke_test additionally
 # fork/execs the real dssj_cli + dssj_worker binaries and diffs the result
-# set against a single-process run. Sandboxed runners without sockets can
-# skip the whole surface with `ctest -LE net` (the tests also self-skip
-# when no localhost port can be bound).
+# set against a single-process run, and wire_codec_equivalence_test runs
+# per-codec TCP clusters (raw/delta/delta+lz x batch sizes x faults).
+# Sandboxed runners without sockets can skip the whole surface with
+# `ctest -LE net` (the tests also self-skip when no localhost port can be
+# bound).
 (cd build && ctest -L net --output-on-failure)
 
 if [[ "$RUN_SANITIZE" == "1" ]]; then
@@ -62,6 +64,7 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   # with both spawned binaries ASan-instrumented.
   ASAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}"
                 net_wire_test net_transport_test net_smoke_test
+                wire_codec_equivalence_test wire_borrow_test
                 dssj_cli dssj_worker)
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
@@ -69,19 +72,34 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   cmake --build build-asan -j --target "${ASAN_TARGETS[@]}"
   (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
     ctest -L 'tsan_safe|net' --output-on-failure)
+
+  echo "== wire fuzz + borrow lifetime (ASan) =="
+  # The fuzz battery (>= 5000 structured mutations over all three codecs,
+  # owning and arena parse paths) and the borrow-lifetime regressions
+  # (net_arena_pool=0 frees every frame buffer at last-borrower drop) are
+  # exactly the tests whose failure mode is a silent out-of-bounds read —
+  # they only prove anything under ASan, so they get an explicit stage.
   (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
-    ctest -R net_wire_test --output-on-failure)
+    ctest -R 'net_wire_test|wire_borrow_test' --output-on-failure)
 
   echo "== undefined behavior sanitizer =="
   # UBSan is cheap enough to cover the overload/shedding surface on top of
   # the concurrency set (shed accounting does a lot of size_t arithmetic).
-  UBSAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}" overload_test)
+  UBSAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}" overload_test
+                 net_wire_test wire_borrow_test)
   cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
   cmake --build build-ubsan -j --target "${UBSAN_TARGETS[@]}"
   (cd build-ubsan && UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
     ctest -L 'tsan_safe|overload' --output-on-failure)
+
+  echo "== wire fuzz (UBSan) =="
+  # Varint shifting, zigzag casts, and LZ offset arithmetic are the repo's
+  # densest integer-overflow surface; run the mutational battery under
+  # UBSan as well as ASan.
+  (cd build-ubsan && UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest -R 'net_wire_test|wire_borrow_test' --output-on-failure)
 fi
 
 if [[ "$RUN_BENCH" == "1" ]]; then
