@@ -1,0 +1,65 @@
+// Elastic scaling scenario (docs/INTERNALS.md §12) — the cost of live
+// state migration. BM_Static4 is the apples-to-apples baseline (supervised,
+// like every elastic run, but never migrating); BM_Autoscale242 runs the
+// scripted 2→4→2 scenario: 4 joiners start packed on 2 workers, spread to
+// 4 mid-stream, lose worker 3 to a scripted crash, and pack back down to 2
+// — with the result count identical to the static run (the byte-level
+// equality is proven in tests/migration_test.cc; the bench reports the
+// throughput and state-shipping cost of the same schedule).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace dssj::bench {
+namespace {
+
+constexpr size_t kRecords = 40000;
+
+DistributedJoinOptions ElasticBase() {
+  DistributedJoinOptions options = BaseJoinOptions(800, 4);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, kRecords);
+  options.length_partition =
+      PlanLengthPartition(stream, options.sim, options.num_joiners,
+                          PartitionMethod::kLoadAwareGreedy);
+  options.num_workers = 4;
+  options.supervise = true;  // elastic implies supervision; match it
+  options.supervision.checkpoint_interval = 1024;
+  options.supervision.initial_backoff_micros = 50;
+  options.supervision.max_backoff_micros = 1000;
+  return options;
+}
+
+void BM_Static4(benchmark::State& state) {
+  const auto& stream = CachedStream(DatasetPreset::kTweet, kRecords);
+  const DistributedJoinOptions options = ElasticBase();
+  DistributedJoinResult result;
+  for (auto _ : state) result = RunDistributedJoin(stream, options);
+  ReportJoinResult(state, result);
+  state.counters["migrations"] = static_cast<double>(result.migrations);
+}
+BENCHMARK(BM_Static4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_Autoscale242(benchmark::State& state) {
+  const auto& stream = CachedStream(DatasetPreset::kTweet, kRecords);
+  DistributedJoinOptions options = ElasticBase();
+  options.elastic = true;
+  options.elastic_initial_workers = 2;
+  options.elastic_interval_micros = 1'000'000'000;  // scripted, not load-driven
+  options.fault_script =
+      "migrate:joiner:2->2@6000; migrate:joiner:3->3@6000;"
+      " kill_worker:3@20000;"
+      " migrate:joiner:2->0@28000; migrate:joiner:3->1@28000";
+  DistributedJoinResult result;
+  for (auto _ : state) result = RunDistributedJoin(stream, options);
+  ReportJoinResult(state, result);
+  state.counters["migrations"] = static_cast<double>(result.migrations);
+  state.counters["migration_KB"] = static_cast<double>(result.migration_bytes) / 1e3;
+  state.counters["restarts"] = static_cast<double>(result.restarts);
+}
+BENCHMARK(BM_Autoscale242)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dssj::bench
+
+BENCHMARK_MAIN();

@@ -122,6 +122,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.checkpoint_bytes),
                 result.ok ? "" : " [FAILED]");
   }
+  if (options.elastic || result.migrations > 0) {
+    std::printf("elastic: %llu live migrations (%llu state bytes shipped)\n",
+                static_cast<unsigned long long>(result.migrations),
+                static_cast<unsigned long long>(result.migration_bytes));
+  }
   if (!result.ok) {
     std::fprintf(stderr, "run failed: %s\n", result.failure_message.c_str());
     return 1;

@@ -34,7 +34,9 @@ inline const char* JoinFlagsUsage() {
          "          [--wire_codec=raw|delta|delta+lz]\n"
          "          [--connect=host:port,host:port,...] [--listen=host:port]\n"
          "          [--checkpoint_interval=N] [--max_restarts=N]\n"
-         "          [--fault_script='kill:joiner:0@500; ...']\n"
+         "          [--fault_script='kill:joiner:0@500; migrate:joiner:1->2@800; ...']\n"
+         "          [--elastic] [--migrate_threshold=F] [--elastic_workers=N]\n"
+         "          [--elastic_interval_ms=N]\n"
          "          [--shed_policy=none|probe|oldest|bundle] [--shed_watermark=F]\n"
          "          [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]\n";
 }
@@ -108,6 +110,18 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
     std::fprintf(stderr, "--checkpoint_interval and --max_restarts must be >= 0\n");
     return false;
   }
+  const bool elastic = flags.GetBool("elastic", false);
+  const double migrate_threshold = flags.GetDouble("migrate_threshold", 0.5);
+  const int64_t elastic_workers = flags.GetInt("elastic_workers", 0);
+  const int64_t elastic_interval_ms = flags.GetInt("elastic_interval_ms", 20);
+  if (migrate_threshold < 0.0) {
+    std::fprintf(stderr, "--migrate_threshold must be >= 0\n");
+    return false;
+  }
+  if (elastic_workers < 0 || elastic_interval_ms < 1) {
+    std::fprintf(stderr, "--elastic_workers must be >= 0 and --elastic_interval_ms >= 1\n");
+    return false;
+  }
   const std::string shed_policy_name = flags.GetString("shed_policy", "none");
   const double shed_watermark = flags.GetDouble("shed_watermark", 0.75);
   const int64_t max_index_bytes = flags.GetInt("max_index_bytes", 0);
@@ -160,6 +174,10 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
     options.supervision.checkpoint_interval = static_cast<uint64_t>(checkpoint_interval);
     options.supervision.max_restarts = static_cast<int>(max_restarts);
   }
+  options.elastic = elastic;
+  options.migrate_threshold = migrate_threshold;
+  options.elastic_initial_workers = static_cast<int>(elastic_workers);
+  options.elastic_interval_micros = elastic_interval_ms * 1000;
   options.shed_policy = shed_policy;
   options.shed_watermark = shed_watermark;
   options.max_index_bytes = static_cast<size_t>(max_index_bytes);

@@ -1,6 +1,7 @@
 #include "core/join_topology.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -8,6 +9,7 @@
 #include "common/serialize.h"
 #include "common/stats.h"
 #include "core/brute_force_joiner.h"
+#include "core/repartition.h"
 #include "net/transport.h"
 #include "stream/topology.h"
 
@@ -617,9 +619,10 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
       .SetPinThreads(options.pin_threads)
       .SetBatchSize(options.batch_size)
       .SetRemoteByteCostNanos(options.remote_byte_cost_ns);
-  if (options.supervise || !options.fault_script.empty()) {
+  if (options.supervise || options.elastic || !options.fault_script.empty()) {
     builder.SetSupervision(options.supervision);
   }
+  if (options.elastic) builder.SetElastic(true);
   if (!options.fault_script.empty()) {
     StatusOr<stream::FaultScript> script = stream::FaultScript::Parse(options.fault_script);
     CHECK(script.ok()) << "bad --fault_script: " << script.status().message();
@@ -655,9 +658,14 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
               [&options, shared] { return std::make_unique<JoinerBolt>(&options, shared); },
               options.num_joiners)
           .DirectGrouping(kDispatcherName);
-  if (pin) {
+  // Elastic runs may start packed onto fewer workers; the controller
+  // spreads/packs the joiner tasks at runtime.
+  const int init_workers = options.elastic && options.elastic_initial_workers > 0
+                               ? std::min(options.elastic_initial_workers, workers)
+                               : workers;
+  if (pin || options.elastic) {
     std::vector<int> placement(options.num_joiners);
-    for (int i = 0; i < options.num_joiners; ++i) placement[i] = i % workers;
+    for (int i = 0; i < options.num_joiners; ++i) placement[i] = i % init_workers;
     joiner.SetPlacement(std::move(placement));
   }
   if (options.collect_results) {
@@ -668,7 +676,73 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   }
 
   std::unique_ptr<stream::Topology> topology = builder.Build();
-  topology->Run();
+  // The elastic controller runs beside Wait(): it samples per-joiner
+  // execution rates and live-migrates joiner tasks (spread near peak load,
+  // pack when load collapses, rebalance past migrate_threshold). Under
+  // kTcp only the coordinator drives migrations.
+  const bool run_controller =
+      options.elastic && workers > 1 &&
+      (options.transport != JoinTransport::kTcp || options.rank == 0);
+  if (!run_controller) {
+    topology->Run();
+  } else {
+    topology->Submit();
+    std::atomic<bool> controller_stop{false};
+    stream::Topology* topo = topology.get();
+    std::thread controller([&options, topo, &controller_stop, workers, init_workers] {
+      const int n = options.num_joiners;
+      std::vector<uint64_t> last_exec(static_cast<size_t>(n), 0);
+      double peak_rate = 0.0;
+      int active = init_workers;
+      while (!controller_stop.load(std::memory_order_acquire)) {
+        // Sleep in slices so Wait() never blocks a full interval on join.
+        int64_t left = options.elastic_interval_micros;
+        while (left > 0 && !controller_stop.load(std::memory_order_acquire)) {
+          const int64_t slice = left < 2000 ? left : 2000;
+          std::this_thread::sleep_for(std::chrono::microseconds(slice));
+          left -= slice;
+        }
+        if (controller_stop.load(std::memory_order_acquire)) break;
+        const std::vector<stream::TaskStats> stats = topo->TasksOf(kJoinerName);
+        std::vector<double> load(static_cast<size_t>(n), 0.0);
+        double total = 0.0;
+        for (int i = 0; i < n; ++i) {
+          const uint64_t exec = stats[static_cast<size_t>(i)].metrics->executed.Get();
+          load[static_cast<size_t>(i)] =
+              static_cast<double>(exec - last_exec[static_cast<size_t>(i)]);
+          last_exec[static_cast<size_t>(i)] = exec;
+          total += load[static_cast<size_t>(i)];
+        }
+        peak_rate = std::max(total, peak_rate * 0.95);  // decaying peak tracker
+        int desired = active;
+        if (total > 0.7 * peak_rate && active < workers) {
+          desired = std::min(workers, active * 2);  // near peak: spread out
+        } else if (total < 0.3 * peak_rate && active > 1) {
+          desired = (active + 1) / 2;  // load collapsed: pack together
+        }
+        std::vector<int> cur(static_cast<size_t>(n), 0);
+        for (int i = 0; i < n; ++i) {
+          cur[static_cast<size_t>(i)] = topo->TaskWorker(kJoinerName, i);
+        }
+        const std::vector<WorkerMove> moves =
+            PlanWorkerMigrations(load, cur, desired, options.migrate_threshold);
+        bool all_ok = true;
+        for (const WorkerMove& mv : moves) {
+          const Status st = topo->MigrateTask(kJoinerName, mv.task_index, mv.target_worker);
+          if (!st.ok()) {
+            // Usually the stream ending under us (FailedPrecondition);
+            // keep the old active count and re-evaluate next tick.
+            all_ok = false;
+            break;
+          }
+        }
+        if (all_ok) active = desired;
+      }
+    });
+    topology->Wait();
+    controller_stop.store(true, std::memory_order_release);
+    controller.join();
+  }
 
   DistributedJoinResult result;
   result.input_records = input.size();
@@ -725,6 +799,8 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   result.checkpoint_bytes = all.checkpoint_bytes;
   result.link_drops_recovered = all.link_drops_recovered;
   result.link_dups_discarded = all.link_dups_discarded;
+  result.migrations = all.migrations;
+  result.migration_bytes = all.migration_bytes;
   result.shed_probes = shared->shed_probes.load(std::memory_order_relaxed);
   result.shed_pairs_upper_bound =
       shared->shed_pairs_upper_bound.load(std::memory_order_relaxed);

@@ -197,6 +197,26 @@ struct DistributedJoinOptions {
   /// forwarded to RecordJoinerOptions / BundleJoinerOptions
   /// max_index_bytes. Ignored by the brute-force joiner.
   size_t max_index_bytes = 0;
+
+  /// Elastic worker scaling (docs/INTERNALS.md §12). Enables live task
+  /// migration (Topology::MigrateTask plus the kill_worker/migrate fault
+  /// verbs) and starts a controller thread that samples per-joiner load
+  /// every `elastic_interval_micros` and migrates joiner tasks: growing the
+  /// active worker set when total load nears its observed peak, shrinking
+  /// it when load collapses, and rebalancing whenever the bottleneck worker
+  /// carries more than (1 + migrate_threshold) x the mean (see
+  /// PlanWorkerMigrations). Results stay byte-identical to a static run —
+  /// migration freezes each task at an exact sequence boundary. Implies
+  /// `supervise`. Under kTcp only rank 0 runs the controller.
+  bool elastic = false;
+  /// Load-imbalance trigger for elastic rebalancing (fraction above mean).
+  double migrate_threshold = 0.5;
+  /// Elastic controller sampling period.
+  int64_t elastic_interval_micros = 20'000;
+  /// Initial active workers for elastic runs: joiners start packed onto
+  /// this many workers (0 = all), and the controller spreads or packs
+  /// between 1 and num_workers at runtime. Ignored unless `elastic`.
+  int elastic_initial_workers = 0;
 };
 
 /// Latency percentiles of per-record end-to-end processing (source emit →
@@ -282,6 +302,12 @@ struct DistributedJoinResult {
   /// Memory-budget evictions across joiners (see JoinerStats).
   uint64_t budget_evictions = 0;
   uint64_t eviction_horizon_seq = 0;
+
+  /// Elastic scaling (0 unless options.elastic or a migrate/kill_worker
+  /// fault verb ran): completed live migrations and the cumulative
+  /// serialized state shipped between incarnations.
+  uint64_t migrations = 0;
+  uint64_t migration_bytes = 0;
 };
 
 /// Runs the distributed streaming join over `input` (replayed in order as a

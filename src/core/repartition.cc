@@ -88,4 +88,85 @@ MigrationPlan RepartitionAdvisor::Evaluate(const LengthPartition& current,
   return plan;
 }
 
+std::vector<WorkerMove> PlanWorkerMigrations(const std::vector<double>& load,
+                                             const std::vector<int>& current_worker,
+                                             int target_active_workers,
+                                             double imbalance_threshold) {
+  CHECK_EQ(load.size(), current_worker.size());
+  CHECK_GE(target_active_workers, 1);
+  CHECK_GE(imbalance_threshold, 0.0);
+  const int n = static_cast<int>(load.size());
+  const int k = target_active_workers;
+
+  std::vector<int> assigned = current_worker;
+  std::vector<double> worker_load(static_cast<size_t>(k), 0.0);
+  std::vector<int> evicted;  // tasks parked outside the active set
+  for (int i = 0; i < n; ++i) {
+    if (assigned[i] >= 0 && assigned[i] < k) {
+      worker_load[static_cast<size_t>(assigned[i])] += load[i];
+    } else {
+      evicted.push_back(i);
+    }
+  }
+  const auto least_loaded = [&]() {
+    int best = 0;
+    for (int w = 1; w < k; ++w) {
+      if (worker_load[static_cast<size_t>(w)] < worker_load[static_cast<size_t>(best)]) best = w;
+    }
+    return best;
+  };
+
+  // (a) Evacuate: heaviest first onto the least-loaded active worker (LPT).
+  std::sort(evicted.begin(), evicted.end(), [&](int a, int b) {
+    if (load[a] != load[b]) return load[a] > load[b];
+    return a < b;
+  });
+  for (const int i : evicted) {
+    const int w = least_loaded();
+    assigned[i] = w;
+    worker_load[static_cast<size_t>(w)] += load[i];
+  }
+
+  // (b) Rebalance inside the active set: while the bottleneck exceeds
+  // (1 + threshold) x mean, move the task on the bottleneck worker whose
+  // relocation to the least-loaded worker shrinks the bottleneck most.
+  // Each task moves at most once (already-moved evictees stay), and a move
+  // must strictly reduce the bottleneck, so the loop terminates.
+  double total = 0.0;
+  for (const double l : load) total += l;
+  const double mean = total / static_cast<double>(k);
+  std::vector<uint8_t> moved(static_cast<size_t>(n), 0);
+  for (const int i : evicted) moved[static_cast<size_t>(i)] = 1;
+  for (int round = 0; round < n; ++round) {
+    int hot = 0;
+    for (int w = 1; w < k; ++w) {
+      if (worker_load[static_cast<size_t>(w)] > worker_load[static_cast<size_t>(hot)]) hot = w;
+    }
+    const double hot_load = worker_load[static_cast<size_t>(hot)];
+    if (hot_load <= (1.0 + imbalance_threshold) * mean) break;
+    const int cold = least_loaded();
+    if (cold == hot) break;
+    const double cold_load = worker_load[static_cast<size_t>(cold)];
+    // Best candidate: largest load that still fits without making the cold
+    // worker the new bottleneck (i.e. cold + load[i] < hot).
+    int pick = -1;
+    for (int i = 0; i < n; ++i) {
+      if (assigned[i] != hot || moved[static_cast<size_t>(i)] != 0 || load[i] <= 0.0) continue;
+      if (cold_load + load[i] >= hot_load) continue;
+      if (pick < 0 || load[i] > load[pick]) pick = i;
+    }
+    if (pick < 0) break;
+    assigned[pick] = cold;
+    moved[static_cast<size_t>(pick)] = 1;
+    worker_load[static_cast<size_t>(hot)] -= load[pick];
+    worker_load[static_cast<size_t>(cold)] += load[pick];
+  }
+
+  std::vector<WorkerMove> moves;
+  for (int i = 0; i < n; ++i) {
+    if (assigned[i] != current_worker[i]) moves.push_back(WorkerMove{i, assigned[i]});
+  }
+  return moves;
+}
+
 }  // namespace dssj

@@ -93,6 +93,26 @@ class RepartitionAdvisor {
   DecayingLengthHistogram monitor_;
 };
 
+/// One planned task relocation (see PlanWorkerMigrations).
+struct WorkerMove {
+  int task_index = -1;
+  int target_worker = -1;
+};
+
+/// Plans live task→worker migrations for elastic scaling. `load[i]` is the
+/// recent load of task i (any nonnegative unit, e.g. tuples/interval) and
+/// `current_worker[i]` its current placement. The plan (a) evacuates every
+/// task placed outside the active set [0, target_active_workers) — heaviest
+/// first onto the least-loaded active worker — and (b) rebalances within
+/// the active set while the bottleneck worker carries more than
+/// (1 + imbalance_threshold) × mean load and moving a task still helps.
+/// Deterministic (ties break on lowest index) and stable: an already
+/// balanced placement yields no moves. At most one move per task.
+std::vector<WorkerMove> PlanWorkerMigrations(const std::vector<double>& load,
+                                             const std::vector<int>& current_worker,
+                                             int target_active_workers,
+                                             double imbalance_threshold);
+
 }  // namespace dssj
 
 #endif  // DSSJ_CORE_REPARTITION_H_

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace dssj::net {
@@ -294,18 +295,72 @@ void TcpTransport::Start(const stream::TransportPlan& plan, InboundSink sink,
 
 std::unique_ptr<stream::Channel> TcpTransport::OpenChannel(int dst_task) {
   CHECK(started_.load()) << "OpenChannel before Start";
-  CHECK(dst_task >= 0 && dst_task < plan_.num_tasks);
-  const int peer = plan_.task_worker[dst_task];
+  int peer = -1;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    CHECK(dst_task >= 0 && dst_task < plan_.num_tasks);
+    peer = plan_.task_worker[dst_task];
+  }
   CHECK_NE(peer, options_.rank) << "OpenChannel to a locally hosted task";
   return std::make_unique<TcpChannel>(this, dst_task, GetSender(peer));
 }
 
 void TcpTransport::InjectDisconnect(int dst_task, int64_t reconnect_delay_micros) {
-  CHECK(dst_task >= 0 && dst_task < plan_.num_tasks);
-  const int peer = plan_.task_worker[dst_task];
+  int peer = -1;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    CHECK(dst_task >= 0 && dst_task < plan_.num_tasks);
+    peer = plan_.task_worker[dst_task];
+  }
   OutFrame marker;
   marker.disconnect_delay_micros = std::max<int64_t>(reconnect_delay_micros, 0);
   GetSender(peer)->queue->Push(std::move(marker));
+}
+
+void TcpTransport::UpdateTaskWorker(int dst_task, int new_worker) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  CHECK(dst_task >= 0 && dst_task < plan_.num_tasks);
+  plan_.task_worker[dst_task] = new_worker;
+}
+
+void TcpTransport::SetControlSink(ControlSink sink) { control_sink_ = std::move(sink); }
+
+bool TcpTransport::SendControl(int rank, const stream::ControlFrame& frame) {
+  CHECK(started_.load()) << "SendControl before Start";
+  if (rank < 0 || rank >= num_ranks()) return false;
+  if (rank == options_.rank) {
+    // Local loop: deliver straight to the sink, same contract as a frame
+    // arriving off the wire.
+    if (!control_sink_) return false;
+    stream::ControlFrame copy = frame;
+    control_sink_(std::move(copy));
+    return true;
+  }
+  OutFrame out;
+  const uint16_t worker = static_cast<uint16_t>(frame.worker < 0 ? 0 : frame.worker);
+  switch (frame.kind) {
+    case stream::ControlKind::kPrepare:
+      AppendPrepareFrame(frame.migration_id, frame.task_id, worker, &out.bytes);
+      break;
+    case stream::ControlKind::kState:
+      AppendStateFrame(frame.migration_id, frame.task_id, worker, frame.blob, &out.bytes);
+      break;
+    case stream::ControlKind::kHandoff:
+      AppendHandoffFrame(frame.migration_id, frame.task_id, worker, &out.bytes);
+      break;
+    case stream::ControlKind::kAck:
+      AppendAckFrame(frame.migration_id, frame.task_id, worker, &out.bytes);
+      break;
+  }
+  return GetSender(rank)->queue->Push(std::move(out)) != 0;
+}
+
+stream::Transport::NetStats TcpTransport::Stats() const {
+  NetStats stats;
+  stats.connect_attempts = connect_attempts_.load(std::memory_order_relaxed);
+  stats.connect_retries = connect_retries_.load(std::memory_order_relaxed);
+  stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 TcpTransport::SenderConn* TcpTransport::GetSender(int peer_rank) {
@@ -323,8 +378,14 @@ TcpTransport::SenderConn* TcpTransport::GetSender(int peer_rank) {
 int TcpTransport::DialPeer(int peer_rank) {
   const Endpoint& ep = options_.cluster[peer_rank];
   const int64_t deadline = NowMicros() + options_.connect_timeout_micros;
-  int64_t backoff_micros = 1000;
+  const int64_t cap_micros = std::max<int64_t>(options_.connect_backoff_cap_micros, 1);
+  int64_t backoff_micros =
+      std::min<int64_t>(std::max<int64_t>(options_.connect_backoff_initial_micros, 1), cap_micros);
+  uint64_t attempt = 0;
   while (!shutdown_.load()) {
+    ++attempt;
+    connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 1) connect_retries_.fetch_add(1, std::memory_order_relaxed);
     addrinfo* addrs = Resolve(ep.host, ep.port, /*passive=*/false);
     for (addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
       const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
@@ -340,8 +401,20 @@ int TcpTransport::DialPeer(int peer_rank) {
     if (addrs != nullptr) ::freeaddrinfo(addrs);
     if (NowMicros() >= deadline) break;
     // Peers may start in any order: retry with capped exponential backoff.
-    SleepMicros(backoff_micros);
-    backoff_micros = std::min<int64_t>(backoff_micros * 2, 200000);
+    // The jitter factor is deterministic per (local rank, peer, attempt), so
+    // many links dropped at once spread their redials instead of pounding
+    // the listener in lockstep — and tests replay the exact schedule.
+    int64_t sleep_micros = backoff_micros;
+    const double jitter = options_.connect_backoff_jitter;
+    if (jitter > 0) {
+      const uint64_t h = Mix64((static_cast<uint64_t>(options_.rank) << 40) ^
+                               (static_cast<uint64_t>(peer_rank) << 20) ^ attempt);
+      const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+      sleep_micros = static_cast<int64_t>(static_cast<double>(backoff_micros) *
+                                          (1.0 - jitter + 2.0 * jitter * unit));
+    }
+    SleepMicros(std::max<int64_t>(sleep_micros, 1));
+    backoff_micros = std::min<int64_t>(backoff_micros * 2, cap_micros);
   }
   return -1;
 }
@@ -407,6 +480,7 @@ void TcpTransport::SenderLoop(SenderConn* conn) {
           broken = true;
           break;
         }
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
         AppendHelloFrame(static_cast<uint16_t>(options_.rank), &staged);
         continue;
       }
@@ -556,11 +630,41 @@ void TcpTransport::HandleFrame(Frame&& frame) {
         if (frame.rank < done_.size()) done_[frame.rank] = true;
       }
       finish_cv_.notify_all();
+      // DONE from rank 0 is the coordinator's run-over broadcast: elastic
+      // workers hold their finish barrier (they can adopt a migrating task
+      // at any point before this) until it arrives.
+      if (frame.rank == 0 && options_.rank != 0 && control_sink_) {
+        stream::ControlFrame cf;
+        cf.kind = stream::ControlKind::kFinish;
+        control_sink_(std::move(cf));
+      }
       return;
     }
     case FrameType::kFail:
       FailRun("rank " + std::to_string(frame.rank) + " failed: " + frame.blob);
       return;
+    case FrameType::kPrepare:
+    case FrameType::kState:
+    case FrameType::kHandoff:
+    case FrameType::kAck: {
+      if (!control_sink_) {
+        FailRun("migration control frame received but elastic mode is off");
+        return;
+      }
+      stream::ControlFrame cf;
+      switch (frame.type) {
+        case FrameType::kPrepare: cf.kind = stream::ControlKind::kPrepare; break;
+        case FrameType::kState: cf.kind = stream::ControlKind::kState; break;
+        case FrameType::kHandoff: cf.kind = stream::ControlKind::kHandoff; break;
+        default: cf.kind = stream::ControlKind::kAck; break;
+      }
+      cf.migration_id = frame.migration_id;
+      cf.task_id = frame.task_id;
+      cf.worker = frame.rank;
+      cf.blob = std::move(frame.blob);
+      control_sink_(std::move(cf));
+      return;
+    }
     case FrameType::kHello:
       FailRun("unexpected mid-stream HELLO");
       return;
@@ -627,6 +731,15 @@ stream::Transport::FinishReport TcpTransport::Finish(const LocalSummary& local,
       AppendFailFrame(0, local.failure_message.empty() ? "coordinator failed"
                                                        : local.failure_message,
                       &out.bytes);
+      GetSender(r)->queue->Push(std::move(out));
+    }
+  } else if (control_sink_ && world > 1) {
+    // Elastic run over: release every worker's finish hold. This also dials
+    // any rank the data plane never touched (a worker that stayed idle all
+    // run still needs the signal — and the EOF that follows CloseSenders).
+    for (int r = 1; r < world; ++r) {
+      OutFrame out;
+      AppendDoneFrame(0, &out.bytes);
       GetSender(r)->queue->Push(std::move(out));
     }
   }

@@ -92,6 +92,14 @@ struct TcpTransportOptions {
   /// How long a sender retries dialing a peer (covers workers starting in
   /// any order) before the run is failed.
   int64_t connect_timeout_micros = 30'000'000;
+  /// Connect retry schedule: exponential backoff from the initial delay up
+  /// to the cap, with deterministic ±jitter (seeded per rank pair and
+  /// attempt) so many links dropped at once do not redial in lockstep.
+  int64_t connect_backoff_initial_micros = 1'000;
+  int64_t connect_backoff_cap_micros = 200'000;
+  /// Jitter fraction in [0, 1): each sleep is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter). 0 restores the fixed schedule.
+  double connect_backoff_jitter = 0.25;
   /// Coordinator's budget for the end-of-run barrier (workers' DONE frames).
   int64_t finish_timeout_micros = 120'000'000;
   PayloadCodec codec;
@@ -125,6 +133,11 @@ class TcpTransport final : public stream::Transport {
   std::unique_ptr<stream::Channel> OpenChannel(int dst_task) override;
   void InjectDisconnect(int dst_task, int64_t reconnect_delay_micros) override;
   FinishReport Finish(const LocalSummary& local, const MetricsMerge& merge) override;
+
+  void UpdateTaskWorker(int dst_task, int new_worker) override;
+  void SetControlSink(ControlSink sink) override;
+  bool SendControl(int rank, const stream::ControlFrame& frame) override;
+  NetStats Stats() const override;
 
  private:
   friend class TcpChannel;
@@ -163,9 +176,19 @@ class TcpTransport final : public stream::Transport {
 
   const TcpTransportOptions options_;
   FrameArenaPool arena_pool_;
+  /// Task → rank routing. Read on every OpenChannel and mutated by
+  /// UpdateTaskWorker mid-run (migration routing flip), hence the mutex;
+  /// both paths are cold.
+  mutable std::mutex plan_mu_;
   stream::TransportPlan plan_;
   InboundSink sink_;
   FailureSink on_failure_;
+  ControlSink control_sink_;
+
+  /// Connection-health counters (Stats()).
+  std::atomic<uint64_t> connect_attempts_{0};
+  std::atomic<uint64_t> connect_retries_{0};
+  std::atomic<uint64_t> reconnects_{0};
 
   int listen_fd_ = -1;
   std::thread accept_thread_;

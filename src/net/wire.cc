@@ -209,6 +209,51 @@ bool ParseFail(SafeBinaryReader& r, Frame* frame, std::string* error) {
   return true;
 }
 
+/// The (migration_id, task_id, rank) triple shared by all four migration
+/// control frames.
+bool ParseMigrationHeader(SafeBinaryReader& r, Frame* frame, const char* what,
+                          std::string* error) {
+  uint32_t task_u = 0;
+  if (!r.ReadU32(&frame->migration_id) || !r.ReadU32(&task_u) || !r.ReadU16(&frame->rank)) {
+    return SetError(error, std::string("truncated ") + what + " frame");
+  }
+  frame->task_id = static_cast<int32_t>(task_u);
+  return true;
+}
+
+bool ParseState(SafeBinaryReader& r, uint32_t max_frame_bytes, Frame* frame,
+                std::string* error) {
+  if (!ParseMigrationHeader(r, frame, "STATE", error)) return false;
+  // Same compressed-section layout (and decompression-bomb guard) as a
+  // delta+lz tuple section.
+  uint64_t raw_len = 0;
+  uint64_t comp_len = 0;
+  if (!r.ReadVarint(&raw_len) || !r.ReadVarint(&comp_len)) {
+    return SetError(error, "truncated STATE compression header");
+  }
+  if (raw_len > max_frame_bytes) {
+    return SetError(error, "STATE blob declares " + std::to_string(raw_len) +
+                               " raw bytes (max " + std::to_string(max_frame_bytes) + ")");
+  }
+  if (comp_len != r.remaining()) {
+    return SetError(error, "STATE compressed length mismatch");
+  }
+  const char* comp = nullptr;
+  size_t comp_size = 0;
+  if (!r.ReadSpan(&comp, &comp_size, comp_len)) {
+    return SetError(error, "truncated STATE blob");
+  }
+  if (comp_len == raw_len) {
+    frame->blob.assign(comp, comp_size);
+    return true;
+  }
+  frame->blob.resize(raw_len);
+  if (!BlockDecompress(comp, comp_size, frame->blob.data(), raw_len)) {
+    return SetError(error, "corrupt compressed STATE blob");
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* WireCodecName(WireCodec codec) {
@@ -475,6 +520,54 @@ void AppendFailFrame(uint16_t rank, const std::string& message, std::string* out
   EndFrame(at, out);
 }
 
+namespace {
+
+void AppendMigrationHeader(FrameType type, uint32_t migration_id, int32_t task_id,
+                           uint16_t rank, std::string* out, size_t* at) {
+  *at = BeginFrame(type, out);
+  BinaryWriter w(out);
+  w.WriteU32(migration_id);
+  w.WriteU32(static_cast<uint32_t>(task_id));
+  w.WriteU16(rank);
+}
+
+}  // namespace
+
+void AppendPrepareFrame(uint32_t migration_id, int32_t task_id, uint16_t target_rank,
+                        std::string* out) {
+  size_t at = 0;
+  AppendMigrationHeader(FrameType::kPrepare, migration_id, task_id, target_rank, out, &at);
+  EndFrame(at, out);
+}
+
+void AppendStateFrame(uint32_t migration_id, int32_t task_id, uint16_t target_rank,
+                      const std::string& blob, std::string* out) {
+  size_t at = 0;
+  AppendMigrationHeader(FrameType::kState, migration_id, task_id, target_rank, out, &at);
+  BinaryWriter w(out);
+  std::string compressed;
+  BlockCompress(blob.data(), blob.size(), &compressed);
+  w.WriteVarint(blob.size());
+  const std::string& body = compressed.size() < blob.size() ? compressed : blob;
+  w.WriteVarint(body.size());
+  out->append(body);
+  EndFrame(at, out);
+}
+
+void AppendHandoffFrame(uint32_t migration_id, int32_t task_id, uint16_t new_rank,
+                        std::string* out) {
+  size_t at = 0;
+  AppendMigrationHeader(FrameType::kHandoff, migration_id, task_id, new_rank, out, &at);
+  EndFrame(at, out);
+}
+
+void AppendAckFrame(uint32_t migration_id, int32_t task_id, uint16_t new_rank,
+                    std::string* out) {
+  size_t at = 0;
+  AppendMigrationHeader(FrameType::kAck, migration_id, task_id, new_rank, out, &at);
+  EndFrame(at, out);
+}
+
 ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
                        uint32_t max_frame_bytes, Frame* frame, size_t* consumed,
                        std::string* error, const std::shared_ptr<FrameArena>& arena) {
@@ -512,6 +605,18 @@ ParseStatus ParseFrame(const char* data, size_t size, const PayloadCodec* codec,
       break;
     case FrameType::kFail:
       ok = ParseFail(r, frame, error);
+      break;
+    case FrameType::kPrepare:
+      ok = ParseMigrationHeader(r, frame, "PREPARE", error);
+      break;
+    case FrameType::kState:
+      ok = ParseState(r, max_frame_bytes, frame, error);
+      break;
+    case FrameType::kHandoff:
+      ok = ParseMigrationHeader(r, frame, "HANDOFF", error);
+      break;
+    case FrameType::kAck:
+      ok = ParseMigrationHeader(r, frame, "ACK", error);
       break;
     default:
       SetError(error,

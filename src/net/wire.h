@@ -47,6 +47,27 @@ namespace dssj::net {
 ///             rank will ever send has been sent.
 ///   kFail:    u16 sender rank, u32-length-prefixed failure message.
 ///
+/// Live-migration control plane (coordinator-driven; see
+/// docs/INTERNALS.md §12):
+///
+///   kPrepare: u32 migration_id, i32 task_id, u16 target rank. Coordinator →
+///             source rank: freeze `task_id` at its next sequence boundary
+///             and ship its state. Rides the same connection as the task's
+///             data frames, so FIFO ordering makes everything before it the
+///             exact in-flight gap.
+///   kState:   u32 migration_id, i32 task_id, u16 target rank, then
+///             vu raw_len, vu comp_len, comp_len bytes — the encoded
+///             MigrationState blob (stream/migration.h) compressed as an LZ
+///             block exactly like a delta+lz tuple section (comp_len ==
+///             raw_len means stored verbatim; raw_len above the frame
+///             ceiling is rejected before allocation).
+///   kHandoff: u32 migration_id, i32 task_id, u16 new owner rank. Target →
+///             coordinator: state restored, executor running.
+///   kAck:     u32 migration_id, i32 task_id, u16 new owner rank.
+///             Coordinator → source: routing flipped; decommission the
+///             frozen incarnation. Duplicate ACKs (reconnect replays) are
+///             idempotent by migration_id.
+///
 /// Sequence numbers ride inside kData/kEos bodies, so replay, drop recovery
 /// and shed-loss accounting observe exactly the numbers the producer's
 /// collector assigned — process boundaries are invisible to them.
@@ -57,6 +78,10 @@ enum class FrameType : uint8_t {
   kMetrics = 4,
   kDone = 5,
   kFail = 6,
+  kPrepare = 7,
+  kState = 8,
+  kHandoff = 9,
+  kAck = 10,
 };
 
 /// Tuple-section coding for kData frames, selectable per transport via
@@ -155,14 +180,27 @@ void AppendMetricsFrame(int32_t task_id, const std::string& blob, std::string* o
 void AppendDoneFrame(uint16_t rank, std::string* out);
 void AppendFailFrame(uint16_t rank, const std::string& message, std::string* out);
 
+/// Migration control frames. kState compresses `blob` (an encoded
+/// MigrationState) with the block compressor; the other three carry only
+/// the (migration_id, task_id, worker) triple.
+void AppendPrepareFrame(uint32_t migration_id, int32_t task_id, uint16_t target_rank,
+                        std::string* out);
+void AppendStateFrame(uint32_t migration_id, int32_t task_id, uint16_t target_rank,
+                      const std::string& blob, std::string* out);
+void AppendHandoffFrame(uint32_t migration_id, int32_t task_id, uint16_t new_rank,
+                        std::string* out);
+void AppendAckFrame(uint32_t migration_id, int32_t task_id, uint16_t new_rank,
+                    std::string* out);
+
 /// One parsed frame. kData populates `envelopes` (source_task/link_seq set
 /// per envelope, eos=false); kEos populates a single EOS envelope.
 struct Frame {
   FrameType type = FrameType::kHello;
-  uint16_t rank = 0;             ///< kHello / kDone / kFail
+  uint16_t rank = 0;             ///< kHello / kDone / kFail / migration worker
   int32_t dst_task = -1;         ///< kData / kEos
-  int32_t task_id = -1;          ///< kMetrics
-  std::string blob;              ///< kMetrics blob / kFail message
+  int32_t task_id = -1;          ///< kMetrics / kPrepare / kState / kHandoff / kAck
+  uint32_t migration_id = 0;     ///< kPrepare / kState / kHandoff / kAck
+  std::string blob;              ///< kMetrics blob / kFail message / kState state
   std::vector<stream::Envelope> envelopes;  ///< kData / kEos
 
   /// Resets to the default-constructed state but keeps the envelope vector's
@@ -173,6 +211,7 @@ struct Frame {
     rank = 0;
     dst_task = -1;
     task_id = -1;
+    migration_id = 0;
     blob.clear();
     envelopes.clear();
   }

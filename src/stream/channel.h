@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "stream/migration.h"
 #include "stream/queue.h"
 #include "stream/value.h"
 
@@ -146,6 +147,36 @@ class Transport {
   /// `reconnect_delay_micros`. Frames submitted after this call ride the
   /// new connection; nothing is lost (clean close drains the socket).
   virtual void InjectDisconnect(int dst_task, int64_t reconnect_delay_micros) = 0;
+
+  // --- Elastic scaling (live migration) ---------------------------------
+  //
+  // Default no-ops: a transport without migration support simply never
+  // routes control frames, and the topology falls back to its in-process
+  // protocol when hosts_all_tasks() is true.
+
+  /// Re-points `dst_task` at `new_worker` for every OpenChannel issued after
+  /// this call. The topology only calls it while all producers into
+  /// dst_task are quiesced, so no frame is in flight across the flip.
+  virtual void UpdateTaskWorker(int /*dst_task*/, int /*new_worker*/) {}
+
+  /// Sink for inbound migration control frames (stream/migration.h),
+  /// invoked from transport threads. Install before Start.
+  using ControlSink = std::function<void(ControlFrame&&)>;
+  virtual void SetControlSink(ControlSink /*sink*/) {}
+
+  /// Sends a migration control frame to `rank` (delivered to that rank's
+  /// ControlSink; rank == local_rank() loops back in-process). Frames to
+  /// one rank are FIFO with the data frames already submitted toward it.
+  /// Returns false when the transport cannot route control frames.
+  virtual bool SendControl(int /*rank*/, const ControlFrame& /*frame*/) { return false; }
+
+  /// Connection-health counters (satellite view for transport metrics).
+  struct NetStats {
+    uint64_t connect_attempts = 0;  ///< dial attempts, first tries included
+    uint64_t connect_retries = 0;   ///< attempts beyond the first per dial
+    uint64_t reconnects = 0;        ///< links re-established after a drop
+  };
+  virtual NetStats Stats() const { return {}; }
 
   /// End-of-run barrier: workers ship `local` (metrics + failure) to the
   /// coordinator; the coordinator collects every worker's report, invoking

@@ -125,6 +125,41 @@ StatusOr<FaultScript> FaultScript::Parse(const std::string& text) {
         return Malformed(stmt, "bad kill count");
       }
       script.KillAt(fault.component, fault.task_index, fault.at_count);
+    } else if (verb == "kill_worker") {
+      const size_t at = body.find('@');
+      if (at == std::string::npos) return Malformed(stmt, "expected '@<seq>'");
+      int rank = 0;
+      uint64_t seq = 0;
+      if (!ParseInt(Trim(body.substr(0, at)), &rank)) return Malformed(stmt, "bad rank");
+      if (!ParseU64(Trim(body.substr(at + 1)), &seq) || seq == 0) {
+        return Malformed(stmt, "bad source sequence (1-based)");
+      }
+      script.KillWorkerAt(rank, seq);
+    } else if (verb == "migrate") {
+      // migrate:<comp>:<task>-><rank>@<seq>, ASCII "->" or UTF-8 "→".
+      size_t arrow = body.find("->");
+      size_t arrow_len = 2;
+      if (arrow == std::string::npos) {
+        arrow = body.find("\xe2\x86\x92");
+        arrow_len = 3;
+      }
+      if (arrow == std::string::npos) return Malformed(stmt, "expected '-><rank>'");
+      const size_t at = body.find('@', arrow);
+      if (at == std::string::npos) return Malformed(stmt, "expected '@<seq>'");
+      MigrateAction action;
+      if (!ParseEndpoint(Trim(body.substr(0, arrow)), &action.component, &action.task_index)) {
+        return Malformed(stmt, "bad task '<comp>:<task>'");
+      }
+      if (!ParseInt(Trim(body.substr(arrow + arrow_len, at - arrow - arrow_len)),
+                    &action.target_worker)) {
+        return Malformed(stmt, "bad target rank");
+      }
+      uint64_t seq = 0;
+      if (!ParseU64(Trim(body.substr(at + 1)), &seq) || seq == 0) {
+        return Malformed(stmt, "bad source sequence (1-based)");
+      }
+      action.at_seq = seq;
+      script.MigrateAt(action.component, action.task_index, action.target_worker, action.at_seq);
     } else if (verb == "drop") {
       const Status s = ParseLinkFault(LinkFaultKind::kDrop, stmt, body, &script);
       if (!s.ok()) return s;

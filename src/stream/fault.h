@@ -25,6 +25,12 @@ struct SupervisorOptions {
   /// min(initial << (k-1), max) microseconds before re-creating it.
   int64_t initial_backoff_micros = 1000;
   int64_t max_backoff_micros = 1000000;
+
+  /// Test/bench seam: a task frozen for migration holds the frozen state
+  /// this long before handing off, widening the handoff window so races
+  /// (kills mid-STATE, watchdog ticks during the freeze) become
+  /// deterministic to script. 0 in production.
+  int64_t migration_freeze_hold_micros = 0;
 };
 
 /// Deterministically kill one task the moment its canonical progress counter
@@ -49,6 +55,28 @@ enum class LinkFaultKind {
                 ///< socket). On an in-process link it degrades to a delay.
 };
 
+/// Kill every bolt task hosted by one simulated worker the moment the
+/// topology's source progress (total canonical spout emissions) reaches
+/// `at_seq`. Each task dies at its next execution boundary with the same
+/// crash semantics as KillFault, so a whole-rank outage is one statement
+/// instead of one kill per task — and it composes with migrations to script
+/// "worker dies mid-handoff".
+struct WorkerKillFault {
+  int rank = 0;
+  uint64_t at_seq = 0;
+};
+
+/// Live-migrate one bolt task to another worker when source progress
+/// reaches `at_seq` (see Topology::MigrateTask). Scripted migrations are
+/// the deterministic counterpart of the elastic controller's load-driven
+/// ones.
+struct MigrateAction {
+  std::string component;
+  int task_index = 0;
+  int target_worker = 0;
+  uint64_t at_seq = 0;
+};
+
 /// A fault on one (producer task → consumer task) link, firing when that
 /// link's canonical data sequence number (1-based, assigned by the producer)
 /// equals `at_seq`.
@@ -68,10 +96,16 @@ struct LinkFault {
 /// from the CLI DSL via Parse():
 ///
 ///   kill:<comp>:<task>@<count>
+///   kill_worker:<rank>@<seq>
+///   migrate:<comp>:<task>-><rank>@<seq>
 ///   drop:<comp>:<i>-><comp>:<j>@<seq>
 ///   dup:<comp>:<i>-><comp>:<j>@<seq>
 ///   delay:<comp>:<i>-><comp>:<j>@<seq>x<micros>
 ///   disconnect:<comp>:<i>-><comp>:<j>@<seq>x<micros>
+///
+/// kill_worker and migrate fire on *source progress* — the total canonical
+/// tuples emitted by the topology's spouts — because no single task counter
+/// spans a whole worker; a UTF-8 "→" is accepted for migrate's arrow.
 ///
 /// Statements are ';'-separated; whitespace around tokens is ignored, e.g.
 /// "kill:joiner:0@500; drop:dispatcher:0->joiner:1@120".
@@ -114,14 +148,33 @@ class FaultScript {
     return *this;
   }
 
-  bool empty() const { return kills_.empty() && links_.empty(); }
+  FaultScript& KillWorkerAt(int rank, uint64_t at_seq) {
+    worker_kills_.push_back(WorkerKillFault{rank, at_seq});
+    return *this;
+  }
+  FaultScript& MigrateAt(const std::string& component, int task_index, int target_worker,
+                         uint64_t at_seq) {
+    migrations_.push_back(MigrateAction{component, task_index, target_worker, at_seq});
+    return *this;
+  }
+
+  bool empty() const {
+    return kills_.empty() && links_.empty() && worker_kills_.empty() && migrations_.empty();
+  }
   bool has_link_faults() const { return !links_.empty(); }
+  /// True when any statement fires on source progress (needs the action
+  /// driver thread).
+  bool has_progress_actions() const { return !worker_kills_.empty() || !migrations_.empty(); }
   const std::vector<KillFault>& kills() const { return kills_; }
   const std::vector<LinkFault>& link_faults() const { return links_; }
+  const std::vector<WorkerKillFault>& worker_kills() const { return worker_kills_; }
+  const std::vector<MigrateAction>& migrations() const { return migrations_; }
 
  private:
   std::vector<KillFault> kills_;
   std::vector<LinkFault> links_;
+  std::vector<WorkerKillFault> worker_kills_;
+  std::vector<MigrateAction> migrations_;
 };
 
 }  // namespace dssj::stream

@@ -29,6 +29,11 @@ ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
     agg.shed_probes += t.metrics->shed_probes.Get();
     agg.shed_pairs_upper_bound += t.metrics->shed_pairs_upper_bound.Get();
     agg.app_results += t.metrics->app_results.Get();
+    agg.migrations += t.metrics->migrations.Get();
+    agg.migration_bytes += t.metrics->migration_bytes.Get();
+    agg.migration_nanos += t.metrics->migration_nanos.Get();
+    agg.net_connect_retries += t.metrics->net_connect_retries.Get();
+    agg.net_reconnects += t.metrics->net_reconnects.Get();
     agg.queue_time_at_capacity_micros_max = std::max(
         agg.queue_time_at_capacity_micros_max, t.metrics->queue_time_at_capacity_micros.Get());
     agg.queue_oldest_age_micros_max =
@@ -61,6 +66,13 @@ constexpr CounterField kCounterFields[] = {
     &TaskMetrics::shed_probes,
     &TaskMetrics::shed_pairs_upper_bound,
     &TaskMetrics::app_results,
+    // Appended after the PR 4 field list froze; the count-prefixed format
+    // keeps mixed-build clusters merging the common prefix.
+    &TaskMetrics::migrations,
+    &TaskMetrics::migration_bytes,
+    &TaskMetrics::migration_nanos,
+    &TaskMetrics::net_connect_retries,
+    &TaskMetrics::net_reconnects,
 };
 constexpr size_t kNumCounterFields = sizeof(kCounterFields) / sizeof(kCounterFields[0]);
 

@@ -58,6 +58,20 @@ struct TaskMetrics {
   /// task). Components publish into it at Finish so multi-process runs can
   /// aggregate results on the coordinator without sharing memory.
   Counter app_results;
+
+  // Elastic scaling (zero unless TopologyBuilder::SetElastic).
+  /// Completed live migrations of this task, the cumulative size of the
+  /// shipped state blobs, and the wall time spent frozen (pause → resume).
+  Counter migrations;
+  Counter migration_bytes;
+  Counter migration_nanos;
+
+  // Network transport health (filled from Transport::Stats at end of run,
+  // attributed to the first locally hosted task of each rank).
+  /// Connect attempts beyond the first per dial (the backoff retry loop).
+  Counter net_connect_retries;
+  /// Connections re-established after an established link dropped.
+  Counter net_reconnects;
   /// Queue-health snapshots (see QueueHealth), refreshed by the executor
   /// once per batch and by the watchdog tick. EWMA is scaled ×1000 to fit
   /// an integer gauge.
@@ -103,6 +117,13 @@ struct ComponentAggregate {
   uint64_t app_results = 0;
   int64_t queue_time_at_capacity_micros_max = 0;
   int64_t queue_oldest_age_micros_max = 0;
+
+  // Elastic scaling (zero in static runs).
+  uint64_t migrations = 0;
+  uint64_t migration_bytes = 0;
+  uint64_t migration_nanos = 0;
+  uint64_t net_connect_retries = 0;
+  uint64_t net_reconnects = 0;
 };
 
 /// Sums `tasks` (typically Topology::TasksOf(component)).

@@ -7,6 +7,7 @@
 #include <condition_variable>
 #include <deque>
 #include <map>
+#include <set>
 #include <thread>
 #include <tuple>
 #include <unordered_map>
@@ -21,6 +22,7 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "stream/channel.h"
+#include "stream/migration.h"
 #include "stream/queue.h"
 #include "stream/ring_queue.h"
 
@@ -41,6 +43,12 @@ uint64_t HashValue(const Value& v) {
 }
 
 }  // namespace
+
+/// Sentinel source_task of the PREPARE marker envelope a migration injects
+/// into the frozen task's inbound queue; link_seq carries the migration id.
+/// Markers are split out of the inbox before the link guard (which indexes
+/// its cursors by source task) or the bolt ever see them.
+constexpr int kMigrationMarkerTask = -2;
 
 struct Subscription {
   int consumer_comp = -1;
@@ -109,6 +117,10 @@ struct TopologyImpl {
   std::shared_ptr<Transport> transport;
   int local_rank = 0;
   std::vector<uint8_t> hosted;
+  /// Tasks this process executed at any point of the run (migration can
+  /// clear `hosted` mid-run; end-of-run metric shipping must still cover
+  /// the partial execution).
+  std::vector<uint8_t> ever_hosted;
   bool finish_done = false;
 
   // Fault tolerance. `supervised` turns executors into supervisors (and
@@ -150,8 +162,77 @@ struct TopologyImpl {
   std::condition_variable watchdog_cv;
   bool watchdog_stop = false;
 
+  // Elastic scaling (SetElastic): live task migration. Every producer-side
+  // push passes the destination task's quiesce gate; MigrateTaskId pauses
+  // the gate, injects a PREPARE marker, and drives the
+  // freeze/ship/flip/decommission protocol (docs/INTERNALS.md §12).
+  // `route_epoch` invalidates collector channel caches after a routing
+  // flip; `task_quiesced` tells the stall watchdog a frozen task is
+  // intentional, not wedged.
+  bool elastic = false;
+  std::atomic<uint64_t> route_epoch{0};
+  struct TaskGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool paused = false;
+    int in_flight = 0;  ///< pushes past the gate, not yet handed over
+  };
+  std::vector<std::unique_ptr<TaskGate>> gates;  ///< by task id; empty unless elastic
+  std::unique_ptr<std::atomic<uint8_t>[]> task_quiesced;
+  std::atomic<int> migrations_in_flight{0};
+  /// Lock-free mirror of Task::worker for the per-tuple routing decisions
+  /// (allocated only when elastic; Task::worker itself is guarded by mig_mu
+  /// once routing can flip at runtime).
+  std::unique_ptr<std::atomic<int>[]> live_worker;
+
+  enum class MigPhase {
+    kFreezing,      ///< marker in flight; executor not yet frozen
+    kFrozen,        ///< blob captured; executor waiting for the verdict
+    kShipped,       ///< blob forwarded to a remote target (awaiting HANDOFF)
+    kHandoff,       ///< remote target reported its executor running
+    kRestoreLocal,  ///< verdict: reincarnate in place
+    kDecommission,  ///< verdict: the task moved; exit without EOS
+    kRestored,      ///< handoff complete (terminal)
+    kAbort,         ///< verdict: resume untouched (terminal)
+  };
+  struct MigrationRun {
+    uint32_t id = 0;
+    int task_id = -1;
+    int target_worker = -1;
+    bool remote_coordinator = false;  ///< created by an inbound PREPARE
+    MigPhase phase = MigPhase::kFreezing;
+    std::string blob;
+  };
+  // Runs are never erased (the frozen executor holds references across its
+  // waits); completed entries keep a terminal phase and a cleared blob, and
+  // double as the dedup record for duplicate control frames.
+  std::mutex mig_mu;
+  std::condition_variable mig_cv;
+  uint32_t next_migration_id = 1;                   ///< guarded by mig_mu
+  std::map<uint32_t, MigrationRun> migration_runs;  ///< guarded by mig_mu
+  std::set<uint32_t> activated_migrations;          ///< target-side dedup (mig_mu)
+  bool coordinator_done = false;  ///< rank 0 run-over broadcast landed (mig_mu)
+  std::mutex elastic_mu;  ///< serializes migrations: one handoff at a time
+  std::vector<std::thread> elastic_threads;  ///< adopted executors (mig_mu)
+
+  // Progress-driven fault actions (kill_worker / migrate statements),
+  // resolved at Build and fired by a driver thread watching total spout
+  // emissions. `dyn_kill` flags a task for a simulated crash at its next
+  // execution boundary.
+  struct ResolvedAction {
+    uint64_t at_seq = 0;
+    bool is_kill = false;
+    int rank = -1;           ///< kill_worker target rank
+    int task_id = -1;        ///< migrate source task
+    int target_worker = -1;  ///< migrate target rank
+  };
+  std::vector<ResolvedAction> actions;
+  std::unique_ptr<std::atomic<uint8_t>[]> dyn_kill;
+  std::thread action_driver;
+  std::atomic<bool> driver_stop{false};
+
   void RunSpoutTask(Task& task);
-  void RunBoltTask(Task& task);
+  void RunBoltTask(Task& task, const MigrationState* restore = nullptr);
   void NoteTaskExit(int task_id);
   void MarkFailed(const std::string& msg);
   void RunWatchdog();
@@ -164,7 +245,39 @@ struct TopologyImpl {
   /// Sleeps the current (exponential) restart backoff and doubles it.
   void SleepBackoff(int64_t* backoff_micros) const;
 
+  /// Closes the quiesce gate of `task_id` and waits until every push
+  /// already past it has been handed over; subsequent pushes park.
+  void PauseGate(int task_id);
+  void ResumeGate(int task_id);
+  /// Current worker of a task, synchronized against routing flips.
+  int WorkerOf(int task_id);
+  /// Re-homes a task in every local routing structure (placement, hosted
+  /// set, transport plan, channel-cache epoch). Callers hold the task's
+  /// gate paused so no producer sees a half-flipped route.
+  void FlipRoute(int task_id, int new_worker);
+  /// Live-migrates one bolt task (Topology::MigrateTask resolves names).
+  Status MigrateTaskId(int task_id, int target_worker);
+  /// One executor incarnation of a bolt task; returns true when a local
+  /// migration verdict asks the caller to reincarnate in place with
+  /// `*reincarnate`.
+  bool RunBoltIncarnation(Task& task, const MigrationState* restore,
+                          MigrationState* reincarnate);
+  /// Inbound migration control frames (invoked from transport threads).
+  void HandleControl(ControlFrame&& frame);
+  /// Target side of a distributed handoff: decode the blob, adopt the
+  /// dormant task, start its executor, optionally report HANDOFF to the
+  /// coordinator. Returns false (and fails the run) on a rejected blob.
+  bool ActivateMigratedTask(uint32_t migration_id, int task_id, std::string blob,
+                            bool notify_coordinator);
+  void RunActionDriver();
+
   bool Hosted(int task_id) const { return hosted[static_cast<size_t>(task_id)] != 0; }
+  /// Lock-free current worker of a task (hot path: per-tuple routing).
+  int CurWorker(int task_id) const {
+    return live_worker != nullptr
+               ? live_worker[static_cast<size_t>(task_id)].load(std::memory_order_acquire)
+               : tasks[static_cast<size_t>(task_id)].worker;
+  }
   /// Producer endpoint for dst_task as seen from a producer on
   /// `producer_worker` (== local_rank for a real transport; under a
   /// hosts-all transport each simulated worker gets its own view, so
@@ -177,11 +290,83 @@ struct TopologyImpl {
   void FailFromTransport(const std::string& message);
 };
 
+/// RAII producer-side pass through a destination task's quiesce gate: parks
+/// while the gate is paused (a migration is moving the task), then counts
+/// itself in-flight so PauseGate can wait out pushes already past the
+/// barrier. A no-op for non-elastic topologies. The paused wait polls the
+/// failure flag so a failed run never strands producers at a closed gate.
+class GateHold {
+ public:
+  GateHold(TopologyImpl* topo, int task_id) {
+    if (topo->gates.empty()) return;
+    gate_ = topo->gates[static_cast<size_t>(task_id)].get();
+    std::unique_lock<std::mutex> lock(gate_->mu);
+    while (gate_->paused && !topo->failed.load(std::memory_order_acquire)) {
+      gate_->cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    ++gate_->in_flight;
+  }
+  ~GateHold() {
+    if (gate_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(gate_->mu);
+    if (--gate_->in_flight == 0) gate_->cv.notify_all();
+  }
+  GateHold(const GateHold&) = delete;
+  GateHold& operator=(const GateHold&) = delete;
+
+ private:
+  TopologyImpl::TaskGate* gate_ = nullptr;
+};
+
+void TopologyImpl::PauseGate(int task_id) {
+  TaskGate& gate = *gates[static_cast<size_t>(task_id)];
+  std::unique_lock<std::mutex> lock(gate.mu);
+  gate.paused = true;
+  // In-flight pushes drain on their own: the migrating task's executor
+  // keeps consuming until it reaches the PREPARE marker, which is only
+  // injected after this wait completes.
+  while (gate.in_flight > 0 && !failed.load(std::memory_order_acquire)) {
+    gate.cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void TopologyImpl::ResumeGate(int task_id) {
+  TaskGate& gate = *gates[static_cast<size_t>(task_id)];
+  {
+    std::lock_guard<std::mutex> lock(gate.mu);
+    gate.paused = false;
+  }
+  gate.cv.notify_all();
+}
+
+int TopologyImpl::WorkerOf(int task_id) {
+  std::lock_guard<std::mutex> lock(mig_mu);
+  return tasks[static_cast<size_t>(task_id)].worker;
+}
+
+void TopologyImpl::FlipRoute(int task_id, int new_worker) {
+  const bool hosts_all = transport == nullptr || transport->hosts_all_tasks();
+  {
+    std::lock_guard<std::mutex> lock(mig_mu);
+    tasks[static_cast<size_t>(task_id)].worker = new_worker;
+    if (live_worker != nullptr) {
+      live_worker[static_cast<size_t>(task_id)].store(new_worker, std::memory_order_release);
+    }
+    if (!hosts_all) {
+      hosted[static_cast<size_t>(task_id)] = new_worker == local_rank ? 1 : 0;
+    }
+  }
+  if (transport != nullptr) transport->UpdateTaskWorker(task_id, new_worker);
+  // Producers re-resolve their cached channels at the next push.
+  route_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
 std::unique_ptr<Channel> TopologyImpl::MakeChannel(int producer_worker, int dst_task) {
   Task& dst = tasks[static_cast<size_t>(dst_task)];
+  const int dst_worker = CurWorker(dst_task);
   const bool cross = transport != nullptr && (transport->hosts_all_tasks()
-                                                  ? dst.worker != producer_worker
-                                                  : dst.worker != local_rank);
+                                                  ? dst_worker != producer_worker
+                                                  : dst_worker != local_rank);
   if (cross) return transport->OpenChannel(dst_task);
   CHECK(dst.queue != nullptr) << "channel to a task without an inbound queue";
   return std::make_unique<InprocChannel>(dst.queue.get());
@@ -233,6 +418,10 @@ std::string TopologyImpl::StallDump(const char* trigger, int64_t stalled_us) {
              " at_capacity_ms=" + std::to_string(h.at_capacity_stretch_micros / 1000);
     }
     out += task_exited[task.id].load(std::memory_order_relaxed) ? " exited" : " running";
+    if (task_quiesced != nullptr &&
+        task_quiesced[task.id].load(std::memory_order_acquire) != 0) {
+      out += " quiesced(migrating)";
+    }
   }
   return out;
 }
@@ -264,11 +453,25 @@ void TopologyImpl::RunWatchdog() {
       }
     }
 
+    // A migration legitimately freezes a task (and pauses its producers)
+    // for as long as the handoff takes; that is quiescence, not a stall.
+    // Reset the progress clock instead of tripping while one is in flight.
+    bool quiesced = migrations_in_flight.load(std::memory_order_acquire) > 0;
+    if (!quiesced && task_quiesced != nullptr) {
+      for (const Task& task : tasks) {
+        if (task_quiesced[task.id].load(std::memory_order_acquire) != 0) {
+          quiesced = true;
+          break;
+        }
+      }
+    }
+
     const int64_t now = NowMicros();
     bool trip = false;
     const char* trigger = "";
     int64_t stalled_us = 0;
-    if (progress != last_progress || all_exited || failed.load(std::memory_order_acquire)) {
+    if (progress != last_progress || all_exited || quiesced ||
+        failed.load(std::memory_order_acquire)) {
       last_progress = progress;
       last_progress_us = now;
     } else if (pending && now - last_progress_us >= overload.stall_timeout_micros) {
@@ -278,7 +481,7 @@ void TopologyImpl::RunWatchdog() {
       trigger = "no progress";
       stalled_us = now - last_progress_us;
     }
-    if (!trip && oldest_age_us >= overload.stall_timeout_micros && !all_exited &&
+    if (!trip && !quiesced && oldest_age_us >= overload.stall_timeout_micros && !all_exited &&
         !failed.load(std::memory_order_acquire)) {
       // (b) A queued tuple has waited longer than the stall timeout: the
       // topology may still be progressing, but sustained overload has
@@ -415,6 +618,7 @@ class CollectorImpl : public OutputCollector {
       const ComponentSpec& consumer = *topo_->comps[sub.consumer_comp];
       for (int i = 0; i < consumer.parallelism; ++i) {
         const int t = consumer.first_task + i;
+        GateHold hold(topo_, t);
         ChannelTo(t)->Push(Envelope{Tuple(), task_->id, /*eos=*/true, 0,
                                     tracking_ ? emitted_[t] : 0});
       }
@@ -424,6 +628,31 @@ class CollectorImpl : public OutputCollector {
   void SaveCursor(Cursor* cursor) const {
     cursor->emitted = emitted_;
     cursor->rr = rr_;
+  }
+
+  /// Captures the producer-side migration state: canonical emission
+  /// counters and shuffle cursors. Only valid at a flushed boundary
+  /// (FlushAll first), where delivery state equals the canonical counters.
+  void SaveMigration(MigrationState* state) const {
+    state->rr = rr_;
+    for (size_t t = 0; t < emitted_.size(); ++t) {
+      if (emitted_[t] != 0) {
+        state->emitted.emplace_back(static_cast<uint32_t>(t), emitted_[t]);
+      }
+    }
+  }
+
+  /// Adopts a migrated task's producer-side state on its new incarnation.
+  /// The source flushed everything before freezing, so the consumers have
+  /// received exactly the canonical counters — delivery state follows.
+  void RestoreMigration(const MigrationState& state) {
+    if (state.rr.size() == rr_.size()) rr_ = state.rr;
+    if (!tracking_) return;
+    std::fill(emitted_.begin(), emitted_.end(), 0);
+    for (const auto& [t, seq] : state.emitted) {
+      if (t < emitted_.size()) emitted_[t] = seq;
+    }
+    delivered_ = emitted_;
   }
 
   /// Crash recovery: rewinds the canonical emission counters and shuffle
@@ -514,7 +743,7 @@ class CollectorImpl : public OutputCollector {
     m.total_messages.Increment();
     m.total_bytes.Add(bytes);
     int64_t extra_busy_ns = 0;
-    if (target.worker != task_->worker) {
+    if (topo_->CurWorker(task_id) != task_->worker) {
       m.remote_messages.Increment();
       m.remote_bytes.Add(bytes);
       if (topo_->remote_byte_cost_ns > 0.0) {
@@ -529,6 +758,9 @@ class CollectorImpl : public OutputCollector {
     if (link_faults_ != nullptr && HandleLinkFault(task_id, env)) return;
     if (batch_size_ <= 1) {
       if (tracking_) delivered_[task_id] = seq;
+      // Gate before resolving the channel: a migration may flip the route
+      // while this push parks, and the post-flip ChannelTo must see it.
+      GateHold hold(topo_, task_id);
       Channel* ch = ChannelTo(task_id);
       const size_t depth = ch->Push(std::move(env));
       // Remote channels report their send-buffer depth; only an in-process
@@ -588,12 +820,13 @@ class CollectorImpl : public OutputCollector {
     // consumer's sequence guard sees the gap (or the copy) in order.
     if (batch_size_ > 1) FlushTarget(task_id);
     const uint64_t seq = env.link_seq;
-    Channel* ch = ChannelTo(task_id);
     Task& target = topo_->tasks[task_id];
     if (drop) {
       topo_->Retain(task_->id, task_id, seq, std::move(env));
     } else {
       Envelope copy = env;
+      GateHold hold(topo_, task_id);
+      Channel* ch = ChannelTo(task_id);
       const size_t d1 = ch->Push(std::move(copy));
       const size_t d2 = ch->Push(std::move(env));
       if (ch->inproc()) {
@@ -610,6 +843,7 @@ class CollectorImpl : public OutputCollector {
     if (buffer.empty()) return;
     // Everything in the buffer is about to be irreversibly handed over.
     if (tracking_) delivered_[task_id] = buffer.back().link_seq;
+    GateHold hold(topo_, task_id);
     Channel* ch = ChannelTo(task_id);
     const size_t depth = ch->PushBatch(&buffer);
     if (ch->inproc()) topo_->tasks[task_id].metrics->queue_highwater.Update(depth);
@@ -619,8 +853,17 @@ class CollectorImpl : public OutputCollector {
   }
 
   /// Lazily opened per-consumer-task endpoint (in-process queue or
-  /// transport channel). Per-collector so channels stay single-producer.
+  /// transport channel). Per-collector so channels stay single-producer. A
+  /// routing flip bumps the topology's route epoch; stale caches re-resolve
+  /// through MakeChannel on their next use.
   Channel* ChannelTo(int task_id) {
+    if (topo_->elastic) {
+      const uint64_t epoch = topo_->route_epoch.load(std::memory_order_acquire);
+      if (epoch != route_epoch_seen_) {
+        route_epoch_seen_ = epoch;
+        for (std::unique_ptr<Channel>& cached : channels_) cached.reset();
+      }
+    }
     std::unique_ptr<Channel>& ch = channels_[static_cast<size_t>(task_id)];
     if (ch == nullptr) ch = topo_->MakeChannel(task_->worker, task_id);
     return ch.get();
@@ -634,6 +877,7 @@ class CollectorImpl : public OutputCollector {
   const std::unordered_map<int, std::vector<ResolvedLinkFault>>* link_faults_ = nullptr;
   std::vector<uint64_t> rr_;
   std::vector<int> targets_;
+  uint64_t route_epoch_seen_ = 0;
   std::vector<std::unique_ptr<Channel>> channels_;  ///< by consumer task id
   std::vector<uint64_t> emitted_;    ///< canonical per-link emission counts
   std::vector<uint64_t> delivered_;  ///< monotonic per-link delivery counts
@@ -655,6 +899,24 @@ class LinkGuard {
  public:
   LinkGuard(TopologyImpl* topo, Task* task)
       : topo_(topo), task_(task), next_seq_(topo->tasks.size(), 1) {}
+
+  /// Captures the consumer-side migration state: the next expected data
+  /// sequence per inbound link (links still at their initial value are
+  /// omitted).
+  void Save(std::vector<std::pair<uint32_t, uint64_t>>* out) const {
+    for (size_t src = 0; src < next_seq_.size(); ++src) {
+      if (next_seq_[src] != 1) {
+        out->emplace_back(static_cast<uint32_t>(src), next_seq_[src]);
+      }
+    }
+  }
+
+  /// Adopts a migrated task's consumer-side cursors on its new incarnation.
+  void Restore(const std::vector<std::pair<uint32_t, uint64_t>>& saved) {
+    for (const auto& [src, seq] : saved) {
+      if (src < next_seq_.size()) next_seq_[src] = seq;
+    }
+  }
 
   void Canonicalize(std::vector<Envelope>& in, std::vector<Envelope>* out) {
     out->clear();
@@ -793,7 +1055,23 @@ void TopologyImpl::RunSpoutTask(Task& task) {
   NoteTaskExit(task.id);
 }
 
-void TopologyImpl::RunBoltTask(Task& task) {
+void TopologyImpl::RunBoltTask(Task& task, const MigrationState* restore) {
+  MigrationState adopted;
+  MigrationState next;
+  const MigrationState* cur = restore;
+  while (RunBoltIncarnation(task, cur, &next)) {
+    // Local migration verdict (docs/INTERNALS.md §12): the routing already
+    // flipped; reincarnate the task in place on this executor thread with a
+    // fresh component object and the frozen state.
+    task.bolt = comps[task.comp]->bolt_factory();
+    CHECK(task.bolt != nullptr);
+    adopted = std::move(next);
+    cur = &adopted;
+  }
+}
+
+bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
+                                      MigrationState* reincarnate) {
   const ComponentSpec& comp = *comps[task.comp];
   TaskContext ctx{comp.name, task.local_index, comp.parallelism, task.worker,
                   task.metrics.get(), /*queue_health=*/nullptr};
@@ -834,6 +1112,25 @@ void TopologyImpl::RunBoltTask(Task& task) {
     uint64_t executed = 0;
     CollectorImpl::Cursor cursor;
   } ckpt;
+
+  uint64_t executed_total = 0;
+  LinkGuard guard(this, &task);
+  int remaining = comp.upstream_tasks;
+
+  if (restore != nullptr) {
+    // Migrated-in incarnation: adopt the frozen task's exact state — bolt
+    // snapshot, canonical progress, producer cursors, consumer cursors. A
+    // scripted kill at exactly the migration boundary fires here, on the
+    // new incarnation (strictly earlier kills fired on the old one).
+    if (restore->has_bolt_state) task.bolt->Restore(restore->bolt_state);
+    executed_total = restore->executed_total;
+    remaining = static_cast<int>(restore->remaining_eos);
+    collector.RestoreMigration(*restore);
+    guard.Restore(restore->next_seq);
+    while (!kills.empty() && kills.front() < executed_total) kills.pop_front();
+  }
+
+  ckpt.executed = executed_total;
   collector.SaveCursor(&ckpt.cursor);
   if (snap_ok) {
     // Initial checkpoint (see RunSpoutTask): recovery always restores,
@@ -842,7 +1139,6 @@ void TopologyImpl::RunBoltTask(Task& task) {
     ckpt.has_state = true;
   }
 
-  uint64_t executed_total = 0;
   std::vector<Envelope> log;
   size_t replay_pos = 0;
   size_t log_high = 0;  // log entries executed at least once (replay metric)
@@ -851,27 +1147,39 @@ void TopologyImpl::RunBoltTask(Task& task) {
   bool gave_up = false;
 
   TupleBatch batch;
+  // Simulated crash shared by scripted kills and progress-driven
+  // kill_worker actions. Returns false on an exhausted restart budget.
+  const auto crash_and_restore = [&]() -> bool {
+    if (restarts >= supervision.max_restarts) return false;
+    ++restarts;
+    m.restarts.Increment();
+    SleepBackoff(&backoff);
+    // Simulated crash: the bolt object (all component state) dies; the
+    // executor thread survives as supervisor. Restore the checkpoint,
+    // rewind the emission cursors, and replay the log from the top —
+    // nested crashes during replay just rewind again.
+    task.bolt = comp.bolt_factory();
+    CHECK(task.bolt != nullptr);
+    task.bolt->Prepare(ctx);
+    if (ckpt.has_state) task.bolt->Restore(ckpt.state);
+    collector.Rollback(ckpt.cursor);
+    executed_total = ckpt.executed;
+    replay_pos = 0;
+    return true;
+  };
   // Executes log[replay_pos..) honoring kill and checkpoint boundaries.
   // Returns false when the task exhausted its restart budget.
   const auto drain_log = [&]() -> bool {
     while (replay_pos < log.size()) {
+      if (dyn_kill != nullptr &&
+          dyn_kill[task.id].exchange(0, std::memory_order_acq_rel) != 0) {
+        // kill_worker action: crash at this execution boundary.
+        if (!crash_and_restore()) return false;
+        continue;
+      }
       if (!kills.empty() && executed_total == kills.front()) {
         kills.pop_front();
-        if (restarts >= supervision.max_restarts) return false;
-        ++restarts;
-        m.restarts.Increment();
-        SleepBackoff(&backoff);
-        // Simulated crash: the bolt object (all component state) dies; the
-        // executor thread survives as supervisor. Restore the checkpoint,
-        // rewind the emission cursors, and replay the log from the top —
-        // nested crashes during replay just rewind again.
-        task.bolt = comp.bolt_factory();
-        CHECK(task.bolt != nullptr);
-        task.bolt->Prepare(ctx);
-        if (ckpt.has_state) task.bolt->Restore(ckpt.state);
-        collector.Rollback(ckpt.cursor);
-        executed_total = ckpt.executed;
-        replay_pos = 0;
+        if (!crash_and_restore()) return false;
         continue;
       }
       if (ckpt_interval > 0 && executed_total == ckpt.executed + ckpt_interval) {
@@ -919,17 +1227,19 @@ void TopologyImpl::RunBoltTask(Task& task) {
     return true;
   };
 
-  LinkGuard guard(this, &task);
-  int remaining = comp.upstream_tasks;
   std::vector<Envelope> inbox;
   inbox.reserve(batch_size);
   std::vector<Envelope> canon;
-  while (remaining > 0) {
-    inbox.clear();
-    if (task.queue->PopBatch(&inbox, batch_size) == 0) break;  // closed
-    std::vector<Envelope>* in = &inbox;
+  std::vector<Envelope> segment;  // marker-splitting scratch (elastic only)
+
+  // Canonicalizes and executes one marker-free run of envelopes (the whole
+  // inbox, or a between-markers segment), consuming it. Returns false when
+  // the task exhausted its restart budget.
+  const auto process_segment = [&](std::vector<Envelope>& seg) -> bool {
+    if (seg.empty()) return true;
+    std::vector<Envelope>* in = &seg;
     if (fault_active) {
-      guard.Canonicalize(inbox, &canon);
+      guard.Canonicalize(seg, &canon);
       in = &canon;
     }
     size_t idx = 0;
@@ -946,10 +1256,7 @@ void TopologyImpl::RunBoltTask(Task& task) {
       while (idx < in->size() && !(*in)[idx].eos) ++idx;
       if (supervised) {
         for (size_t k = run_begin; k < idx; ++k) log.push_back(std::move((*in)[k]));
-        if (!drain_log()) {
-          gave_up = true;
-          break;
-        }
+        if (!drain_log()) return false;
       } else {
         // Unsupervised fast path: no log, tuples move straight into the
         // batch (byte-for-byte the pre-supervision executor).
@@ -969,7 +1276,169 @@ void TopologyImpl::RunBoltTask(Task& task) {
         simulated_busy_ns += batch_extra_ns;
       }
     }
-    if (gave_up) break;
+    seg.clear();
+    return true;
+  };
+
+  enum class MarkerOutcome { kResume, kReincarnate, kDecommission };
+  // Freezes this task at the exact boundary the PREPARE marker marks
+  // (docs/INTERNALS.md §12): flush everything emitted so the canonical
+  // cursors equal delivery state, snapshot component + progress + cursors,
+  // publish the encoded blob on the migration run, and wait for the
+  // coordinator's verdict.
+  const auto handle_marker = [&](uint64_t marker_id) -> MarkerOutcome {
+    const uint32_t migration_id = static_cast<uint32_t>(marker_id);
+    collector.FlushAll();
+    MigrationState st;
+    st.task_id = static_cast<uint32_t>(task.id);
+    st.executed_total = executed_total;
+    st.remaining_eos = static_cast<uint32_t>(remaining);
+    if (task.bolt->SupportsSnapshot()) {
+      st.has_bolt_state = true;
+      task.bolt->Snapshot(&st.bolt_state);
+    }
+    collector.SaveMigration(&st);
+    guard.Save(&st.next_seq);
+    std::string blob;
+    EncodeMigrationState(st, &blob);
+    if (task_quiesced != nullptr) {
+      task_quiesced[task.id].store(1, std::memory_order_release);
+    }
+    if (supervision.migration_freeze_hold_micros > 0) {
+      // Test seam: hold the freeze open so watchdog interplay is testable.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(supervision.migration_freeze_hold_micros));
+    }
+    MarkerOutcome outcome = MarkerOutcome::kResume;
+    {
+      std::unique_lock<std::mutex> lock(mig_mu);
+      const auto it = migration_runs.find(migration_id);
+      if (it == migration_runs.end()) {
+        // Unknown marker (stale duplicate): resume untouched.
+        if (task_quiesced != nullptr) {
+          task_quiesced[task.id].store(0, std::memory_order_release);
+        }
+        return MarkerOutcome::kResume;
+      }
+      MigrationRun& run = it->second;
+      if (run.phase == MigPhase::kFreezing) {
+        run.blob = std::move(blob);
+        run.phase = MigPhase::kFrozen;
+        mig_cv.notify_all();
+        if (run.remote_coordinator) {
+          // The coordinator lives on rank 0: ship the frozen state there.
+          ControlFrame frame;
+          frame.kind = ControlKind::kState;
+          frame.migration_id = run.id;
+          frame.task_id = task.id;
+          frame.worker = run.target_worker;
+          frame.blob = run.blob;
+          lock.unlock();
+          if (!transport->SendControl(0, frame)) {
+            MarkFailed("migration " + std::to_string(run.id) +
+                       ": cannot ship state to the coordinator");
+          }
+          lock.lock();
+        }
+      }
+      // Wait for the verdict. A failed run resumes untouched — the closed
+      // queues end the executor on their own.
+      while (run.phase != MigPhase::kRestoreLocal &&
+             run.phase != MigPhase::kDecommission && run.phase != MigPhase::kAbort &&
+             !failed.load(std::memory_order_acquire)) {
+        mig_cv.wait_for(lock, std::chrono::milliseconds(10));
+      }
+      const MigPhase verdict = run.phase;
+      if (verdict == MigPhase::kRestoreLocal) {
+        MigrationState adopted;
+        const Status status =
+            DecodeMigrationState(run.blob.data(), run.blob.size(), &adopted);
+        if (status.ok()) {
+          run.phase = MigPhase::kRestored;
+          outcome = MarkerOutcome::kReincarnate;
+          *reincarnate = std::move(adopted);
+        } else {
+          run.phase = MigPhase::kAbort;
+          MarkFailed("migration " + std::to_string(run.id) +
+                     ": restore rejected: " + status.message());
+        }
+        run.blob.clear();
+        mig_cv.notify_all();
+      } else if (verdict == MigPhase::kDecommission) {
+        // The task now runs on run.target_worker. Update the local view
+        // (idempotent when the coordinator already flipped it) and exit
+        // without Finish or EOS — the new incarnation owns those.
+        outcome = MarkerOutcome::kDecommission;
+        tasks[task.id].worker = run.target_worker;
+        if (live_worker != nullptr) {
+          live_worker[task.id].store(run.target_worker, std::memory_order_release);
+        }
+        hosted[task.id] = 0;
+        run.blob.clear();
+      } else {
+        run.blob.clear();  // abort / failed run: resume untouched
+      }
+      if (run.remote_coordinator) {
+        migrations_in_flight.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    if (task_quiesced != nullptr) {
+      task_quiesced[task.id].store(0, std::memory_order_release);
+    }
+    return outcome;
+  };
+
+  while (remaining > 0) {
+    inbox.clear();
+    if (task.queue->PopBatch(&inbox, batch_size) == 0) break;  // closed
+    if (elastic) {
+      bool has_marker = false;
+      for (const Envelope& env : inbox) {
+        if (env.source_task == kMigrationMarkerTask) {
+          has_marker = true;
+          break;
+        }
+      }
+      if (has_marker) {
+        // Split the batch at each marker: data before a marker belongs to
+        // the pre-freeze boundary and must execute before the snapshot.
+        segment.clear();
+        MarkerOutcome outcome = MarkerOutcome::kResume;
+        for (Envelope& env : inbox) {
+          if (env.source_task != kMigrationMarkerTask) {
+            segment.push_back(std::move(env));
+            continue;
+          }
+          if (!process_segment(segment)) {
+            gave_up = true;
+            break;
+          }
+          outcome = handle_marker(env.link_seq);
+          if (outcome != MarkerOutcome::kResume) break;
+        }
+        if (gave_up) break;
+        if (outcome == MarkerOutcome::kReincarnate) {
+          m.busy_nanos.Add(
+              static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
+          return true;
+        }
+        if (outcome == MarkerOutcome::kDecommission) {
+          m.busy_nanos.Add(
+              static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
+          NoteTaskExit(task.id);
+          return false;
+        }
+        if (!process_segment(segment)) {
+          gave_up = true;
+          break;
+        }
+        continue;
+      }
+    }
+    if (!process_segment(inbox)) {
+      gave_up = true;
+      break;
+    }
   }
 
   if (gave_up) {
@@ -988,6 +1457,439 @@ void TopologyImpl::RunBoltTask(Task& task) {
   m.busy_nanos.Add(
       static_cast<uint64_t>(ThreadCpuNanos() - cpu_start + simulated_busy_ns));
   NoteTaskExit(task.id);
+  return false;
+}
+
+Status TopologyImpl::MigrateTaskId(int task_id, int target_worker) {
+  if (!elastic) {
+    return Status::FailedPrecondition("topology is not elastic (TopologyBuilder::SetElastic)");
+  }
+  if (!submitted) return Status::FailedPrecondition("topology not submitted");
+  if (task_id < 0 || task_id >= static_cast<int>(tasks.size())) {
+    return Status::NotFound("no such task id " + std::to_string(task_id));
+  }
+  Task& task = tasks[static_cast<size_t>(task_id)];
+  const ComponentSpec& comp = *comps[task.comp];
+  if (comp.is_spout) {
+    return Status::InvalidArgument("cannot migrate spout task " + comp.name + "[" +
+                                   std::to_string(task.local_index) + "]");
+  }
+  if (target_worker < 0 || target_worker >= num_workers) {
+    return Status::OutOfRange("target worker " + std::to_string(target_worker) +
+                              " outside [0, " + std::to_string(num_workers) + ")");
+  }
+  const bool hosts_all = transport == nullptr || transport->hosts_all_tasks();
+  if (!hosts_all) {
+    if (local_rank != 0) {
+      return Status::FailedPrecondition("only the coordinator (rank 0) may migrate tasks");
+    }
+    // PauseGate quiesces producers through process-local gates, so every
+    // producer feeding the task must execute on this rank.
+    for (const auto& [src_name, grouping] : comp.inputs) {
+      (void)grouping;
+      const ComponentSpec& src = *comps[static_cast<size_t>(comp_index.at(src_name))];
+      for (int i = 0; i < src.parallelism; ++i) {
+        if (!Hosted(src.first_task + i)) {
+          return Status::FailedPrecondition("producer " + src.name + "[" + std::to_string(i) +
+                                            "] is not hosted on the coordinator");
+        }
+      }
+    }
+  }
+
+  // One migration at a time: concurrent callers serialize here.
+  std::lock_guard<std::mutex> serial(elastic_mu);
+  const int src_rank = WorkerOf(task_id);
+  if (src_rank == target_worker) return Status::OK();
+  const bool src_local = hosts_all || src_rank == local_rank;
+  if (src_local && task_exited != nullptr &&
+      task_exited[static_cast<size_t>(task_id)].load(std::memory_order_acquire) != 0) {
+    return Status::FailedPrecondition("task already exited (stream finished)");
+  }
+  if (failed.load(std::memory_order_acquire)) {
+    return Status::Internal("topology already failed");
+  }
+
+  uint32_t migration_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mig_mu);
+    migration_id = next_migration_id++;
+    MigrationRun run;
+    run.id = migration_id;
+    run.task_id = task_id;
+    run.target_worker = target_worker;
+    run.remote_coordinator = false;
+    run.phase = MigPhase::kFreezing;
+    migration_runs.emplace(migration_id, std::move(run));
+  }
+  migrations_in_flight.fetch_add(1, std::memory_order_acq_rel);
+  const int64_t t0 = NowNanos();
+
+  const auto abort_run = [&](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      MigrationRun& run = migration_runs.at(migration_id);
+      if (run.phase == MigPhase::kFreezing || run.phase == MigPhase::kFrozen ||
+          run.phase == MigPhase::kShipped) {
+        run.phase = MigPhase::kAbort;
+        run.blob.clear();
+      }
+      mig_cv.notify_all();
+    }
+    ResumeGate(task_id);
+    migrations_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    return status;
+  };
+
+  // 1. Quiesce: park every producer push into the task and wait out
+  //    in-flight ones, so the freeze marker lands at an exact boundary.
+  PauseGate(task_id);
+
+  // 2. Freeze: inject the marker (directly, or via PREPARE to the source
+  //    rank) and wait for the executor to snapshot and publish the blob.
+  if (src_local) {
+    if (task.queue == nullptr ||
+        task.queue->Push(Envelope{Tuple(), kMigrationMarkerTask, /*eos=*/false, 0,
+                                  static_cast<uint64_t>(migration_id)}) == 0) {
+      return abort_run(Status::FailedPrecondition("task queue already closed"));
+    }
+  } else {
+    ControlFrame frame;
+    frame.kind = ControlKind::kPrepare;
+    frame.migration_id = migration_id;
+    frame.task_id = task_id;
+    frame.worker = target_worker;
+    if (!transport->SendControl(src_rank, frame)) {
+      return abort_run(Status::Internal("cannot reach source rank " + std::to_string(src_rank)));
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mig_mu);
+    MigrationRun& run = migration_runs.at(migration_id);
+    while (run.phase == MigPhase::kFreezing && !failed.load(std::memory_order_acquire) &&
+           !(src_local && task_exited != nullptr &&
+             task_exited[static_cast<size_t>(task_id)].load(std::memory_order_acquire) != 0)) {
+      mig_cv.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    if (run.phase != MigPhase::kFrozen) {
+      const bool aborted = run.phase == MigPhase::kAbort;
+      lock.unlock();
+      if (aborted || failed.load(std::memory_order_acquire)) {
+        // kAbort here means the source could not freeze (task finished
+        // first) — benign for scripted schedules that race stream end.
+        return abort_run(failed.load(std::memory_order_acquire)
+                             ? Status::Internal("topology failed during freeze")
+                             : Status::FailedPrecondition("task finished before freezing"));
+      }
+      return abort_run(Status::FailedPrecondition("task finished before freezing"));
+    }
+  }
+
+  std::string blob;
+  {
+    std::lock_guard<std::mutex> lock(mig_mu);
+    blob = migration_runs.at(migration_id).blob;
+  }
+  const uint64_t blob_bytes = blob.size();
+
+  // 3. Handoff: route flips while producers are still parked, then the
+  //    verdict releases (or decommissions) the frozen incarnation.
+  if (hosts_all) {
+    FlipRoute(task_id, target_worker);
+    {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      migration_runs.at(migration_id).phase = MigPhase::kRestoreLocal;
+      mig_cv.notify_all();
+    }
+    ResumeGate(task_id);
+    std::unique_lock<std::mutex> lock(mig_mu);
+    MigrationRun& run = migration_runs.at(migration_id);
+    while (run.phase != MigPhase::kRestored && run.phase != MigPhase::kAbort &&
+           !failed.load(std::memory_order_acquire)) {
+      mig_cv.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    if (run.phase != MigPhase::kRestored) {
+      lock.unlock();
+      migrations_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      return Status::Internal("migration " + std::to_string(migration_id) +
+                              " aborted during restore");
+    }
+  } else if (target_worker == local_rank) {
+    // The task moves onto the coordinator: activate locally, flip, and tell
+    // the remote source to decommission its frozen incarnation.
+    if (!ActivateMigratedTask(migration_id, task_id, std::move(blob),
+                              /*notify_coordinator=*/false)) {
+      return abort_run(Status::Internal("migration " + std::to_string(migration_id) +
+                                        ": local activation failed"));
+    }
+    FlipRoute(task_id, target_worker);
+    ControlFrame ack;
+    ack.kind = ControlKind::kAck;
+    ack.migration_id = migration_id;
+    ack.task_id = task_id;
+    ack.worker = target_worker;
+    if (!transport->SendControl(src_rank, ack)) {
+      MarkFailed("migration " + std::to_string(migration_id) +
+                 ": cannot decommission source rank " + std::to_string(src_rank));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      MigrationRun& run = migration_runs.at(migration_id);
+      run.phase = MigPhase::kRestored;
+      run.blob.clear();
+      mig_cv.notify_all();
+    }
+    ResumeGate(task_id);
+  } else {
+    // Remote target: ship the blob, wait for its HANDOFF, flip, then
+    // decommission the source (local verdict or ACK frame).
+    {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      migration_runs.at(migration_id).phase = MigPhase::kShipped;
+    }
+    ControlFrame state;
+    state.kind = ControlKind::kState;
+    state.migration_id = migration_id;
+    state.task_id = task_id;
+    state.worker = target_worker;
+    state.blob = std::move(blob);
+    if (!transport->SendControl(target_worker, state)) {
+      return abort_run(Status::Internal("cannot ship state to rank " +
+                                        std::to_string(target_worker)));
+    }
+    {
+      std::unique_lock<std::mutex> lock(mig_mu);
+      MigrationRun& run = migration_runs.at(migration_id);
+      while (run.phase == MigPhase::kShipped && !failed.load(std::memory_order_acquire)) {
+        mig_cv.wait_for(lock, std::chrono::milliseconds(5));
+      }
+      if (run.phase != MigPhase::kHandoff) {
+        lock.unlock();
+        return abort_run(Status::Internal("migration " + std::to_string(migration_id) +
+                                          ": handoff did not complete"));
+      }
+    }
+    FlipRoute(task_id, target_worker);
+    if (src_local) {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      MigrationRun& run = migration_runs.at(migration_id);
+      run.phase = MigPhase::kDecommission;
+      mig_cv.notify_all();
+    } else {
+      ControlFrame ack;
+      ack.kind = ControlKind::kAck;
+      ack.migration_id = migration_id;
+      ack.task_id = task_id;
+      ack.worker = target_worker;
+      if (!transport->SendControl(src_rank, ack)) {
+        MarkFailed("migration " + std::to_string(migration_id) +
+                   ": cannot decommission source rank " + std::to_string(src_rank));
+      }
+      std::lock_guard<std::mutex> lock(mig_mu);
+      MigrationRun& run = migration_runs.at(migration_id);
+      run.phase = MigPhase::kDecommission;
+      run.blob.clear();
+    }
+    ResumeGate(task_id);
+  }
+
+  TaskMetrics& m = *task.metrics;
+  m.migrations.Increment();
+  m.migration_bytes.Add(blob_bytes);
+  m.migration_nanos.Add(static_cast<uint64_t>(NowNanos() - t0));
+  migrations_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+void TopologyImpl::HandleControl(ControlFrame&& frame) {
+  switch (frame.kind) {
+    case ControlKind::kPrepare: {
+      // Coordinator asks this rank to freeze one of its tasks.
+      const int task_id = frame.task_id;
+      if (task_id < 0 || task_id >= static_cast<int>(tasks.size()) || !Hosted(task_id) ||
+          tasks[static_cast<size_t>(task_id)].queue == nullptr) {
+        MarkFailed("migration " + std::to_string(frame.migration_id) +
+                   ": PREPARE for a task not hosted here");
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mig_mu);
+        if (migration_runs.count(frame.migration_id) != 0) return;  // duplicate PREPARE
+        MigrationRun run;
+        run.id = frame.migration_id;
+        run.task_id = task_id;
+        run.target_worker = frame.worker;
+        run.remote_coordinator = true;
+        run.phase = MigPhase::kFreezing;
+        migration_runs.emplace(frame.migration_id, std::move(run));
+      }
+      migrations_in_flight.fetch_add(1, std::memory_order_acq_rel);
+      if (tasks[static_cast<size_t>(task_id)].queue->Push(
+              Envelope{Tuple(), kMigrationMarkerTask, /*eos=*/false, 0,
+                       static_cast<uint64_t>(frame.migration_id)}) == 0) {
+        // Queue closed: the task finished first. Tell the coordinator the
+        // freeze is off (an ACK toward rank 0 only ever means that).
+        {
+          std::lock_guard<std::mutex> lock(mig_mu);
+          migration_runs.at(frame.migration_id).phase = MigPhase::kAbort;
+          mig_cv.notify_all();
+        }
+        migrations_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        ControlFrame nak;
+        nak.kind = ControlKind::kAck;
+        nak.migration_id = frame.migration_id;
+        nak.task_id = task_id;
+        nak.worker = 0;
+        transport->SendControl(0, nak);
+      }
+      return;
+    }
+    case ControlKind::kState: {
+      if (local_rank == 0) {
+        // Frozen state arriving back at the coordinator from a remote
+        // source; MigrateTaskId is waiting on the phase.
+        std::lock_guard<std::mutex> lock(mig_mu);
+        const auto it = migration_runs.find(frame.migration_id);
+        if (it != migration_runs.end() && it->second.phase == MigPhase::kFreezing) {
+          it->second.blob = std::move(frame.blob);
+          it->second.phase = MigPhase::kFrozen;
+          mig_cv.notify_all();
+        }
+        return;
+      }
+      // Target rank: adopt the task and confirm with HANDOFF.
+      ActivateMigratedTask(frame.migration_id, frame.task_id, std::move(frame.blob),
+                           /*notify_coordinator=*/true);
+      return;
+    }
+    case ControlKind::kHandoff: {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      const auto it = migration_runs.find(frame.migration_id);
+      if (it != migration_runs.end() && it->second.phase == MigPhase::kShipped) {
+        it->second.phase = MigPhase::kHandoff;
+        mig_cv.notify_all();
+      }
+      return;
+    }
+    case ControlKind::kAck: {
+      std::lock_guard<std::mutex> lock(mig_mu);
+      const auto it = migration_runs.find(frame.migration_id);
+      if (it == migration_runs.end()) return;
+      MigrationRun& run = it->second;
+      if (run.remote_coordinator && run.phase == MigPhase::kFrozen) {
+        // Coordinator's verdict: the task now lives elsewhere.
+        run.phase = MigPhase::kDecommission;
+      } else if (!run.remote_coordinator && run.phase == MigPhase::kFreezing) {
+        // Source rank could not freeze (task finished first).
+        run.phase = MigPhase::kAbort;
+      }
+      mig_cv.notify_all();
+      return;
+    }
+    case ControlKind::kFinish: {
+      // Coordinator's run-over broadcast: no task can migrate here anymore,
+      // so Wait()'s elastic finish hold can release.
+      std::lock_guard<std::mutex> lock(mig_mu);
+      coordinator_done = true;
+      mig_cv.notify_all();
+      return;
+    }
+  }
+}
+
+bool TopologyImpl::ActivateMigratedTask(uint32_t migration_id, int task_id, std::string blob,
+                                        bool notify_coordinator) {
+  {
+    std::lock_guard<std::mutex> lock(mig_mu);
+    if (!activated_migrations.insert(migration_id).second) return true;  // duplicate STATE
+  }
+  MigrationState st;
+  const Status status = DecodeMigrationState(blob.data(), blob.size(), &st);
+  if (!status.ok()) {
+    MarkFailed("migration " + std::to_string(migration_id) + ": " + status.message());
+    return false;
+  }
+  if (task_id < 0 || task_id >= static_cast<int>(tasks.size()) ||
+      st.task_id != static_cast<uint32_t>(task_id)) {
+    MarkFailed("migration " + std::to_string(migration_id) + ": blob/task mismatch");
+    return false;
+  }
+  Task& task = tasks[static_cast<size_t>(task_id)];
+  const ComponentSpec& comp = *comps[task.comp];
+  if (comp.is_spout || task.queue == nullptr) {
+    MarkFailed("migration " + std::to_string(migration_id) + ": task not migratable here");
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mig_mu);
+    task.worker = local_rank;
+    if (live_worker != nullptr) {
+      live_worker[static_cast<size_t>(task_id)].store(local_rank, std::memory_order_release);
+    }
+    hosted[static_cast<size_t>(task_id)] = 1;
+    ever_hosted[static_cast<size_t>(task_id)] = 1;
+  }
+  if (task_exited != nullptr) {
+    task_exited[static_cast<size_t>(task_id)].store(0, std::memory_order_relaxed);
+  }
+  // Fresh incarnation: the dormant Build-time bolt was never Prepared.
+  task.bolt = comp.bolt_factory();
+  CHECK(task.bolt != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mig_mu);
+    elastic_threads.push_back(std::thread(
+        [this, &task, st = std::move(st)]() mutable { RunBoltTask(task, &st); }));
+  }
+  if (notify_coordinator) {
+    ControlFrame frame;
+    frame.kind = ControlKind::kHandoff;
+    frame.migration_id = migration_id;
+    frame.task_id = task_id;
+    frame.worker = local_rank;
+    if (!transport->SendControl(0, frame)) {
+      MarkFailed("migration " + std::to_string(migration_id) + ": cannot confirm handoff");
+      return false;
+    }
+  }
+  return true;
+}
+
+void TopologyImpl::RunActionDriver() {
+  size_t next = 0;
+  while (next < actions.size() && !driver_stop.load(std::memory_order_acquire) &&
+         !failed.load(std::memory_order_acquire)) {
+    uint64_t emitted = 0;
+    bool any_alive = false;
+    for (Task& task : tasks) {
+      if (comps[task.comp]->is_spout) emitted += task.metrics->emitted.Get();
+      if (task_exited != nullptr &&
+          task_exited[static_cast<size_t>(task.id)].load(std::memory_order_relaxed) == 0) {
+        any_alive = true;
+      }
+    }
+    while (next < actions.size() && actions[next].at_seq <= emitted) {
+      const ResolvedAction& action = actions[next++];
+      if (action.is_kill) {
+        // "Kill worker": every bolt task currently placed on the rank
+        // crashes at its next execution step (spouts are the workload
+        // source; killing them would change the input, not test recovery).
+        for (Task& task : tasks) {
+          if (!comps[task.comp]->is_spout && WorkerOf(task.id) == action.rank) {
+            dyn_kill[static_cast<size_t>(task.id)].store(1, std::memory_order_release);
+          }
+        }
+      } else {
+        const Status status = MigrateTaskId(action.task_id, action.target_worker);
+        if (!status.ok() && status.code() != StatusCode::kFailedPrecondition) {
+          // FailedPrecondition = the task finished before the scripted
+          // point — benign for schedules that race stream end.
+          MarkFailed("scripted migration failed: " + status.message());
+        }
+      }
+    }
+    if (!any_alive) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
 }
 
 }  // namespace internal_topology
@@ -1164,6 +2066,11 @@ TopologyBuilder& TopologyBuilder::SetFaultScript(FaultScript script) {
   return *this;
 }
 
+TopologyBuilder& TopologyBuilder::SetElastic(bool elastic) {
+  impl_->elastic = elastic;
+  return *this;
+}
+
 TopologyBuilder& TopologyBuilder::SetTransport(std::shared_ptr<Transport> transport) {
   impl_->transport = std::move(transport);
   return *this;
@@ -1220,6 +2127,14 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
           << "SetNumWorkers must equal the transport's world size";
     }
   }
+  if (t.fault_script.has_progress_actions()) {
+    // The action driver reads every task's progress and flips routes
+    // directly; both need the whole topology in one process.
+    CHECK(hosts_all) << "kill_worker/migrate fault actions require a single-process "
+                        "(hosts-all) topology; drive real ranks via Topology::MigrateTask";
+    t.elastic = true;
+  }
+  if (t.elastic) t.supervised = true;  // the migration blob doubles as a checkpoint
   for (auto& comp_ptr : t.comps) {
     ComponentSpec& comp = *comp_ptr;
     comp.first_task = static_cast<int>(t.tasks.size());
@@ -1238,7 +2153,11 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
       task.metrics = std::make_unique<TaskMetrics>();
       const bool host_here = hosts_all || task.worker == t.local_rank;
       t.hosted.push_back(host_here ? 1 : 0);
-      if (!host_here) {
+      // Elastic + real transport: every rank materializes dormant bolt
+      // instances (and queues) for tasks placed elsewhere, so any rank can
+      // adopt a migrated task at runtime. Only hosted tasks get executors.
+      const bool materialize = host_here || (t.elastic && !comp.is_spout && !hosts_all);
+      if (!materialize) {
         t.tasks.push_back(std::move(task));
         continue;
       }
@@ -1250,12 +2169,16 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
         CHECK(task.bolt != nullptr);
         // An SPSC ring is safe only when exactly one producer-task thread
         // can ever push and no transport thread delivers inbound batches.
-        const bool spsc_safe = comp.upstream_tasks == 1 && t.transport == nullptr;
+        // Elastic topologies add the migration driver as a second pusher.
+        const bool spsc_safe =
+            comp.upstream_tasks == 1 && t.transport == nullptr && !t.elastic;
         task.queue = MakeQueue<Envelope>(t.queue_impl, t.queue_capacity, spsc_safe);
       }
       t.tasks.push_back(std::move(task));
     }
   }
+
+  t.ever_hosted = t.hosted;  // migrations extend this; Build placement seeds it
 
   if (t.overload_active) {
     t.task_exited = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
@@ -1265,6 +2188,26 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
       t.task_exited[i].store(t.Hosted(static_cast<int>(i)) ? 0 : 1,
                              std::memory_order_relaxed);
       if (t.tasks[i].queue != nullptr) t.tasks[i].queue->EnableHealthTracking();
+    }
+  }
+
+  if (t.elastic) {
+    t.gates.resize(t.tasks.size());
+    for (auto& gate : t.gates) gate = std::make_unique<TopologyImpl::TaskGate>();
+    t.task_quiesced = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
+    t.live_worker = std::make_unique<std::atomic<int>[]>(t.tasks.size());
+    for (size_t i = 0; i < t.tasks.size(); ++i) {
+      t.task_quiesced[i].store(0, std::memory_order_relaxed);
+      t.live_worker[i].store(t.tasks[i].worker, std::memory_order_relaxed);
+    }
+    if (t.task_exited == nullptr) {
+      // The migration driver and Wait() need exit tracking even without
+      // overload control.
+      t.task_exited = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
+      for (size_t i = 0; i < t.tasks.size(); ++i) {
+        t.task_exited[i].store(t.Hosted(static_cast<int>(i)) ? 0 : 1,
+                               std::memory_order_relaxed);
+      }
     }
   }
 
@@ -1320,6 +2263,34 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
     }
   }
 
+  // Resolve progress-driven actions (kill_worker / migrate statements).
+  for (const WorkerKillFault& kill : t.fault_script.worker_kills()) {
+    CHECK(kill.rank >= 0 && kill.rank < t.num_workers)
+        << "fault script kill_worker rank " << kill.rank << " outside [0, " << t.num_workers
+        << ")";
+    t.actions.push_back(
+        TopologyImpl::ResolvedAction{kill.at_seq, /*is_kill=*/true, kill.rank, -1, -1});
+  }
+  for (const MigrateAction& mig : t.fault_script.migrations()) {
+    const int task_id = resolve_task(mig.component, mig.task_index, "migrate");
+    CHECK(!t.comps[t.tasks[task_id].comp]->is_spout)
+        << "fault script cannot migrate spout component " << mig.component;
+    CHECK(mig.target_worker >= 0 && mig.target_worker < t.num_workers)
+        << "fault script migrate target " << mig.target_worker << " outside [0, "
+        << t.num_workers << ")";
+    t.actions.push_back(TopologyImpl::ResolvedAction{mig.at_seq, /*is_kill=*/false, -1,
+                                                     task_id, mig.target_worker});
+  }
+  std::stable_sort(t.actions.begin(), t.actions.end(),
+                   [](const TopologyImpl::ResolvedAction& a,
+                      const TopologyImpl::ResolvedAction& b) { return a.at_seq < b.at_seq; });
+  if (!t.actions.empty()) {
+    t.dyn_kill = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
+    for (size_t i = 0; i < t.tasks.size(); ++i) {
+      t.dyn_kill[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
   // Hand the placement to the transport and open the inbound path. The
   // impl pointer outlives the transport's threads: Wait() runs the
   // transport's Finish barrier (joining them) before the impl can die.
@@ -1329,6 +2300,10 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
     plan.task_worker.reserve(t.tasks.size());
     for (const Task& task : t.tasks) plan.task_worker.push_back(task.worker);
     TopologyImpl* tp = &t;
+    if (t.elastic && !hosts_all) {
+      t.transport->SetControlSink(
+          [tp](ControlFrame&& frame) { tp->HandleControl(std::move(frame)); });
+    }
     t.transport->Start(
         plan,
         [tp](int dst_task, std::vector<Envelope>&& batch) {
@@ -1357,7 +2332,9 @@ void Topology::Submit() {
   for (Task& task : t.tasks) {
     if (task.spout != nullptr) {
       task.thread = std::thread([&t, &task] { t.RunSpoutTask(task); });
-    } else if (task.bolt != nullptr) {
+    } else if (task.bolt != nullptr && t.Hosted(task.id)) {
+      // Dormant elastic bolts (placed on another rank) get no executor
+      // until a migration adopts them.
       task.thread = std::thread([&t, &task] { t.RunBoltTask(task); });
     }
     // Tasks hosted on another rank get no executor here.
@@ -1368,12 +2345,43 @@ void Topology::Submit() {
   if (t.overload_active && t.overload.stall_timeout_micros > 0) {
     t.watchdog = std::thread([&t] { t.RunWatchdog(); });
   }
+  if (!t.actions.empty()) {
+    t.action_driver = std::thread([&t] { t.RunActionDriver(); });
+  }
 }
 
 void Topology::Wait() {
   TopologyImpl& t = *impl_;
   for (Task& task : t.tasks) {
     if (task.thread.joinable()) task.thread.join();
+  }
+  if (t.action_driver.joinable()) {
+    t.driver_stop.store(true, std::memory_order_release);
+    t.action_driver.join();
+  }
+  // Elastic workers can adopt a migrating task at any point before the
+  // coordinator's run ends — even when they hosted nothing at startup (a
+  // packed placement leaves spare ranks idle until the controller spreads).
+  // Hold the finish barrier until rank 0's run-over broadcast (kFinish) or
+  // a failure, so the transport stays accepting and the senders stay open
+  // for any task that lands here late.
+  if (t.elastic && t.transport != nullptr && !t.transport->hosts_all_tasks() &&
+      t.transport->local_rank() != 0) {
+    std::unique_lock<std::mutex> lock(t.mig_mu);
+    while (!t.coordinator_done && !t.failed.load(std::memory_order_acquire)) {
+      t.mig_cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+  // Join executors adopted through migrations; new ones can be pushed while
+  // we join (a remote STATE can still arrive), so drain in rounds.
+  for (;;) {
+    std::vector<std::thread> adopted;
+    {
+      std::lock_guard<std::mutex> lock(t.mig_mu);
+      adopted.swap(t.elastic_threads);
+    }
+    if (adopted.empty()) break;
+    for (std::thread& th : adopted) th.join();
   }
   t.StopWatchdog();
   if (t.transport != nullptr && !t.finish_done) {
@@ -1388,9 +2396,26 @@ void Topology::Wait() {
       std::lock_guard<std::mutex> lock(t.fail_mu);
       local.failure_message = t.failure_message;
     }
+    if (!t.transport->hosts_all_tasks()) {
+      // Surface connection-health counters through the metric pipeline:
+      // they are per-process, so park them on the first task this rank
+      // ever hosted (MergeTaskCounters adds, so ranks' counts sum).
+      const Transport::NetStats net = t.transport->Stats();
+      if (net.connect_retries != 0 || net.reconnects != 0) {
+        for (const Task& task : t.tasks) {
+          if (t.ever_hosted[static_cast<size_t>(task.id)] == 0) continue;
+          task.metrics->net_connect_retries.Add(net.connect_retries);
+          task.metrics->net_reconnects.Add(net.reconnects);
+          break;
+        }
+      }
+    }
     if (t.transport->local_rank() != 0 && !t.transport->hosts_all_tasks()) {
       for (const Task& task : t.tasks) {
-        if (!t.Hosted(task.id)) continue;
+        // ever_hosted, not hosted: a task migrated away mid-run still
+        // executed here for a while, and those partial counters must reach
+        // the coordinator (the incarnations' counters sum in the merge).
+        if (t.ever_hosted[static_cast<size_t>(task.id)] == 0) continue;
         std::string blob;
         SerializeTaskCounters(*task.metrics, &blob);
         local.task_metrics.emplace_back(task.id, std::move(blob));
@@ -1405,6 +2430,14 @@ void Topology::Wait() {
           }
         });
     if (report.remote_failed) t.MarkFailed(report.remote_failure);
+    // A STATE frame racing the barrier can adopt an executor after the
+    // drain above; join any stragglers so no thread outlives the impl.
+    std::vector<std::thread> stragglers;
+    {
+      std::lock_guard<std::mutex> lock(t.mig_mu);
+      stragglers.swap(t.elastic_threads);
+    }
+    for (std::thread& th : stragglers) th.join();
   }
 }
 
@@ -1440,6 +2473,29 @@ std::vector<TaskStats> Topology::TasksOf(const std::string& component) const {
 }
 
 int Topology::num_workers() const { return impl_->num_workers; }
+
+Status Topology::MigrateTask(const std::string& component, int task_index, int target_worker) {
+  const auto it = impl_->comp_index.find(component);
+  if (it == impl_->comp_index.end()) {
+    return Status::NotFound("unknown component '" + component + "'");
+  }
+  const ComponentSpec& comp = *impl_->comps[static_cast<size_t>(it->second)];
+  if (task_index < 0 || task_index >= comp.parallelism) {
+    return Status::OutOfRange("task index " + std::to_string(task_index) +
+                              " out of range for " + component + " (parallelism " +
+                              std::to_string(comp.parallelism) + ")");
+  }
+  return impl_->MigrateTaskId(comp.first_task + task_index, target_worker);
+}
+
+int Topology::TaskWorker(const std::string& component, int task_index) const {
+  const auto it = impl_->comp_index.find(component);
+  CHECK(it != impl_->comp_index.end()) << "unknown component " << component;
+  const ComponentSpec& comp = *impl_->comps[static_cast<size_t>(it->second)];
+  CHECK(task_index >= 0 && task_index < comp.parallelism)
+      << "task index " << task_index << " out of range for " << component;
+  return impl_->WorkerOf(comp.first_task + task_index);
+}
 
 bool Topology::ok() const { return !impl_->failed.load(std::memory_order_acquire); }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "stream/channel.h"
 #include "stream/component.h"
 #include "stream/fault.h"
@@ -107,6 +108,26 @@ class Topology {
   /// Number of simulated workers tasks were placed on.
   int num_workers() const;
 
+  /// Live-migrates one bolt task to `target_worker` while the topology runs
+  /// (docs/INTERNALS.md §12). Requires SetElastic; blocks until the handoff
+  /// completes. The task is frozen at an exact per-link sequence boundary,
+  /// its state (bolt snapshot, progress counters, emission cursors) is
+  /// serialized, verified, and restored into a fresh incarnation on the
+  /// target worker, and routing flips while every producer into the task is
+  /// quiesced — so the result stream is byte-identical to an unmigrated
+  /// run. Migrating to the task's current worker is a no-op success.
+  /// Serialized internally: concurrent calls run one at a time.
+  ///
+  /// With a real (TCP) transport, only the coordinator (rank 0) may call
+  /// this, and every producer feeding the task must be hosted on rank 0
+  /// (the distributed join's pinned placement guarantees that). Bolts
+  /// without snapshot support migrate with fresh (empty) state — only
+  /// migrate them when that is acceptable.
+  Status MigrateTask(const std::string& component, int task_index, int target_worker);
+
+  /// Current worker of one task (reflects completed migrations).
+  int TaskWorker(const std::string& component, int task_index) const;
+
   /// False once any supervised task exhausted its restart budget (the run's
   /// results are then incomplete). Valid during and after the run; always
   /// true for unsupervised topologies.
@@ -203,6 +224,16 @@ class TopologyBuilder {
   /// are validated at Build(): unknown components, out-of-range task
   /// indices, or link faults on non-edges abort via CHECK.
   TopologyBuilder& SetFaultScript(FaultScript script);
+
+  /// Enables live task migration (Topology::MigrateTask and the
+  /// kill_worker/migrate fault-script actions). Implies supervision (the
+  /// migration blob doubles as a checkpoint). Elastic topologies pay a
+  /// small per-push cost: every delivery passes a per-task quiesce gate so
+  /// a migration can freeze a task at an exact sequence boundary. With a
+  /// real transport, every rank additionally materializes (dormant) bolt
+  /// instances for tasks placed elsewhere, so any rank can receive a
+  /// migrated task at runtime.
+  TopologyBuilder& SetElastic(bool elastic);
 
   /// Attaches an inter-worker transport, making the worker placement real:
   /// this process hosts only the tasks whose worker equals the transport's

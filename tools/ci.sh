@@ -34,6 +34,13 @@ echo "== multi-process smoke =="
 # bound).
 (cd build && ctest -L net --output-on-failure)
 
+echo "== elastic migration scenarios =="
+# Live-migration exactness: blob-codec corruption fuzz, scripted
+# migration/kill races, the 2->4->2 autoscale scenario, and the TCP
+# handoff smoke (self-skips without sockets). Also part of `-L net` above;
+# kept as its own stage so a migration regression is named in CI output.
+(cd build && ctest -L migration --output-on-failure)
+
 if [[ "$RUN_SANITIZE" == "1" ]]; then
   # Each sanitizer gets its own build tree; only the `tsan_safe`-labeled
   # tests (the queue/executor/supervision concurrency surface) are built and
@@ -65,7 +72,7 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   ASAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}"
                 net_wire_test net_transport_test net_smoke_test
                 wire_codec_equivalence_test wire_borrow_test
-                dssj_cli dssj_worker)
+                migration_test dssj_cli dssj_worker)
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
