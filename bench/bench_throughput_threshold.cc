@@ -34,6 +34,7 @@
 #include "core/bundle_joiner.h"
 #include "core/record_joiner.h"
 #include "core/verify.h"
+#include "store/format.h"
 
 namespace dssj::bench {
 namespace {
@@ -135,6 +136,40 @@ void BM_Length_Tweet_CheckpointInterval(benchmark::State& state) {
   state.counters["checkpoint_MB"] = static_cast<double>(result.checkpoint_bytes) / 1e6;
 }
 
+// Same sweep with the tiered store in async-delta mode (docs/INTERNALS.md
+// §13): the task freezes a copy-on-write view and a checkpoint thread does
+// the serialization + write, with every 8th checkpoint a compacting base.
+// Compare against BM_Length_Tweet_CheckpointInterval at the same interval
+// to read off the hot-path savings.
+void BM_Length_Tweet_AsyncDeltaCheckpoint(benchmark::State& state) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  options.supervise = true;
+  options.supervision.checkpoint_interval = static_cast<uint64_t>(state.range(0));
+  options.checkpoint_mode = store::CheckpointMode::kAsync;
+  options.delta_base_interval = 8;
+  DistributedJoinResult result;
+  for (auto _ : state) {
+    char dir_template[] = "/tmp/dssj_bench_store_XXXXXX";
+    const char* dir = mkdtemp(dir_template);
+    options.store_dir = dir != nullptr ? dir : "/tmp/dssj_bench_store";
+    result = RunDistributedJoin(stream, options);
+    store::RemoveTree(options.store_dir);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) *
+                          static_cast<int64_t>(state.iterations()));
+  ReportJoinResult(state, result);
+  state.counters["delta_ckpts"] = static_cast<double>(result.delta_checkpoints);
+  state.counters["base_ckpts"] = static_cast<double>(result.base_checkpoints);
+  state.counters["delta_MB"] = static_cast<double>(result.delta_checkpoint_bytes) / 1e6;
+  state.counters["base_MB"] = static_cast<double>(result.base_checkpoint_bytes) / 1e6;
+}
+
 #define DSSJ_THRESHOLDS ->Arg(600)->Arg(700)->Arg(800)->Arg(900)->Arg(950)
 
 BENCHMARK(BM_Length_Tweet) DSSJ_THRESHOLDS
@@ -159,6 +194,10 @@ BENCHMARK(BM_Length_Tweet_BatchSize)->Arg(1)->Arg(4)->Arg(16)->Arg(32)->Arg(128)
 
 BENCHMARK(BM_Length_Tweet_CheckpointInterval)
     ->Arg(-1)->Arg(0)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+
+BENCHMARK(BM_Length_Tweet_AsyncDeltaCheckpoint)
+    ->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 
 // Core-count scaling of the link fabric, in two views. Both run executor
@@ -313,6 +352,7 @@ DistMeasurement MeasureSerialDispatchOnce(stream::QueueImpl impl) {
 
 struct CheckpointMeasurement {
   double wall_rps = 0.0;
+  double scaled_rps = 0.0;
   uint64_t checkpoints = 0;
   uint64_t checkpoint_bytes = 0;
   uint64_t results = 0;
@@ -332,7 +372,86 @@ CheckpointMeasurement MeasureCheckpointOnce(int64_t interval) {
     options.supervision.checkpoint_interval = static_cast<uint64_t>(interval);
   }
   const DistributedJoinResult r = RunDistributedJoin(stream, options);
-  return {r.throughput_rps, r.checkpoints, r.checkpoint_bytes, r.result_count};
+  return {r.throughput_rps, r.scaled_throughput_rps, r.checkpoints, r.checkpoint_bytes,
+          r.result_count};
+}
+
+struct TieredMeasurement {
+  double wall_rps = 0.0;
+  double scaled_rps = 0.0;
+  uint64_t delta_checkpoints = 0;
+  uint64_t base_checkpoints = 0;
+  uint64_t delta_bytes = 0;
+  uint64_t base_bytes = 0;
+  uint64_t results = 0;
+};
+
+/// One store-backed supervised run at the headline configuration. The store
+/// root is a fresh mkdtemp dir, removed before returning, so repeated runs
+/// never compose against each other's chains.
+TieredMeasurement MeasureTieredOnce(int64_t interval, store::CheckpointMode mode,
+                                    uint32_t delta_base_interval) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  options.supervise = true;
+  options.supervision.checkpoint_interval = static_cast<uint64_t>(interval);
+  char dir_template[] = "/tmp/dssj_bench_store_XXXXXX";
+  const char* dir = mkdtemp(dir_template);
+  options.store_dir = dir != nullptr ? dir : "/tmp/dssj_bench_store";
+  options.checkpoint_mode = mode;
+  options.delta_base_interval = delta_base_interval;
+  const DistributedJoinResult r = RunDistributedJoin(stream, options);
+  store::RemoveTree(options.store_dir);
+  return {r.throughput_rps,          r.scaled_throughput_rps, r.delta_checkpoints,
+          r.base_checkpoints,        r.delta_checkpoint_bytes, r.base_checkpoint_bytes,
+          r.result_count};
+}
+
+struct SpillMeasurement {
+  double wall_rps = 0.0;
+  uint64_t results = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_reads = 0;
+  uint64_t evictions = 0;
+};
+
+enum class BudgetMode { kUnlimited, kEvict, kSpill };
+
+/// Windows-larger-than-RAM scenario: the same headline join, but each
+/// joiner's index budget is far below what the window needs. kEvict drops
+/// cold records (recall loss), kSpill moves them to disk stubs and reads
+/// them back on surviving-candidate probes (full recall).
+SpillMeasurement MeasureSpillOnce(BudgetMode budget, size_t max_index_bytes) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  std::string spill_dir;
+  if (budget != BudgetMode::kUnlimited) {
+    options.max_index_bytes = max_index_bytes;
+    options.supervise = true;
+    options.supervision.checkpoint_interval = 1024;
+    if (budget == BudgetMode::kSpill) {
+      char dir_template[] = "/tmp/dssj_bench_spill_XXXXXX";
+      const char* dir = mkdtemp(dir_template);
+      spill_dir = dir != nullptr ? dir : "/tmp/dssj_bench_spill";
+      options.store_dir = spill_dir;
+      options.checkpoint_mode = store::CheckpointMode::kAsync;
+      options.spill_watermark = 0.5;
+    }
+  }
+  const DistributedJoinResult r = RunDistributedJoin(stream, options);
+  if (!spill_dir.empty()) store::RemoveTree(spill_dir);
+  return {r.throughput_rps, r.result_count, r.spilled_bytes, r.spill_reads,
+          r.budget_evictions};
 }
 
 struct LoadMeasurement {
@@ -506,19 +625,23 @@ int EmitJson(const std::string& path, int runs) {
   std::fprintf(f, "  \"checkpoint_overhead\": [\n");
   const int64_t intervals[] = {-1, 0, 256, 1024, 4096};
   const size_t num_intervals = sizeof(intervals) / sizeof(intervals[0]);
-  double off_rps = 0.0;
+  double off_rps = 0.0, off_scaled = 0.0;
   for (size_t k = 0; k < num_intervals; ++k) {
-    std::vector<double> wall;
+    std::vector<double> wall, scaled;
     uint64_t checkpoints = 0, bytes = 0, results = 0;
     for (int i = 0; i < runs; ++i) {
       const CheckpointMeasurement m = MeasureCheckpointOnce(intervals[k]);
       wall.push_back(m.wall_rps);
+      scaled.push_back(m.scaled_rps);
       checkpoints = m.checkpoints;
       bytes = m.checkpoint_bytes;
       results = m.results;
     }
     const double w = Median(wall);
-    if (intervals[k] < 0) off_rps = w;
+    if (intervals[k] < 0) {
+      off_rps = w;
+      off_scaled = Median(scaled);
+    }
     std::fprintf(f,
                  "    {\"checkpoint_interval\": %lld, \"supervised\": %s,\n"
                  "     \"rec_per_s_wall\": %.1f, \"relative_to_unsupervised\": %.3f,\n"
@@ -539,6 +662,120 @@ int EmitJson(const std::string& path, int runs) {
                  static_cast<unsigned long long>(bytes));
   }
   std::fprintf(f, "  ],\n");
+
+  // Tiered state store axis (docs/INTERNALS.md §13): at each checkpoint
+  // interval, the synchronous store (full image encoded + written on the
+  // hot path, every checkpoint a base) against the async-delta store
+  // (copy-on-write freeze, checkpoint thread writes, every 8th a base);
+  // both relative to the unsupervised reference measured above. Then the
+  // windows-larger-than-RAM run: the same join with a per-joiner index
+  // budget far below the window, evicting (recall loss) vs spilling
+  // (full recall, disk reads on surviving candidates).
+  std::fprintf(f, "  \"tiered_state\": {\n");
+  std::fprintf(f,
+               "    \"preset\": \"tweet\", \"records\": %zu, "
+               "\"delta_base_interval\": 8,\n"
+               "    \"unsupervised_rec_per_s\": %.1f, "
+               "\"unsupervised_rec_per_s_scaled\": %.1f,\n"
+               "    \"checkpoint_sweep\": [\n",
+               RecordsFor(DatasetPreset::kTweet), off_rps, off_scaled);
+  const int64_t tiered_intervals[] = {64, 256, 1024};
+  const size_t num_tiered = sizeof(tiered_intervals) / sizeof(tiered_intervals[0]);
+  for (size_t k = 0; k < num_tiered; ++k) {
+    std::vector<double> sync_wall, async_wall, sync_scaled, async_scaled;
+    TieredMeasurement sync_last, async_last;
+    for (int i = 0; i < runs; ++i) {
+      sync_last = MeasureTieredOnce(tiered_intervals[k], store::CheckpointMode::kSync, 8);
+      sync_wall.push_back(sync_last.wall_rps);
+      sync_scaled.push_back(sync_last.scaled_rps);
+      async_last = MeasureTieredOnce(tiered_intervals[k], store::CheckpointMode::kAsync, 8);
+      async_wall.push_back(async_last.wall_rps);
+      async_scaled.push_back(async_last.scaled_rps);
+    }
+    const double sw = Median(sync_wall), aw = Median(async_wall);
+    const double ss = Median(sync_scaled), as = Median(async_scaled);
+    std::fprintf(f,
+                 "      {\"checkpoint_interval\": %lld,\n"
+                 "       \"sync_full\": {\"rec_per_s_wall\": %.1f, "
+                 "\"rec_per_s_scaled\": %.1f,\n"
+                 "        \"relative_scaled\": %.3f,\n"
+                 "        \"base_checkpoints\": %llu, \"base_checkpoint_bytes\": %llu},\n"
+                 "       \"async_delta\": {\"rec_per_s_wall\": %.1f, "
+                 "\"rec_per_s_scaled\": %.1f,\n"
+                 "        \"relative_scaled\": %.3f,\n"
+                 "        \"delta_checkpoints\": %llu, \"delta_checkpoint_bytes\": %llu,\n"
+                 "        \"base_checkpoints\": %llu, \"base_checkpoint_bytes\": %llu},\n"
+                 "       \"async_over_sync_scaled\": %.3f, \"results\": %llu}%s\n",
+                 static_cast<long long>(tiered_intervals[k]), sw, ss,
+                 off_scaled > 0.0 ? ss / off_scaled : 0.0,
+                 static_cast<unsigned long long>(sync_last.base_checkpoints),
+                 static_cast<unsigned long long>(sync_last.base_bytes), aw, as,
+                 off_scaled > 0.0 ? as / off_scaled : 0.0,
+                 static_cast<unsigned long long>(async_last.delta_checkpoints),
+                 static_cast<unsigned long long>(async_last.delta_bytes),
+                 static_cast<unsigned long long>(async_last.base_checkpoints),
+                 static_cast<unsigned long long>(async_last.base_bytes),
+                 ss > 0.0 ? as / ss : 0.0,
+                 static_cast<unsigned long long>(async_last.results),
+                 k + 1 < num_tiered ? "," : "");
+    std::fprintf(stderr,
+                 "[tiered interval=%lld] sync %.0f rec/s scaled (%.3f of unsupervised), "
+                 "async-delta %.0f rec/s scaled (%.3f); results %llu vs %llu\n",
+                 static_cast<long long>(tiered_intervals[k]), ss,
+                 off_scaled > 0.0 ? ss / off_scaled : 0.0, as,
+                 off_scaled > 0.0 ? as / off_scaled : 0.0,
+                 static_cast<unsigned long long>(sync_last.results),
+                 static_cast<unsigned long long>(async_last.results));
+  }
+  std::fprintf(f, "    ],\n");
+  {
+    const size_t budget = 128 * 1024;  // per joiner; window needs several x this
+    std::vector<double> unl_wall, evict_wall, spill_wall;
+    SpillMeasurement unl_last, evict_last, spill_last;
+    for (int i = 0; i < runs; ++i) {
+      unl_last = MeasureSpillOnce(BudgetMode::kUnlimited, budget);
+      unl_wall.push_back(unl_last.wall_rps);
+      evict_last = MeasureSpillOnce(BudgetMode::kEvict, budget);
+      evict_wall.push_back(evict_last.wall_rps);
+      spill_last = MeasureSpillOnce(BudgetMode::kSpill, budget);
+      spill_wall.push_back(spill_last.wall_rps);
+    }
+    const double unl_results = static_cast<double>(unl_last.results);
+    std::fprintf(f,
+                 "    \"spill\": {\"window\": %zu, \"max_index_bytes\": %zu, "
+                 "\"spill_watermark\": 0.5,\n"
+                 "      \"unlimited\": {\"rec_per_s_wall\": %.1f, \"results\": %llu},\n"
+                 "      \"evict\": {\"rec_per_s_wall\": %.1f, \"results\": %llu, "
+                 "\"recall\": %.4f, \"budget_evictions\": %llu},\n"
+                 "      \"spill\": {\"rec_per_s_wall\": %.1f, \"results\": %llu, "
+                 "\"recall\": %.4f, \"spilled_bytes\": %llu, \"spill_reads\": %llu}\n"
+                 "    }\n",
+                 RecordsFor(DatasetPreset::kTweet) / 2, budget, Median(unl_wall),
+                 static_cast<unsigned long long>(unl_last.results), Median(evict_wall),
+                 static_cast<unsigned long long>(evict_last.results),
+                 unl_results > 0.0 ? static_cast<double>(evict_last.results) / unl_results
+                                   : 0.0,
+                 static_cast<unsigned long long>(evict_last.evictions), Median(spill_wall),
+                 static_cast<unsigned long long>(spill_last.results),
+                 unl_results > 0.0 ? static_cast<double>(spill_last.results) / unl_results
+                                   : 0.0,
+                 static_cast<unsigned long long>(spill_last.spilled_bytes),
+                 static_cast<unsigned long long>(spill_last.spill_reads));
+    std::fprintf(stderr,
+                 "[spill] unlimited %.0f rec/s (%llu results), evict %.0f rec/s "
+                 "(recall %.4f, %llu evictions), spill %.0f rec/s (recall %.4f, "
+                 "%llu spilled bytes, %llu reads)\n",
+                 Median(unl_wall), static_cast<unsigned long long>(unl_last.results),
+                 Median(evict_wall),
+                 unl_results > 0.0 ? static_cast<double>(evict_last.results) / unl_results
+                                   : 0.0,
+                 static_cast<unsigned long long>(evict_last.evictions), Median(spill_wall),
+                 unl_results > 0.0 ? static_cast<double>(spill_last.results) / unl_results
+                                   : 0.0,
+                 static_cast<unsigned long long>(spill_last.spilled_bytes),
+                 static_cast<unsigned long long>(spill_last.spill_reads));
+  }
+  std::fprintf(f, "  },\n");
 
   // Core-count axis of the link fabric, two views (see the BM_Cores_*
   // comment block): "scaling" sweeps 1/2/4/8 joiners with sharded

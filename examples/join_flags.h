@@ -38,7 +38,9 @@ inline const char* JoinFlagsUsage() {
          "          [--elastic] [--migrate_threshold=F] [--elastic_workers=N]\n"
          "          [--elastic_interval_ms=N]\n"
          "          [--shed_policy=none|probe|oldest|bundle] [--shed_watermark=F]\n"
-         "          [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]\n";
+         "          [--max_index_bytes=N] [--stall_timeout_ms=N] [--arrival_rate=R]\n"
+         "          [--store_dir=PATH] [--checkpoint_mode=sync|async]\n"
+         "          [--delta_base_interval=N] [--spill_watermark=F]\n";
 }
 
 /// Parses everything both binaries share into `cfg`. Prints the problem to
@@ -141,6 +143,34 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
                  "--max_index_bytes, --stall_timeout_ms and --arrival_rate must be >= 0\n");
     return false;
   }
+  const std::string store_dir = flags.GetString("store_dir", "");
+  const std::string checkpoint_mode = flags.GetString("checkpoint_mode", "sync");
+  const int64_t delta_base_interval = flags.GetInt("delta_base_interval", 8);
+  const double spill_watermark = flags.GetDouble("spill_watermark", 0.0);
+  if (checkpoint_mode == "sync") {
+    options.checkpoint_mode = dssj::store::CheckpointMode::kSync;
+  } else if (checkpoint_mode == "async") {
+    options.checkpoint_mode = dssj::store::CheckpointMode::kAsync;
+  } else {
+    std::fprintf(stderr, "unknown checkpoint mode '%s' (sync|async)\n", checkpoint_mode.c_str());
+    return false;
+  }
+  if (delta_base_interval < 0) {
+    std::fprintf(stderr, "--delta_base_interval must be >= 0\n");
+    return false;
+  }
+  if (spill_watermark < 0.0 || spill_watermark > 1.0) {
+    std::fprintf(stderr, "--spill_watermark must be in [0, 1]\n");
+    return false;
+  }
+  if (!store_dir.empty() && checkpoint_interval <= 0) {
+    std::fprintf(stderr, "--store_dir needs --checkpoint_interval > 0\n");
+    return false;
+  }
+  if (spill_watermark > 0.0 && (store_dir.empty() || max_index_bytes <= 0)) {
+    std::fprintf(stderr, "--spill_watermark needs --store_dir and --max_index_bytes\n");
+    return false;
+  }
   for (const std::string& key : flags.UnusedKeys()) {
     std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
     return false;
@@ -162,6 +192,11 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
   options.num_joiners = joiners;
   options.collect_results = true;
   options.batch_size = static_cast<size_t>(batch_size);
+  options.store_dir = store_dir;
+  options.delta_base_interval = static_cast<uint32_t>(delta_base_interval);
+  options.spill_watermark = spill_watermark;
+  // store_dir requires checkpoint_interval > 0 (validated above), so the
+  // supervise branch below always runs for store-enabled invocations.
   if (!fault_script.empty() || checkpoint_interval > 0) {
     // Validate here so a typo'd script is a usage error, not an abort.
     auto script = dssj::stream::FaultScript::Parse(fault_script);

@@ -81,6 +81,7 @@ class BinaryReader {
   explicit BinaryReader(const std::string& blob)
       : p_(blob.data()), end_(blob.data() + blob.size()) {}
 
+  uint8_t ReadU8() { return ReadPod<uint8_t>(); }
   uint32_t ReadU32() { return ReadPod<uint32_t>(); }
   uint64_t ReadU64() { return ReadPod<uint64_t>(); }
   int64_t ReadI64() { return ReadPod<int64_t>(); }

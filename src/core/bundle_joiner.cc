@@ -52,6 +52,7 @@ uint64_t BundleJoiner::EvictOldestEntry() {
   CHECK(!store_order_.empty());
   const OrderEntry entry = store_order_.front();
   store_order_.pop_front();
+  ++order_pops_since_freeze_;
   auto it = bundles_.find(entry.bundle_id);
   CHECK(it != bundles_.end());
   auto& members = it->second.members;
@@ -64,6 +65,12 @@ uint64_t BundleJoiner::EvictOldestEntry() {
   if (members.empty()) {
     approx_bytes_ -= ApproxBundleBytes(it->second);
     bundles_.erase(it);
+    // A retired id supersedes any dirty record of it (ids are never
+    // reused, so a later delta cannot resurrect it by accident).
+    dirty_bundles_.erase(entry.bundle_id);
+    retired_bundles_.push_back(entry.bundle_id);
+  } else {
+    dirty_bundles_.insert(entry.bundle_id);
   }
   --alive_members_;
   ++stats_.evictions;
@@ -214,6 +221,7 @@ void BundleJoiner::AddMemberTokensToIndex(uint64_t bundle_id, Bundle& bundle,
     if (pos != bundle.indexed.end() && *pos == w) continue;
     bundle.indexed.insert(pos, w);
     approx_bytes_ += sizeof(TokenId) + sizeof(uint64_t);  // indexed token + posting
+    posting_appends_.emplace_back(w, bundle_id);
     std::vector<uint64_t>* list;
     if (options_.direct_index) {
       if (w >= dense_index_.size()) {
@@ -287,6 +295,7 @@ void BundleJoiner::Store(const RecordPtr& r, const AdmissionCandidate& admission
   approx_bytes_ += ApproxMemberBytes(member);
   if (bundle->members.capacity() == 0) bundle->members.reserve(4);
   bundle->members.emplace_back(uid, std::move(member));
+  dirty_bundles_.insert(bundle_id);
   AddMemberTokensToIndex(bundle_id, *bundle, *r);
   store_order_.push_back(OrderEntry{bundle_id, uid, r->timestamp});
   ++alive_members_;
@@ -318,30 +327,75 @@ void BundleJoiner::Process(const RecordPtr& r, bool store, bool probe,
   if (store) Store(r, admission);
 }
 
+namespace {
+
+// Blob tags, aligned with RecordJoiner's (docs/INTERNALS.md §13): 0 is a
+// self-contained full image, 2 a dirty-set delta. (Tag 1, a tiered base
+// with spill stubs, does not arise here — bundles keep budget eviction.)
+constexpr uint8_t kTagSelfContained = 0;
+constexpr uint8_t kTagDelta = 2;
+
+}  // namespace
+
+void BundleJoiner::WriteBundleTo(uint64_t id, const Bundle& b, BinaryWriter* w) {
+  w->WriteU64(id);
+  w->WriteU32Vec(b.pivot);
+  w->WriteU32(b.next_uid);
+  w->WriteU32Vec(b.indexed);
+  w->WriteU32(b.min_size);
+  w->WriteU32(b.max_size);
+  w->WriteU32(b.max_added);
+  w->WriteU64(b.members.size());
+  for (const auto& [uid, m] : b.members) {
+    w->WriteU32(uid);
+    w->WriteU64(m.id);
+    w->WriteU64(m.seq);
+    w->WriteI64(m.timestamp);
+    w->WriteU32(m.size);
+    w->WriteU32Vec(m.added);
+    w->WriteU32Vec(m.removed);
+  }
+}
+
+void BundleJoiner::ReadBundleInto(BinaryReader* r, Bundle* b) {
+  r->ReadU32Vec(&b->pivot);
+  b->next_uid = r->ReadU32();
+  r->ReadU32Vec(&b->indexed);
+  b->min_size = r->ReadU32();
+  b->max_size = r->ReadU32();
+  b->max_added = r->ReadU32();
+  const uint64_t num_members = r->ReadU64();
+  b->members.clear();
+  b->members.reserve(num_members);
+  for (uint64_t k = 0; k < num_members; ++k) {
+    const uint32_t uid = r->ReadU32();
+    Member m;
+    m.id = r->ReadU64();
+    m.seq = r->ReadU64();
+    m.timestamp = r->ReadI64();
+    m.size = r->ReadU32();
+    r->ReadU32Vec(&m.added);
+    r->ReadU32Vec(&m.removed);
+    b->members.emplace_back(uid, std::move(m));
+  }
+  b->probe_stamp = 0;  // per-probe scratch, never restored
+}
+
+void BundleJoiner::MarkFrozen() {
+  dirty_bundles_.clear();
+  retired_bundles_.clear();
+  posting_appends_.clear();
+  order_pops_since_freeze_ = 0;
+  frozen_order_len_ = store_order_.size();
+}
+
 void BundleJoiner::Snapshot(std::string* out) const {
   BinaryWriter w(out);
+  w.WriteU8(kTagSelfContained);
   w.WriteU64(next_bundle_id_);
   w.WriteU64(alive_members_);
   w.WriteU64(bundles_.size());
-  for (const auto& [id, b] : bundles_) {
-    w.WriteU64(id);
-    w.WriteU32Vec(b.pivot);
-    w.WriteU32(b.next_uid);
-    w.WriteU32Vec(b.indexed);
-    w.WriteU32(b.min_size);
-    w.WriteU32(b.max_size);
-    w.WriteU32(b.max_added);
-    w.WriteU64(b.members.size());
-    for (const auto& [uid, m] : b.members) {
-      w.WriteU32(uid);
-      w.WriteU64(m.id);
-      w.WriteU64(m.seq);
-      w.WriteI64(m.timestamp);
-      w.WriteU32(m.size);
-      w.WriteU32Vec(m.added);
-      w.WriteU32Vec(m.removed);
-    }
-  }
+  for (const auto& [id, b] : bundles_) WriteBundleTo(id, b, &w);
   // Posting lists verbatim, from whichever layout is live.
   uint64_t lists = 0;
   if (options_.direct_index) {
@@ -380,32 +434,15 @@ void BundleJoiner::Restore(const std::string& blob) {
   store_order_.clear();
   probe_stamp_ = 0;
   BinaryReader r(blob);
+  const uint8_t tag = r.ReadU8();
+  CHECK(tag == kTagSelfContained) << "delta blob passed to Restore (use RestoreDelta)";
   next_bundle_id_ = r.ReadU64();
   alive_members_ = r.ReadU64();
   const uint64_t num_bundles = r.ReadU64();
   bundles_.reserve(num_bundles);
   for (uint64_t i = 0; i < num_bundles; ++i) {
     const uint64_t id = r.ReadU64();
-    Bundle& b = bundles_[id];
-    r.ReadU32Vec(&b.pivot);
-    b.next_uid = r.ReadU32();
-    r.ReadU32Vec(&b.indexed);
-    b.min_size = r.ReadU32();
-    b.max_size = r.ReadU32();
-    b.max_added = r.ReadU32();
-    const uint64_t num_members = r.ReadU64();
-    b.members.reserve(num_members);
-    for (uint64_t k = 0; k < num_members; ++k) {
-      const uint32_t uid = r.ReadU32();
-      Member m;
-      m.id = r.ReadU64();
-      m.seq = r.ReadU64();
-      m.timestamp = r.ReadI64();
-      m.size = r.ReadU32();
-      r.ReadU32Vec(&m.added);
-      r.ReadU32Vec(&m.removed);
-      b.members.emplace_back(uid, std::move(m));
-    }
+    ReadBundleInto(&r, &bundles_[id]);
   }
   const uint64_t lists = r.ReadU64();
   for (uint64_t i = 0; i < lists; ++i) {
@@ -433,6 +470,116 @@ void BundleJoiner::Restore(const std::string& blob) {
   // The walk matches the incremental formula exactly, so budget decisions
   // after a restore replay the original run's.
   RecomputeApproxBytes();
+  MarkFrozen();
+}
+
+store::FrozenBlob BundleJoiner::FreezeBase() {
+  // Bundle state is mutated in place (diffs, counters, sorted inserts),
+  // so there is no refcount-cheap frozen view; the base serializes
+  // eagerly. Bases are periodic — the steady-state cost is the deltas.
+  auto blob = std::make_shared<std::string>();
+  Snapshot(blob.get());
+  MarkFrozen();
+  store::FrozenBlob f;
+  f.is_delta = false;
+  f.encode = [blob](std::string* out) { *out = std::move(*blob); };
+  return f;
+}
+
+store::FrozenBlob BundleJoiner::FreezeDelta() {
+  auto dirty = std::make_shared<std::vector<std::pair<uint64_t, Bundle>>>();
+  dirty->reserve(dirty_bundles_.size());
+  for (const uint64_t id : dirty_bundles_) {
+    const auto it = bundles_.find(id);
+    CHECK(it != bundles_.end());  // retired ids are erased from the dirty set
+    dirty->emplace_back(id, it->second);  // deep copy of the *final* state
+  }
+  auto retired = std::make_shared<const std::vector<uint64_t>>(retired_bundles_);
+  auto postings =
+      std::make_shared<const std::vector<std::pair<TokenId, uint64_t>>>(posting_appends_);
+  const uint64_t order_pops = order_pops_since_freeze_;
+  const size_t order_start = frozen_order_len_ > order_pops
+                                 ? static_cast<size_t>(frozen_order_len_ - order_pops)
+                                 : 0;
+  auto order = std::make_shared<const std::vector<OrderEntry>>(
+      store_order_.begin() + static_cast<ptrdiff_t>(order_start), store_order_.end());
+  const uint64_t next_bundle_id = next_bundle_id_;
+  const uint64_t alive_members = alive_members_;
+  auto stats = std::make_shared<const JoinerStats>(stats_);
+  MarkFrozen();
+  store::FrozenBlob f;
+  f.is_delta = true;
+  f.encode = [dirty, retired, postings, order, order_pops, next_bundle_id, alive_members,
+              stats](std::string* out) {
+    BinaryWriter w(out);
+    w.WriteU8(kTagDelta);
+    w.WriteU64(retired->size());
+    for (const uint64_t id : *retired) w.WriteU64(id);
+    w.WriteU64(dirty->size());
+    for (const auto& [id, b] : *dirty) WriteBundleTo(id, b, &w);
+    w.WriteU64(postings->size());
+    for (const auto& [token, id] : *postings) {
+      w.WriteU32(token);
+      w.WriteU64(id);
+    }
+    w.WriteU64(order_pops);
+    w.WriteU64(order->size());
+    for (const OrderEntry& e : *order) {
+      w.WriteU64(e.bundle_id);
+      w.WriteU32(e.uid);
+      w.WriteI64(e.timestamp);
+    }
+    w.WriteU64(next_bundle_id);
+    w.WriteU64(alive_members);
+    WriteJoinerStats(*stats, &w);
+  };
+  return f;
+}
+
+void BundleJoiner::RestoreDelta(const std::string& blob) {
+  BinaryReader r(blob);
+  const uint8_t tag = r.ReadU8();
+  CHECK(tag == kTagDelta) << "non-delta blob passed to RestoreDelta";
+  const uint64_t retired = r.ReadU64();
+  for (uint64_t i = 0; i < retired; ++i) bundles_.erase(r.ReadU64());
+  const uint64_t dirty = r.ReadU64();
+  for (uint64_t i = 0; i < dirty; ++i) {
+    const uint64_t id = r.ReadU64();
+    ReadBundleInto(&r, &bundles_[id]);  // insert or overwrite with final state
+  }
+  const uint64_t postings = r.ReadU64();
+  for (uint64_t i = 0; i < postings; ++i) {
+    const TokenId token = r.ReadU32();
+    const uint64_t id = r.ReadU64();
+    std::vector<uint64_t>* list;
+    if (options_.direct_index) {
+      if (token >= dense_index_.size()) dense_index_.resize(token + 1);
+      list = &dense_index_[token];
+    } else {
+      list = &sparse_index_[token];
+    }
+    list->push_back(id);
+  }
+  // Trim the eviction order, then append the interval's surviving suffix.
+  // Pops beyond the materialized length refer to entries appended and
+  // popped within the interval — they never existed here. The pops are
+  // raw (no member erases): the dirty copies above already carry each
+  // touched bundle's final member state.
+  const uint64_t order_pops = r.ReadU64();
+  for (uint64_t i = 0; i < order_pops && !store_order_.empty(); ++i) store_order_.pop_front();
+  const uint64_t order_n = r.ReadU64();
+  for (uint64_t i = 0; i < order_n; ++i) {
+    OrderEntry e;
+    e.bundle_id = r.ReadU64();
+    e.uid = r.ReadU32();
+    e.timestamp = r.ReadI64();
+    store_order_.push_back(e);
+  }
+  next_bundle_id_ = r.ReadU64();
+  alive_members_ = r.ReadU64();
+  ReadJoinerStats(&r, &stats_);
+  RecomputeApproxBytes();
+  MarkFrozen();
 }
 
 size_t BundleJoiner::MemoryBytes() const {

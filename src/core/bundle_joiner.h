@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -81,6 +82,18 @@ class BundleJoiner : public LocalJoiner {
   void Snapshot(std::string* out) const override;
   void Restore(const std::string& blob) override;
 
+  /// Incremental checkpointing: Store, eviction, and index growth record
+  /// which bundles were touched, which retired, and which postings were
+  /// appended since the last freeze; a delta ships deep copies of just
+  /// the dirty bundles plus those logs. FreezeBase serializes the full
+  /// image eagerly (bundle state has no cheap immutable view — unlike the
+  /// record joiner's refcounted window — so the async win here is that
+  /// bases are periodic and deltas small).
+  bool SupportsIncrementalSnapshot() const override { return true; }
+  store::FrozenBlob FreezeBase() override;
+  store::FrozenBlob FreezeDelta() override;
+  void RestoreDelta(const std::string& blob) override;
+
  private:
   struct Member {
     uint64_t id = 0;
@@ -137,6 +150,10 @@ class BundleJoiner : public LocalJoiner {
   void AddMemberTokensToIndex(uint64_t bundle_id, Bundle& bundle, const Record& member);
   void ReconstructMemberInto(const Bundle& bundle, const Member& m,
                              std::vector<TokenId>* out);
+  static void WriteBundleTo(uint64_t id, const Bundle& b, BinaryWriter* w);
+  static void ReadBundleInto(BinaryReader* r, Bundle* b);
+  /// Clears the dirty logs: the next FreezeDelta is relative to now.
+  void MarkFrozen();
 
   SimilaritySpec sim_;
   SimilaritySpec admission_sim_;
@@ -154,6 +171,17 @@ class BundleJoiner : public LocalJoiner {
   uint64_t probe_stamp_ = 0;
   size_t alive_members_ = 0;
   size_t approx_bytes_ = 0;  ///< Σ ApproxBundleBytes + ApproxMemberBytes, live state
+
+  // Dirty tracking for delta checkpoints (reset by MarkFrozen). The set
+  // is ordered so a delta's bundle section serializes deterministically.
+  // Posting appends are logged as (token, bundle) pairs because a bundle
+  // keeps gaining indexed tokens over its life — rebuilding lists from
+  // bundle state could not reproduce live list order.
+  std::set<uint64_t> dirty_bundles_;
+  std::vector<uint64_t> retired_bundles_;
+  std::vector<std::pair<TokenId, uint64_t>> posting_appends_;
+  uint64_t order_pops_since_freeze_ = 0;
+  uint64_t frozen_order_len_ = 0;
 
   /// Reused across individual verifications (batch_verify == false) so the
   /// E7 baseline measures merge cost, not per-member allocation.

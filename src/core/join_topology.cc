@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -11,6 +12,7 @@
 #include "core/brute_force_joiner.h"
 #include "core/repartition.h"
 #include "net/transport.h"
+#include "store/spill.h"
 #include "stream/topology.h"
 
 namespace dssj {
@@ -169,6 +171,30 @@ class JoinerBolt : public stream::Bolt {
         1, static_cast<size_t>(options_->shed_watermark *
                                static_cast<double>(options_->queue_capacity)));
     joiner_ = MakeLocalJoiner(*options_, partition_);
+    if (!options_->store_dir.empty() && options_->spill_watermark > 0.0 &&
+        options_->max_index_bytes > 0 && joiner_->SupportsSpill()) {
+      // The spill directory is NOT cleared here: after a crash the
+      // recovered base/delta chain holds handles into the previous
+      // incarnation's segments. Open() treats leftover frames as
+      // unclaimed; Restore re-claims the referenced ones and the rest are
+      // purged once recovery completes.
+      const std::string dir =
+          options_->store_dir + "/spill_" + ctx.component + "_p" + std::to_string(partition_);
+      const auto gc = options_->checkpoint_mode == store::CheckpointMode::kAsync
+                          ? store::SpillStore::GcPolicy::kDeferred
+                          : store::SpillStore::GcPolicy::kImmediate;
+      const Status st = store::SpillStore::Open(dir, options_->store_segment_bytes, gc, &spill_);
+      if (st.ok()) {
+        const auto watermark = static_cast<size_t>(
+            options_->spill_watermark * static_cast<double>(options_->max_index_bytes));
+        joiner_->AttachSpillStore(spill_.get(), watermark);
+      } else {
+        // Spill is a memory/recall optimization; a joiner without it
+        // falls back to budget eviction, so the run degrades, not dies.
+        LOG(ERROR) << "spill store unavailable (" << st.ToString() << "); using eviction";
+        spill_.reset();
+      }
+    }
   }
 
   void Execute(stream::Tuple tuple, stream::OutputCollector& out) override {
@@ -206,6 +232,9 @@ class JoinerBolt : public stream::Bolt {
       metrics_->app_results.Add(result_count_);
       metrics_->shed_probes.Add(shed_probes_);
       metrics_->shed_pairs_upper_bound.Add(shed_ub_);
+      const JoinerStats& js = joiner_->stats();
+      metrics_->spilled_bytes.Add(js.spilled_bytes);
+      metrics_->spill_reads.Add(js.spill_reads);
     }
   }
 
@@ -245,6 +274,81 @@ class JoinerBolt : public stream::Bolt {
     std::string joiner_blob;
     r.ReadBytes(&joiner_blob);
     joiner_->Restore(joiner_blob);
+    // A self-contained image (tag 0: migration blob or in-memory fallback)
+    // re-appends its cold records to fresh frames, so whatever the
+    // previous incarnation left on disk is garbage now. Tiered bases wait
+    // for OnRestoreComplete — the delta chain still claims frames.
+    if (spill_ != nullptr && !joiner_blob.empty() && joiner_blob[0] == 0) {
+      spill_->PurgeUnclaimed();
+    }
+  }
+
+  /// Async-checkpoint path (TopologyBuilder::SetStore). The bolt header
+  /// (a few counters + the shed seq list) is copied eagerly — it mutates
+  /// with the very next tuple; the joiner contributes its frozen view,
+  /// which serializes later on the checkpoint thread. Layout matches
+  /// Snapshot/Restore, so bases restore through Restore() unchanged.
+  bool SupportsDeltaSnapshot() const override {
+    return joiner_->SupportsIncrementalSnapshot();
+  }
+  store::FrozenBlob Freeze(bool want_delta) override {
+    auto header = std::make_shared<std::string>();
+    {
+      BinaryWriter w(header.get());
+      w.WriteU64(result_count_);
+      w.WriteU64(shed_probes_);
+      w.WriteU64(shed_ub_);
+      w.WriteU64(shed_pending_);
+      w.WriteU32(shed_active_ ? 1 : 0);
+      w.WriteU64(shed_seqs_.size());
+      for (const uint64_t seq : shed_seqs_) w.WriteU64(seq);
+    }
+    store::FrozenBlob inner = want_delta ? joiner_->FreezeDelta() : joiner_->FreezeBase();
+    if (!inner.is_delta && spill_ != nullptr &&
+        options_->checkpoint_mode == store::CheckpointMode::kAsync) {
+      // Segments fully retired before this base was frozen are invisible
+      // to it and to every later delta; reclaim them once it is durable.
+      retire_marks_.push_back(spill_->TakeRetireMark());
+    }
+    auto inner_encode =
+        std::make_shared<std::function<void(std::string*)>>(std::move(inner.encode));
+    store::FrozenBlob f;
+    f.is_delta = inner.is_delta;
+    f.encode = [header, inner_encode](std::string* out) {
+      *out = std::move(*header);
+      std::string joiner_blob;
+      (*inner_encode)(&joiner_blob);
+      BinaryWriter(out).WriteBytes(joiner_blob);
+    };
+    return f;
+  }
+  void RestoreDelta(const std::string& blob) override {
+    BinaryReader r(blob);
+    result_count_ = r.ReadU64();
+    shed_probes_ = r.ReadU64();
+    shed_ub_ = r.ReadU64();
+    shed_pending_ = r.ReadU64();
+    shed_active_ = r.ReadU32() != 0;
+    shed_seqs_.clear();
+    const uint64_t n = r.ReadU64();
+    shed_seqs_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) shed_seqs_.push_back(r.ReadU64());
+    std::string joiner_blob;
+    r.ReadBytes(&joiner_blob);
+    joiner_->RestoreDelta(joiner_blob);
+  }
+  void OnCheckpointDurable(uint64_t /*epoch*/, bool is_base) override {
+    // Marks queue in freeze order and bases confirm in epoch order, so
+    // front() is the mark taken when this base froze. The driver-submitted
+    // initial base (epoch 0) predates Prepare's first Freeze and has no
+    // mark — the empty-queue guard skips it.
+    if (!is_base || spill_ == nullptr || retire_marks_.empty()) return;
+    spill_->DeleteRetiredBefore(retire_marks_.front());
+    retire_marks_.pop_front();
+  }
+  void OnRestoreComplete() override {
+    if (spill_ != nullptr) spill_->PurgeUnclaimed();
+    retire_marks_.clear();
   }
 
  private:
@@ -330,6 +434,10 @@ class JoinerBolt : public stream::Bolt {
   stream::TaskMetrics* metrics_ = nullptr;
   std::function<stream::QueueHealth()> queue_health_;
   std::unique_ptr<LocalJoiner> joiner_;
+  std::unique_ptr<store::SpillStore> spill_;
+  /// Spill retire marks taken at each async base freeze, consumed when
+  /// that base becomes durable (see OnCheckpointDurable).
+  std::deque<uint64_t> retire_marks_;
   uint64_t result_count_ = 0;
   Histogram latency_;
 
@@ -622,6 +730,17 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   if (options.supervise || options.elastic || !options.fault_script.empty()) {
     builder.SetSupervision(options.supervision);
   }
+  if (!options.store_dir.empty()) {
+    CHECK(options.supervise || options.elastic || !options.fault_script.empty())
+        << "store_dir requires supervision (checkpoints drive the store)";
+    store::StoreOptions so;
+    so.dir = options.store_dir;
+    so.mode = options.checkpoint_mode;
+    so.delta_base_interval = options.delta_base_interval;
+    so.spill_watermark = options.spill_watermark;
+    so.segment_bytes = options.store_segment_bytes;
+    builder.SetStore(std::move(so));
+  }
   if (options.elastic) builder.SetElastic(true);
   if (!options.fault_script.empty()) {
     StatusOr<stream::FaultScript> script = stream::FaultScript::Parse(options.fault_script);
@@ -797,6 +916,12 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   result.replayed_tuples = all.replayed_tuples;
   result.checkpoints = all.checkpoints;
   result.checkpoint_bytes = all.checkpoint_bytes;
+  result.delta_checkpoints = all.delta_checkpoints;
+  result.base_checkpoints = all.base_checkpoints;
+  result.delta_checkpoint_bytes = all.delta_checkpoint_bytes;
+  result.base_checkpoint_bytes = all.base_checkpoint_bytes;
+  result.spilled_bytes = all.spilled_bytes;
+  result.spill_reads = all.spill_reads;
   result.link_drops_recovered = all.link_drops_recovered;
   result.link_dups_discarded = all.link_dups_discarded;
   result.migrations = all.migrations;

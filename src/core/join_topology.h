@@ -15,6 +15,7 @@
 #include "core/similarity.h"
 #include "core/window.h"
 #include "net/wire.h"
+#include "store/options.h"
 #include "stream/fault.h"
 #include "stream/overload.h"
 #include "stream/queue.h"
@@ -198,6 +199,24 @@ struct DistributedJoinOptions {
   /// max_index_bytes. Ignored by the brute-force joiner.
   size_t max_index_bytes = 0;
 
+  /// Tiered state store (docs/INTERNALS.md §13). A non-empty store_dir
+  /// roots an on-disk store there (requires `supervise`): checkpoints are
+  /// persisted per task under store_dir/task_<id>/, and joiners with a
+  /// spill_watermark > 0 overflow cold window state to
+  /// store_dir/spill_<component>_p<partition>/ instead of budget-evicting
+  /// it. kAsync moves checkpoint encoding + disk writes off the task
+  /// thread (frozen views; deltas between every delta_base_interval-th
+  /// full base image); kSync writes a full base inline at each boundary.
+  std::string store_dir;
+  store::CheckpointMode checkpoint_mode = store::CheckpointMode::kSync;
+  uint32_t delta_base_interval = 8;
+  /// Fraction of max_index_bytes at which the record joiner starts
+  /// spilling cold records to disk rather than evicting them (<= 0 keeps
+  /// PR 3 eviction; needs store_dir and max_index_bytes).
+  double spill_watermark = 0.0;
+  /// Spill segment rotation size (per joiner task).
+  size_t store_segment_bytes = 4u << 20;
+
   /// Elastic worker scaling (docs/INTERNALS.md §12). Enables live task
   /// migration (Topology::MigrateTask plus the kill_worker/migrate fault
   /// verbs) and starts a controller thread that samples per-joiner load
@@ -286,6 +305,14 @@ struct DistributedJoinResult {
   uint64_t replayed_tuples = 0;
   uint64_t checkpoints = 0;
   uint64_t checkpoint_bytes = 0;
+  /// Tiered-store split of the above (0 unless options.store_dir), plus
+  /// spill-tier traffic: bytes moved to cold segments and cold read-backs.
+  uint64_t delta_checkpoints = 0;
+  uint64_t base_checkpoints = 0;
+  uint64_t delta_checkpoint_bytes = 0;
+  uint64_t base_checkpoint_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_reads = 0;
   uint64_t link_drops_recovered = 0;
   uint64_t link_dups_discarded = 0;
 

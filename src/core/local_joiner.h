@@ -3,13 +3,19 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/serialize.h"
 #include "core/verify.h"
+#include "store/frozen.h"
 #include "text/record.h"
 
 namespace dssj {
+
+namespace store {
+class SpillStore;
+}  // namespace store
 
 /// One emitted join result: the probing record and a previously stored
 /// partner. Sequence numbers let distributed callers apply the
@@ -59,6 +65,12 @@ struct JoinerStats {
   uint64_t batch_accepts = 0;           ///< members accepted by the lower bound
   uint64_t batch_rejects = 0;           ///< members rejected by the upper bound
   uint64_t member_diff_resolutions = 0; ///< members resolved via diff merge
+
+  // Tiered spill (joiners with an attached store::SpillStore).
+  uint64_t spilled_records = 0;    ///< hot records moved to the cold on-disk tier
+  uint64_t spilled_bytes = 0;      ///< payload bytes appended to spill segments
+  uint64_t spill_reads = 0;        ///< cold frames read back during probes
+  uint64_t spill_read_errors = 0;  ///< unreadable cold frames skipped (corrupt segment)
 };
 
 /// A single-partition streaming set-similarity joiner: maintains a sliding
@@ -110,6 +122,40 @@ class LocalJoiner {
   virtual void Restore(const std::string& /*blob*/) {
     LOG(FATAL) << "joiner does not support snapshots";
   }
+
+  /// Incremental checkpointing for the async tiered store. FreezeBase and
+  /// FreezeDelta capture a cheap immutable view of the state at the call
+  /// boundary (reference bumps + small copies of dirty bookkeeping) and
+  /// return the encoder that serializes it later on the checkpoint thread;
+  /// both reset the joiner's dirty tracking, so the next FreezeDelta
+  /// covers exactly the state touched since this call. A delta blob
+  /// (is_delta = true) replays on top of the preceding image via
+  /// RestoreDelta; recovery therefore applies Restore(base) then
+  /// RestoreDelta(each delta, epoch order). The defaults serialize a full
+  /// image eagerly (is_delta = false), so every joiner works under the
+  /// async driver and incremental support is a pure optimization.
+  virtual bool SupportsIncrementalSnapshot() const { return false; }
+  virtual store::FrozenBlob FreezeBase() {
+    auto blob = std::make_shared<std::string>();
+    Snapshot(blob.get());
+    store::FrozenBlob f;
+    f.encode = [blob](std::string* out) { *out = std::move(*blob); };
+    return f;
+  }
+  virtual store::FrozenBlob FreezeDelta() { return FreezeBase(); }
+  virtual void RestoreDelta(const std::string& /*blob*/) {
+    LOG(FATAL) << "joiner does not support delta snapshots";
+  }
+
+  /// Tiered spill: when attached, the memory-budget path moves cold
+  /// window state to `spill` once approximate hot bytes would exceed
+  /// `watermark_bytes`, instead of evicting it — probes read cold records
+  /// back on demand, so recall is preserved for windows larger than the
+  /// budget. The default ignores the store (implementations without an
+  /// eviction order, or where cold state has no per-record granularity,
+  /// keep PR 3 budget eviction — see docs/INTERNALS.md §13).
+  virtual bool SupportsSpill() const { return false; }
+  virtual void AttachSpillStore(store::SpillStore* /*spill*/, size_t /*watermark_bytes*/) {}
 };
 
 /// Checkpoint helpers shared by the joiner implementations.
@@ -153,6 +199,10 @@ inline void WriteJoinerStats(const JoinerStats& s, BinaryWriter* w) {
   w->WriteU64(s.batch_accepts);
   w->WriteU64(s.batch_rejects);
   w->WriteU64(s.member_diff_resolutions);
+  w->WriteU64(s.spilled_records);
+  w->WriteU64(s.spilled_bytes);
+  w->WriteU64(s.spill_reads);
+  w->WriteU64(s.spill_read_errors);
 }
 
 inline void ReadJoinerStats(BinaryReader* r, JoinerStats* s) {
@@ -178,6 +228,10 @@ inline void ReadJoinerStats(BinaryReader* r, JoinerStats* s) {
   s->batch_accepts = r->ReadU64();
   s->batch_rejects = r->ReadU64();
   s->member_diff_resolutions = r->ReadU64();
+  s->spilled_records = r->ReadU64();
+  s->spilled_bytes = r->ReadU64();
+  s->spill_reads = r->ReadU64();
+  s->spill_read_errors = r->ReadU64();
 }
 
 }  // namespace dssj

@@ -32,8 +32,28 @@ void RecordJoiner::PopOldestStored() {
   ++stats_.evictions;
 }
 
+void RecordJoiner::PopOldestCold() {
+  if (spill_ != nullptr) spill_->Release(cold_.front().handle);
+  cold_.pop_front();
+  ++cold_popped_total_;
+  ++stats_.evictions;
+}
+
+void RecordJoiner::PopOldestOverall() {
+  if (!cold_.empty()) {
+    PopOldestCold();
+  } else {
+    PopOldestStored();
+  }
+}
+
 void RecordJoiner::Evict(int64_t now) {
   if (window_.kind != WindowSpec::Kind::kTime) return;
+  // Cold stubs are strictly older than every hot record, so if the cold
+  // front survives, the hot loop is a no-op.
+  while (!cold_.empty() && window_.ExpiredByTime(cold_.front().timestamp, now)) {
+    PopOldestCold();
+  }
   while (!store_.empty() && window_.ExpiredByTime(store_.front()->timestamp, now)) {
     PopOldestStored();
   }
@@ -41,13 +61,57 @@ void RecordJoiner::Evict(int64_t now) {
 
 size_t RecordJoiner::EvictOldest(size_t n) {
   size_t evicted = 0;
-  while (evicted < n && store_.size() > 1) {
-    stats_.eviction_horizon_seq = std::max(stats_.eviction_horizon_seq, store_.front()->seq);
-    PopOldestStored();
+  while (evicted < n && StoredCount() > 1) {
+    if (!cold_.empty()) {
+      stats_.eviction_horizon_seq = std::max(stats_.eviction_horizon_seq, cold_.front().seq);
+      PopOldestCold();
+    } else {
+      stats_.eviction_horizon_seq = std::max(stats_.eviction_horizon_seq, store_.front()->seq);
+      PopOldestStored();
+    }
     ++stats_.budget_evictions;
     ++evicted;
   }
   return evicted;
+}
+
+std::vector<TokenId> RecordJoiner::IndexablePrefix(const Record& r) const {
+  const size_t prefix_len = sim_.PrefixLength(r.size());
+  std::vector<TokenId> prefix;
+  prefix.reserve(prefix_len);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const TokenId w = r.tokens[i];
+    if (options_.token_filter != nullptr && !options_.token_filter(w)) continue;
+    prefix.push_back(w);
+  }
+  return prefix;
+}
+
+bool RecordJoiner::SpillOldestHot() {
+  if (spill_ == nullptr || store_.size() <= 1) return false;
+  const RecordPtr r = store_.front();
+  std::string payload;
+  BinaryWriter w(&payload);
+  WriteRecordTo(*r, &w);
+  store::SpillHandle handle;
+  if (!spill_->Append(payload, &handle).ok()) return false;
+  ColdStub stub;
+  stub.id = r->id;
+  stub.seq = r->seq;
+  stub.timestamp = r->timestamp;
+  stub.size = static_cast<uint32_t>(r->size());
+  stub.prefix = IndexablePrefix(*r);
+  stub.handle = handle;
+  cold_.push_back(std::move(stub));
+  ++cold_appended_total_;
+  ++stats_.spilled_records;
+  stats_.spilled_bytes += payload.size();
+  // Leaves the window (it is still *in* the window, just cold), so no
+  // eviction is counted and the horizon does not move.
+  approx_bytes_ -= ApproxStoredBytes(*r);
+  store_.pop_front();
+  ++base_;
+  return true;
 }
 
 namespace {
@@ -76,10 +140,62 @@ TokenId MinCommonPrefixToken(const SimilaritySpec& sim, const Record& a, const R
 
 }  // namespace
 
+void RecordJoiner::ProbeCold(const Record& r, const ResultCallback& cb) {
+  if (cold_.empty()) return;
+  const size_t lo = sim_.LengthLowerBound(r.size());
+  const size_t hi = sim_.LengthUpperBound(r.size());
+  const std::vector<TokenId> probe_prefix = IndexablePrefix(r);
+  if (probe_prefix.empty()) return;
+  // Oldest stub first: deterministic emission order that a restore
+  // reproduces (the cold deque round-trips in order).
+  for (const ColdStub& stub : cold_) {
+    if (stub.size < lo || stub.size > hi) {
+      ++stats_.length_filtered;
+      continue;
+    }
+    // Prefix filter, mirroring index candidacy: a qualifying pair shares
+    // an indexable token between the two prefixes. Both sides are sorted.
+    size_t i = 0, j = 0;
+    bool common = false;
+    while (i < probe_prefix.size() && j < stub.prefix.size()) {
+      if (probe_prefix[i] == stub.prefix[j]) {
+        common = true;
+        break;
+      }
+      if (probe_prefix[i] < stub.prefix[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (!common) continue;
+    ++stats_.candidates;
+    ++stats_.spill_reads;
+    std::string payload;
+    if (!spill_->Read(stub.handle, &payload).ok()) {
+      // A corrupt frame costs recall for this stub only; never a crash.
+      ++stats_.spill_read_errors;
+      continue;
+    }
+    BinaryReader br(payload);
+    const RecordPtr s = ReadRecordFrom(&br);
+    const size_t alpha = sim_.MinOverlap(r.size(), s->size());
+    const size_t o = VerifyOverlap(r.tokens, s->tokens, alpha, &stats_.verify);
+    if (o < alpha) continue;
+    if (options_.dedup_by_min_prefix_token) {
+      const TokenId w = MinCommonPrefixToken(sim_, r, *s);
+      if (w == kNoCommonToken || !options_.token_filter(w)) continue;
+    }
+    ++stats_.results;
+    cb(ResultPair{r.id, r.seq, s->id, s->seq});
+  }
+}
+
 void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
   ++stats_.probes;
   const size_t prefix_len = sim_.PrefixLength(r.size());
   if (prefix_len == 0) return;
+  ProbeCold(r, cb);
   const size_t lo = sim_.LengthLowerBound(r.size());
   const size_t hi = sim_.LengthUpperBound(r.size());
 
@@ -185,12 +301,24 @@ void RecordJoiner::Probe(const Record& r, const ResultCallback& cb) {
 }
 
 void RecordJoiner::Store(const RecordPtr& r) {
-  while (window_.OverCount(store_.size())) PopOldestStored();
+  while (window_.OverCount(StoredCount())) PopOldestOverall();
+  const size_t incoming = ApproxStoredBytes(*r);
+  if (spill_ != nullptr && spill_watermark_bytes_ > 0) {
+    // Tiered path: past the watermark, cold records move to disk and stay
+    // in the window. Eviction below remains the backstop (spill failure,
+    // or a budget even the stubs overflow).
+    while (approx_bytes_ + incoming > spill_watermark_bytes_ && SpillOldestHot()) {
+    }
+  }
   if (options_.max_index_bytes > 0) {
-    const size_t incoming = ApproxStoredBytes(*r);
     while (approx_bytes_ + incoming > options_.max_index_bytes && EvictOldest(1) > 0) {
     }
   }
+  AppendStored(r);
+  ++stats_.stores;
+}
+
+void RecordJoiner::AppendStored(const RecordPtr& r) {
   const uint64_t local_id = base_ + store_.size();
   store_.push_back(r);
   approx_bytes_ += ApproxStoredBytes(*r);
@@ -214,7 +342,6 @@ void RecordJoiner::Store(const RecordPtr& r) {
     list->push_back(
         Posting{local_id, static_cast<uint32_t>(i), static_cast<uint32_t>(r->size())});
   }
-  ++stats_.stores;
 }
 
 void RecordJoiner::Process(const RecordPtr& r, bool store, bool probe,
@@ -242,11 +369,119 @@ void RecordJoiner::CompactIndex() {
   for (auto& [w, list] : sparse_index_) compact(list);
 }
 
+namespace {
+
+// Blob tags (docs/INTERNALS.md §13). Self-contained images inline cold
+// records (the migration / sync-checkpoint format); tiered bases carry
+// cold records as spill-segment stubs; deltas carry only the window
+// suffix touched since the previous freeze.
+constexpr uint8_t kTagSelfContained = 0;
+constexpr uint8_t kTagTieredBase = 1;
+constexpr uint8_t kTagDelta = 2;
+
+}  // namespace
+
+void RecordJoiner::WriteStubTo(const ColdStub& stub, BinaryWriter* w) {
+  w->WriteU64(stub.id);
+  w->WriteU64(stub.seq);
+  w->WriteI64(stub.timestamp);
+  w->WriteU32(stub.size);
+  w->WriteU32Vec(stub.prefix);
+  w->WriteU32(stub.handle.segment);
+  w->WriteU64(stub.handle.offset);
+  w->WriteU32(stub.handle.length);
+}
+
+RecordJoiner::ColdStub RecordJoiner::ReadStubFrom(BinaryReader* r) {
+  ColdStub stub;
+  stub.id = r->ReadU64();
+  stub.seq = r->ReadU64();
+  stub.timestamp = r->ReadI64();
+  stub.size = r->ReadU32();
+  r->ReadU32Vec(&stub.prefix);
+  stub.handle.segment = r->ReadU32();
+  stub.handle.offset = r->ReadU64();
+  stub.handle.length = r->ReadU32();
+  return stub;
+}
+
+void RecordJoiner::MarkFrozen() {
+  frozen_base_ = base_;
+  frozen_next_id_ = base_ + store_.size();
+  frozen_cold_len_ = cold_.size();
+  frozen_cold_popped_ = cold_popped_total_;
+}
+
 void RecordJoiner::Snapshot(std::string* out) const {
   BinaryWriter w(out);
+  w.WriteU8(kTagSelfContained);
+  w.WriteU64(cold_.size());
+  for (const ColdStub& stub : cold_) {
+    // The spill payload *is* the WriteRecordTo serialization, so cold
+    // records inline as raw read-back bytes. Unreadable cold state makes
+    // a self-contained image impossible — this is the migration path, so
+    // it is a hard failure rather than silent record loss.
+    std::string payload;
+    const Status st = spill_->Read(stub.handle, &payload);
+    CHECK(st.ok()) << "cold record unreadable during snapshot: " << st.ToString();
+    out->append(payload);
+  }
   w.WriteU64(store_.size());
   for (const RecordPtr& r : store_) WriteRecordTo(*r, &w);
   WriteJoinerStats(stats_, &w);
+}
+
+store::FrozenBlob RecordJoiner::FreezeBase() {
+  auto hot = std::make_shared<const std::vector<RecordPtr>>(store_.begin(), store_.end());
+  auto cold = std::make_shared<const std::vector<ColdStub>>(cold_.begin(), cold_.end());
+  auto stats = std::make_shared<const JoinerStats>(stats_);
+  MarkFrozen();
+  store::FrozenBlob f;
+  f.is_delta = false;
+  f.encode = [hot, cold, stats](std::string* out) {
+    BinaryWriter w(out);
+    w.WriteU8(kTagTieredBase);
+    w.WriteU64(cold->size());
+    for (const ColdStub& stub : *cold) WriteStubTo(stub, &w);
+    w.WriteU64(hot->size());
+    for (const RecordPtr& rec : *hot) WriteRecordTo(*rec, &w);
+    WriteJoinerStats(*stats, &w);
+  };
+  return f;
+}
+
+store::FrozenBlob RecordJoiner::FreezeDelta() {
+  // The window is FIFO, so everything that changed since the last freeze
+  // is two front-pop counts plus the back suffixes that survived. An
+  // entry appended *and* popped within the interval shows up only in the
+  // pop count (pops consume older entries first, so popped appends are
+  // exactly the non-surviving prefix of the appended sequence).
+  const uint64_t hot_pops = base_ - frozen_base_;
+  const uint64_t cold_pops = cold_popped_total_ - frozen_cold_popped_;
+  const size_t hot_start =
+      frozen_next_id_ > base_ ? static_cast<size_t>(frozen_next_id_ - base_) : 0;
+  const size_t cold_start =
+      frozen_cold_len_ > cold_pops ? static_cast<size_t>(frozen_cold_len_ - cold_pops) : 0;
+  auto hot = std::make_shared<const std::vector<RecordPtr>>(
+      store_.begin() + static_cast<ptrdiff_t>(hot_start), store_.end());
+  auto cold = std::make_shared<const std::vector<ColdStub>>(
+      cold_.begin() + static_cast<ptrdiff_t>(cold_start), cold_.end());
+  auto stats = std::make_shared<const JoinerStats>(stats_);
+  MarkFrozen();
+  store::FrozenBlob f;
+  f.is_delta = true;
+  f.encode = [hot_pops, cold_pops, hot, cold, stats](std::string* out) {
+    BinaryWriter w(out);
+    w.WriteU8(kTagDelta);
+    w.WriteU64(hot_pops);
+    w.WriteU64(cold_pops);
+    w.WriteU64(hot->size());
+    for (const RecordPtr& rec : *hot) WriteRecordTo(*rec, &w);
+    w.WriteU64(cold->size());
+    for (const ColdStub& stub : *cold) WriteStubTo(stub, &w);
+    WriteJoinerStats(*stats, &w);
+  };
+  return f;
 }
 
 void RecordJoiner::Restore(const std::string& blob) {
@@ -259,16 +494,97 @@ void RecordJoiner::Restore(const std::string& blob) {
   cand_stamp_.clear();
   probe_stamp_ = 0;
   cand_order_.clear();
+  cold_.clear();
+  cold_appended_total_ = 0;
+  cold_popped_total_ = 0;
   BinaryReader r(blob);
-  const uint64_t n = r.ReadU64();
-  for (uint64_t i = 0; i < n; ++i) Store(ReadRecordFrom(&r));
-  // Re-storing bumped stores/evictions; the snapshotted totals replace them.
+  const uint8_t tag = r.ReadU8();
+  CHECK(tag != kTagDelta) << "delta blob passed to Restore (use RestoreDelta)";
+  uint64_t dropped_stubs = 0;
+  const uint64_t cold_n = r.ReadU64();
+  for (uint64_t i = 0; i < cold_n; ++i) {
+    if (tag == kTagSelfContained) {
+      const RecordPtr rec = ReadRecordFrom(&r);
+      if (spill_ != nullptr) {
+        // Rebuild the cold tier exactly: re-append to fresh segments so
+        // the hot/cold split — and thus probe order — round-trips.
+        std::string payload;
+        BinaryWriter pw(&payload);
+        WriteRecordTo(*rec, &pw);
+        store::SpillHandle handle;
+        if (spill_->Append(payload, &handle).ok()) {
+          ColdStub stub;
+          stub.id = rec->id;
+          stub.seq = rec->seq;
+          stub.timestamp = rec->timestamp;
+          stub.size = static_cast<uint32_t>(rec->size());
+          stub.prefix = IndexablePrefix(*rec);
+          stub.handle = handle;
+          cold_.push_back(std::move(stub));
+          ++cold_appended_total_;
+          continue;
+        }
+      }
+      // No spill attached (or it failed): the cold records become the
+      // oldest hot entries, preserving window order.
+      AppendStored(rec);
+    } else {
+      ColdStub stub = ReadStubFrom(&r);
+      // A stub whose frame did not survive (torn segment truncated away)
+      // costs that one record; recovery continues.
+      if (spill_ == nullptr || !spill_->Reref(stub.handle)) {
+        ++dropped_stubs;
+        continue;
+      }
+      cold_.push_back(std::move(stub));
+      ++cold_appended_total_;
+    }
+  }
+  const uint64_t hot_n = r.ReadU64();
+  for (uint64_t i = 0; i < hot_n; ++i) AppendStored(ReadRecordFrom(&r));
   ReadJoinerStats(&r, &stats_);
+  stats_.spill_read_errors += dropped_stubs;
+  MarkFrozen();
+}
+
+void RecordJoiner::RestoreDelta(const std::string& blob) {
+  BinaryReader r(blob);
+  const uint8_t tag = r.ReadU8();
+  CHECK(tag == kTagDelta) << "non-delta blob passed to RestoreDelta";
+  const uint64_t hot_pops = r.ReadU64();
+  const uint64_t cold_pops = r.ReadU64();
+  // Pops beyond what this replica materialized refer to entries appended
+  // and popped within the interval — they never existed here, so only
+  // base_ needs to advance for the hot ones (slot ids must line up with
+  // the live run's append numbering).
+  for (uint64_t i = 0; i < cold_pops && !cold_.empty(); ++i) PopOldestCold();
+  const uint64_t hot_k = std::min<uint64_t>(hot_pops, store_.size());
+  for (uint64_t i = 0; i < hot_k; ++i) PopOldestStored();
+  base_ += hot_pops - hot_k;
+  const uint64_t hot_n = r.ReadU64();
+  for (uint64_t i = 0; i < hot_n; ++i) AppendStored(ReadRecordFrom(&r));
+  uint64_t dropped_stubs = 0;
+  const uint64_t cold_n = r.ReadU64();
+  for (uint64_t i = 0; i < cold_n; ++i) {
+    ColdStub stub = ReadStubFrom(&r);
+    if (spill_ == nullptr || !spill_->Reref(stub.handle)) {
+      ++dropped_stubs;
+      continue;
+    }
+    cold_.push_back(std::move(stub));
+    ++cold_appended_total_;
+  }
+  ReadJoinerStats(&r, &stats_);
+  stats_.spill_read_errors += dropped_stubs;
+  MarkFrozen();
 }
 
 size_t RecordJoiner::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const RecordPtr& s : store_) bytes += sizeof(Record) + s->tokens.size() * sizeof(TokenId);
+  // Cold records live on disk; only their stubs are resident.
+  bytes += cold_.size() * sizeof(ColdStub);
+  for (const ColdStub& stub : cold_) bytes += stub.prefix.capacity() * sizeof(TokenId);
   bytes += dense_index_.capacity() * sizeof(std::vector<Posting>);
   for (const std::vector<Posting>& list : dense_index_) {
     bytes += list.capacity() * sizeof(Posting);

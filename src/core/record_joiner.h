@@ -9,6 +9,7 @@
 #include "core/local_joiner.h"
 #include "core/similarity.h"
 #include "core/window.h"
+#include "store/spill.h"
 
 namespace dssj {
 
@@ -68,7 +69,7 @@ class RecordJoiner : public LocalJoiner {
 
   void Process(const RecordPtr& r, bool store, bool probe, const ResultCallback& cb) override;
 
-  size_t StoredCount() const override { return store_.size(); }
+  size_t StoredCount() const override { return store_.size() + cold_.size(); }
   size_t MemoryBytes() const override;
   size_t EvictOldest(size_t n) override;
   const JoinerStats& stats() const override { return stats_; }
@@ -82,9 +83,30 @@ class RecordJoiner : public LocalJoiner {
   /// them, which reproduces posting order — and therefore match order —
   /// exactly. Dead postings are not snapshotted, so purge/scan counters may
   /// run lower after a restore; emissions are unaffected.
+  ///
+  /// Blobs are tagged: Snapshot writes a self-contained image (cold
+  /// records read back and inlined — the migration format), FreezeBase a
+  /// tiered base (cold records as spill-segment stubs), FreezeDelta the
+  /// dirty suffix since the previous freeze. The window is FIFO — appends
+  /// at the back, pops and spills at the front — so "dirty tracking" is
+  /// four monotonic counters and a delta is exactly {front pops, appended
+  /// records, new cold stubs, stats}.
   bool SupportsSnapshot() const override { return true; }
   void Snapshot(std::string* out) const override;
   void Restore(const std::string& blob) override;
+  bool SupportsIncrementalSnapshot() const override { return true; }
+  store::FrozenBlob FreezeBase() override;
+  store::FrozenBlob FreezeDelta() override;
+  void RestoreDelta(const std::string& blob) override;
+
+  bool SupportsSpill() const override { return true; }
+  void AttachSpillStore(store::SpillStore* spill, size_t watermark_bytes) override {
+    spill_ = spill;
+    spill_watermark_bytes_ = watermark_bytes;
+  }
+
+  /// Cold records currently stubbed out to the spill tier.
+  size_t ColdCount() const { return cold_.size(); }
 
  private:
   struct Posting {
@@ -100,6 +122,19 @@ class RecordJoiner : public LocalJoiner {
     int32_t overlap_in_prefix;  ///< matches seen during prefix scan; -1 = pruned
   };
 
+  /// In-memory remnant of a spilled record: just enough to run the length
+  /// and prefix filters (so most probes never touch disk) plus the handle
+  /// to read the full record back when a probe survives them. Cold
+  /// records are all strictly older than every hot record.
+  struct ColdStub {
+    uint64_t id = 0;
+    uint64_t seq = 0;
+    int64_t timestamp = 0;
+    uint32_t size = 0;
+    std::vector<TokenId> prefix;  ///< indexable prefix tokens (token_filter applied)
+    store::SpillHandle handle;
+  };
+
   bool Alive(uint64_t local_id) const { return local_id >= base_; }
   const RecordPtr& StoredAt(uint64_t local_id) const {
     return store_[static_cast<size_t>(local_id - base_)];
@@ -108,6 +143,29 @@ class RecordJoiner : public LocalJoiner {
   void Evict(int64_t now);
   void Probe(const Record& r, const ResultCallback& cb);
   void Store(const RecordPtr& r);
+  /// Cold-tier probe scan: runs before the hot index probe, oldest stub
+  /// first, so emission order is deterministic and restore-stable.
+  void ProbeCold(const Record& r, const ResultCallback& cb);
+  /// Appends + indexes a record without any eviction/spill side effects
+  /// (Store's tail; also the restore and delta-replay primitive).
+  void AppendStored(const RecordPtr& r);
+  /// Moves the oldest hot record to the spill tier (it stays in the
+  /// window as a ColdStub). Returns false when spilling is off, the hot
+  /// store is down to one record, or the segment append failed (the
+  /// caller falls back to budget eviction).
+  bool SpillOldestHot();
+  /// Drops the oldest cold stub, releasing its segment frame.
+  void PopOldestCold();
+  /// Drops the oldest window entry — cold front if any, else hot front.
+  void PopOldestOverall();
+  /// The record's prefix tokens that pass the token filter (what Store
+  /// would index; what ColdStub keeps for candidate filtering).
+  std::vector<TokenId> IndexablePrefix(const Record& r) const;
+  /// Resets the dirty marks: the next FreezeDelta is relative to now.
+  void MarkFrozen();
+
+  static void WriteStubTo(const ColdStub& stub, BinaryWriter* w);
+  static ColdStub ReadStubFrom(BinaryReader* r);
   /// Per-record contribution to the incremental byte accounting backing
   /// max_index_bytes: record + tokens + its indexed prefix postings. An
   /// O(1) proxy for MemoryBytes() (which walks everything and includes
@@ -124,7 +182,23 @@ class RecordJoiner : public LocalJoiner {
   // Window of stored records, FIFO. Slot of store_[i] is base_ + i.
   std::deque<RecordPtr> store_;
   uint64_t base_ = 0;
-  size_t approx_bytes_ = 0;  ///< Σ ApproxStoredBytes over the window
+  size_t approx_bytes_ = 0;  ///< Σ ApproxStoredBytes over the *hot* window
+
+  // Cold tier: stubs of spilled records, FIFO and strictly older than
+  // every hot record. Monotonic append/pop totals back the delta
+  // checkpoints (a delta ships the suffix appended since the last freeze
+  // plus the two pop counts).
+  store::SpillStore* spill_ = nullptr;
+  size_t spill_watermark_bytes_ = 0;
+  std::deque<ColdStub> cold_;
+  uint64_t cold_appended_total_ = 0;
+  uint64_t cold_popped_total_ = 0;
+
+  // Dirty marks: state of the counters at the last freeze (or restore).
+  uint64_t frozen_base_ = 0;
+  uint64_t frozen_next_id_ = 0;  ///< base_ + store_.size() at the last freeze
+  uint64_t frozen_cold_len_ = 0;
+  uint64_t frozen_cold_popped_ = 0;
 
   // Inverted index over prefix tokens; exactly one of the two layouts is
   // populated, per options_.direct_index (see that flag for the tradeoff).

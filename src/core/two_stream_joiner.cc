@@ -52,4 +52,42 @@ void TwoStreamJoiner::Restore(const std::string& blob) {
   s_index_->Restore(side);
 }
 
+namespace {
+
+store::FrozenBlob CombineSides(store::FrozenBlob r, store::FrozenBlob s) {
+  store::FrozenBlob f;
+  f.is_delta = r.is_delta && s.is_delta;
+  auto rp = std::make_shared<store::FrozenBlob>(std::move(r));
+  auto sp = std::make_shared<store::FrozenBlob>(std::move(s));
+  f.encode = [rp, sp](std::string* out) {
+    BinaryWriter w(out);
+    std::string side;
+    rp->encode(&side);
+    w.WriteBytes(side);
+    side.clear();
+    sp->encode(&side);
+    w.WriteBytes(side);
+  };
+  return f;
+}
+
+}  // namespace
+
+store::FrozenBlob TwoStreamJoiner::FreezeBase() {
+  return CombineSides(r_index_->FreezeBase(), s_index_->FreezeBase());
+}
+
+store::FrozenBlob TwoStreamJoiner::FreezeDelta() {
+  return CombineSides(r_index_->FreezeDelta(), s_index_->FreezeDelta());
+}
+
+void TwoStreamJoiner::RestoreDelta(const std::string& blob) {
+  BinaryReader r(blob);
+  std::string side;
+  r.ReadBytes(&side);
+  r_index_->RestoreDelta(side);
+  r.ReadBytes(&side);
+  s_index_->RestoreDelta(side);
+}
+
 }  // namespace dssj

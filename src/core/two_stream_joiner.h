@@ -54,6 +54,22 @@ class TwoStreamJoiner {
   void Snapshot(std::string* out) const;
   void Restore(const std::string& blob);
 
+  /// Incremental checkpointing: both sides freeze the same kind in one
+  /// call, so a combined blob is a delta iff both per-side blobs are
+  /// (RecordJoiner always honors the requested kind, so they agree).
+  /// Layout mirrors Snapshot: u64-length-prefixed R blob then S blob.
+  store::FrozenBlob FreezeBase();
+  store::FrozenBlob FreezeDelta();
+  void RestoreDelta(const std::string& blob);
+
+  /// Both sides spill into the shared store; the watermark is split
+  /// evenly so the combined hot footprint honors the caller's budget.
+  void AttachSpillStore(store::SpillStore* spill, size_t watermark_bytes) {
+    r_index_->AttachSpillStore(spill, watermark_bytes / 2);
+    s_index_->AttachSpillStore(spill, watermark_bytes / 2);
+  }
+  size_t ColdCount() const { return r_index_->ColdCount() + s_index_->ColdCount(); }
+
  private:
   RecordJoiner& IndexOf(Side side) { return side == Side::kR ? *r_index_ : *s_index_; }
   const RecordJoiner& IndexOf(Side side) const {

@@ -1,0 +1,29 @@
+// The unit of work handed from a task thread to the checkpoint service:
+// a frozen, immutable view of component state captured at an exact
+// sequence boundary, paired with the encoder that serializes it later on
+// whatever thread runs the job.
+#ifndef DSSJ_STORE_FROZEN_H_
+#define DSSJ_STORE_FROZEN_H_
+
+#include <functional>
+#include <string>
+
+namespace dssj::store {
+
+/// A checkpointable view frozen off the hot path. Capturing one must be
+/// cheap (reference bumps on immutable records, small copies of dirty-set
+/// bookkeeping) — the expensive serialization happens when `encode` runs.
+/// `encode` is invoked at most once, possibly on a different thread than
+/// the one that froze it; everything it closes over must stay valid and
+/// immutable until then (shared_ptr<const T> captures qualify).
+struct FrozenBlob {
+  /// True when the blob holds only state touched since the previous
+  /// freeze (restore via RestoreDelta on top of an earlier image); false
+  /// for a self-sufficient base image (restore via Restore).
+  bool is_delta = false;
+  std::function<void(std::string*)> encode;
+};
+
+}  // namespace dssj::store
+
+#endif  // DSSJ_STORE_FROZEN_H_

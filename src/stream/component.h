@@ -2,8 +2,10 @@
 #define DSSJ_STREAM_COMPONENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "store/frozen.h"
 #include "stream/metrics.h"
 #include "stream/overload.h"
 #include "stream/value.h"
@@ -108,6 +110,35 @@ class Bolt {
   virtual bool SupportsSnapshot() const { return false; }
   virtual void Snapshot(std::string* /*out*/) const {}
   virtual void Restore(const std::string& /*blob*/) {}
+
+  /// Async-checkpoint support (TopologyBuilder::SetStore). Freeze captures
+  /// a consistent view of the bolt's state at the current tuple boundary
+  /// and returns a blob whose encode runs later, possibly on the
+  /// checkpoint thread — the bolt keeps executing meanwhile, so the view
+  /// must be immutable (copy-on-write, refcounted, or an eager copy). The
+  /// default wraps Snapshot eagerly, which is correct for every
+  /// SupportsSnapshot bolt and simply forfeits the off-thread win.
+  /// `want_delta` asks for changes-since-last-freeze; a bolt may decline
+  /// (return is_delta == false) and ship a base instead. Deltas apply on
+  /// top of the state left by Restore(base) + earlier RestoreDelta calls,
+  /// in epoch order.
+  virtual bool SupportsDeltaSnapshot() const { return false; }
+  virtual store::FrozenBlob Freeze(bool /*want_delta*/) {
+    store::FrozenBlob f;
+    std::string blob;
+    Snapshot(&blob);
+    auto owned = std::make_shared<std::string>(std::move(blob));
+    f.encode = [owned](std::string* out) { *out = std::move(*owned); };
+    return f;
+  }
+  virtual void RestoreDelta(const std::string& /*blob*/) {}
+  /// Called on the executor thread once a submitted checkpoint is durable
+  /// on disk (in epoch order). Bolts with retention tied to checkpoints
+  /// (e.g. spill-segment GC) release resources here.
+  virtual void OnCheckpointDurable(uint64_t /*epoch*/, bool /*is_base*/) {}
+  /// Called after recovery finished replaying Restore + RestoreDelta:
+  /// drop resources that no recovered state references.
+  virtual void OnRestoreComplete() {}
 };
 
 }  // namespace dssj::stream

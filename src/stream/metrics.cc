@@ -26,6 +26,12 @@ ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
     agg.checkpoint_nanos += t.metrics->checkpoint_nanos.Get();
     agg.link_drops_recovered += t.metrics->link_drops_recovered.Get();
     agg.link_dups_discarded += t.metrics->link_dups_discarded.Get();
+    agg.delta_checkpoints += t.metrics->delta_checkpoints.Get();
+    agg.base_checkpoints += t.metrics->base_checkpoints.Get();
+    agg.delta_checkpoint_bytes += t.metrics->delta_checkpoint_bytes.Get();
+    agg.base_checkpoint_bytes += t.metrics->base_checkpoint_bytes.Get();
+    agg.spilled_bytes += t.metrics->spilled_bytes.Get();
+    agg.spill_reads += t.metrics->spill_reads.Get();
     agg.shed_probes += t.metrics->shed_probes.Get();
     agg.shed_pairs_upper_bound += t.metrics->shed_pairs_upper_bound.Get();
     agg.app_results += t.metrics->app_results.Get();
@@ -73,6 +79,13 @@ constexpr CounterField kCounterFields[] = {
     &TaskMetrics::migration_nanos,
     &TaskMetrics::net_connect_retries,
     &TaskMetrics::net_reconnects,
+    // Appended with the tiered state store (PR 9).
+    &TaskMetrics::delta_checkpoints,
+    &TaskMetrics::base_checkpoints,
+    &TaskMetrics::delta_checkpoint_bytes,
+    &TaskMetrics::base_checkpoint_bytes,
+    &TaskMetrics::spilled_bytes,
+    &TaskMetrics::spill_reads,
 };
 constexpr size_t kNumCounterFields = sizeof(kCounterFields) / sizeof(kCounterFields[0]);
 

@@ -48,6 +48,19 @@ struct TaskMetrics {
   Counter link_drops_recovered;
   Counter link_dups_discarded;
 
+  // Tiered state store (zero unless TopologyBuilder::SetStore). The
+  // `checkpoints` triple above keeps counting every checkpoint; these
+  // split the async path by kind so overhead attribution (small frequent
+  // deltas vs. rare full bases) survives aggregation.
+  Counter delta_checkpoints;
+  Counter base_checkpoints;
+  Counter delta_checkpoint_bytes;
+  Counter base_checkpoint_bytes;
+  /// Bytes moved to the on-disk spill tier, and cold-record read-backs
+  /// triggered by probes that survived the in-memory stub filters.
+  Counter spilled_bytes;
+  Counter spill_reads;
+
   // Overload control (all zero unless TopologyBuilder::SetOverload).
   /// Probe sides shed by admission control; stores are always processed,
   /// so each shed loses at most the pairs the probe would have found.
@@ -110,6 +123,14 @@ struct ComponentAggregate {
   uint64_t checkpoint_nanos = 0;
   uint64_t link_drops_recovered = 0;
   uint64_t link_dups_discarded = 0;
+
+  // Tiered state store (zero unless a store is configured).
+  uint64_t delta_checkpoints = 0;
+  uint64_t base_checkpoints = 0;
+  uint64_t delta_checkpoint_bytes = 0;
+  uint64_t base_checkpoint_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_reads = 0;
 
   // Overload control (zero when no shed policy / watchdog is active).
   uint64_t shed_probes = 0;

@@ -21,6 +21,9 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "store/checkpoint_service.h"
+#include "store/format.h"
+#include "store/state_store.h"
 #include "stream/channel.h"
 #include "stream/migration.h"
 #include "stream/queue.h"
@@ -145,6 +148,15 @@ struct TopologyImpl {
   std::atomic<bool> failed{false};
   std::mutex fail_mu;
   std::string failure_message;
+
+  // Tiered state store (SetStore). `task_stores` (by task id) holds one
+  // durable checkpoint-chain directory per hosted, snapshot-capable bolt
+  // task; `ckpt_service` is the single encode+write thread shared by every
+  // task in async mode (null in sync mode, where the executor writes its
+  // base image inline).
+  store::StoreOptions store_opts;
+  std::unique_ptr<store::CheckpointService> ckpt_service;
+  std::vector<std::unique_ptr<store::StateStore>> task_stores;
 
   // Overload control (SetOverload): queue-health instrumentation is enabled
   // on every bolt queue at Build(), and — when a stall timeout is set — a
@@ -1146,6 +1158,104 @@ bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
   int64_t backoff = supervision.initial_backoff_micros;
   bool gave_up = false;
 
+  // Tiered state store (SetStore): this task's durable checkpoint chain.
+  // Sync mode mirrors each in-memory checkpoint with a full base image
+  // written inline; async mode freezes a view at the boundary, hands
+  // encode + write to the checkpoint service, and truncates the replay log
+  // only once the service reports the epoch durable — so a crash at any
+  // point recovers from the newest consistent base + delta chain plus the
+  // still-retained log suffix.
+  store::StateStore* sstore =
+      ckpt_interval > 0 && task.id < static_cast<int>(task_stores.size())
+          ? task_stores[task.id].get()
+          : nullptr;
+  const bool async_store = sstore != nullptr && store_opts.async();
+  struct PendingCkpt {
+    uint64_t epoch = 0;
+    uint64_t executed = 0;
+    CollectorImpl::Cursor cursor;
+    bool is_base = false;
+  };
+  std::deque<PendingCkpt> pending_ckpts;  // submitted, durability unknown
+  uint64_t next_epoch = 0;
+  // Freeze cadence anchor. In sync mode it mirrors ckpt.executed; in async
+  // mode ckpt.executed lags at the last *durable* epoch while freezes keep
+  // firing every ckpt_interval on this counter.
+  uint64_t freeze_anchor = executed_total;
+  const auto submit_frozen = [&](store::FrozenBlob fb) {
+    const bool is_base = !fb.is_delta;
+    PendingCkpt p;
+    p.epoch = next_epoch++;
+    p.executed = executed_total;
+    collector.SaveCursor(&p.cursor);
+    p.is_base = is_base;
+    store::CheckpointJob job;
+    job.task_id = task.id;
+    job.epoch = p.epoch;
+    job.is_base = is_base;
+    job.blob = std::move(fb);
+    job.store = sstore;
+    TaskMetrics* mp = &m;
+    job.on_complete = [mp, is_base](bool ok, uint64_t bytes, uint64_t nanos) {
+      if (!ok) return;  // wedge-skips and failed writes count nothing
+      // Runs on the service thread; all sinks are atomic.
+      mp->checkpoints.Increment();
+      mp->checkpoint_bytes.Add(bytes);
+      mp->checkpoint_nanos.Add(nanos);
+      (is_base ? mp->base_checkpoints : mp->delta_checkpoints).Increment();
+      (is_base ? mp->base_checkpoint_bytes : mp->delta_checkpoint_bytes).Add(bytes);
+    };
+    pending_ckpts.push_back(std::move(p));
+    ckpt_service->Submit(std::move(job));
+  };
+  // Polls the durable epoch and retires confirmed checkpoints: notify the
+  // bolt (segment GC hooks), truncate the replay log, and advance the
+  // recovery anchor. A wedged store never advances, so the log keeps
+  // everything needed to recover from the last durable chain.
+  const auto confirm_durable = [&]() {
+    if (!async_store || !ckpt_service->DurableSet(task.id)) return;
+    const uint64_t durable = ckpt_service->DurableEpoch(task.id);
+    while (!pending_ckpts.empty() && pending_ckpts.front().epoch <= durable) {
+      PendingCkpt p = std::move(pending_ckpts.front());
+      pending_ckpts.pop_front();
+      task.bolt->OnCheckpointDurable(p.epoch, p.is_base);
+      const uint64_t advance = p.executed - ckpt.executed;
+      if (advance > 0) {
+        log.erase(log.begin(), log.begin() + static_cast<ptrdiff_t>(advance));
+        replay_pos -= advance;
+        log_high -= advance;
+      }
+      ckpt.executed = p.executed;
+      ckpt.cursor = p.cursor;
+    }
+  };
+  if (sstore != nullptr) {
+    // Incarnation start: this run owns the chain — drop whatever a prior
+    // incarnation left, then seed epoch 0 with a full base so recovery
+    // always has a floor to compose from.
+    if (async_store) {
+      ckpt_service->Barrier(task.id);
+      ckpt_service->Reset(task.id);
+    }
+    Status st = sstore->Truncate();
+    if (st.ok() && async_store) {
+      store::FrozenBlob init;
+      auto blob = std::make_shared<std::string>(ckpt.state);
+      init.encode = [blob](std::string* out) { *out = std::move(*blob); };
+      submit_frozen(std::move(init));
+    } else if (st.ok()) {
+      st = sstore->WriteBase(next_epoch++, ckpt.state);
+      if (st.ok()) {
+        m.base_checkpoints.Increment();
+        m.base_checkpoint_bytes.Add(ckpt.state.size());
+      }
+    }
+    if (!st.ok()) {
+      LOG(ERROR) << "state store init failed for task " << task.id << ": "
+                 << st.message();
+    }
+  }
+
   TupleBatch batch;
   // Simulated crash shared by scripted kills and progress-driven
   // kill_worker actions. Returns false on an exhausted restart budget.
@@ -1161,9 +1271,38 @@ bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
     task.bolt = comp.bolt_factory();
     CHECK(task.bolt != nullptr);
     task.bolt->Prepare(ctx);
-    if (ckpt.has_state) task.bolt->Restore(ckpt.state);
+    if (async_store) {
+      // Quiesce the checkpoint thread, then recover from the durable
+      // chain: newest intact base + contiguous deltas, in epoch order.
+      // The replay log still covers everything past the durable epoch
+      // (truncation waits for durability), so chain + replay reproduces
+      // the pre-crash state exactly.
+      ckpt_service->Barrier(task.id);
+      confirm_durable();
+      pending_ckpts.clear();  // processed; anything past durable is gone
+      store::RecoveredChain chain;
+      const Status st = sstore->Recover(&chain);
+      if (!st.ok()) {
+        LOG(ERROR) << "recovery scan failed for task " << task.id << ": "
+                   << st.message();
+      }
+      if (chain.valid) {
+        task.bolt->Restore(chain.base);
+        for (const std::string& d : chain.deltas) task.bolt->RestoreDelta(d);
+        task.bolt->OnRestoreComplete();
+      } else {
+        // Nothing durable yet (crash before epoch 0 landed): the anchor
+        // still sits at the in-memory initial checkpoint.
+        CHECK(!ckpt_service->DurableSet(task.id))
+            << "durable chain lost for task " << task.id;
+        if (ckpt.has_state) task.bolt->Restore(ckpt.state);
+      }
+    } else {
+      if (ckpt.has_state) task.bolt->Restore(ckpt.state);
+    }
     collector.Rollback(ckpt.cursor);
     executed_total = ckpt.executed;
+    freeze_anchor = executed_total;
     replay_pos = 0;
     return true;
   };
@@ -1182,27 +1321,53 @@ bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
         if (!crash_and_restore()) return false;
         continue;
       }
-      if (ckpt_interval > 0 && executed_total == ckpt.executed + ckpt_interval) {
+      if (ckpt_interval > 0 && executed_total == freeze_anchor + ckpt_interval) {
         collector.FlushAll();  // checkpointed cursors must equal delivery state
         const int64_t t0 = NowNanos();
-        ckpt.state.clear();
-        task.bolt->Snapshot(&ckpt.state);
-        ckpt.has_state = true;
-        ckpt.executed = executed_total;
-        collector.SaveCursor(&ckpt.cursor);
-        log.erase(log.begin(), log.begin() + static_cast<ptrdiff_t>(replay_pos));
-        log_high -= replay_pos;
-        replay_pos = 0;
-        m.checkpoints.Increment();
-        m.checkpoint_bytes.Add(ckpt.state.size());
-        m.checkpoint_nanos.Add(static_cast<uint64_t>(NowNanos() - t0));
+        if (async_store) {
+          // Freeze a consistent view at this exact boundary and hand it to
+          // the service thread. Only the capture cost lands on the hot
+          // path; encode + write time is attributed via on_complete. The
+          // log is NOT truncated here — that waits for durability.
+          const bool want_delta = task.bolt->SupportsDeltaSnapshot() &&
+                                  store_opts.delta_base_interval > 0 &&
+                                  (next_epoch % store_opts.delta_base_interval) != 0;
+          submit_frozen(task.bolt->Freeze(want_delta));
+          freeze_anchor = executed_total;
+          m.checkpoint_nanos.Add(static_cast<uint64_t>(NowNanos() - t0));
+          confirm_durable();
+        } else {
+          ckpt.state.clear();
+          task.bolt->Snapshot(&ckpt.state);
+          ckpt.has_state = true;
+          ckpt.executed = executed_total;
+          collector.SaveCursor(&ckpt.cursor);
+          log.erase(log.begin(), log.begin() + static_cast<ptrdiff_t>(replay_pos));
+          log_high -= replay_pos;
+          replay_pos = 0;
+          freeze_anchor = executed_total;
+          m.checkpoints.Increment();
+          m.checkpoint_bytes.Add(ckpt.state.size());
+          m.checkpoint_nanos.Add(static_cast<uint64_t>(NowNanos() - t0));
+          if (sstore != nullptr) {
+            // Sync store: mirror the checkpoint with a durable base image.
+            const Status st = sstore->WriteBase(next_epoch++, ckpt.state);
+            if (st.ok()) {
+              m.base_checkpoints.Increment();
+              m.base_checkpoint_bytes.Add(ckpt.state.size());
+            } else {
+              LOG(ERROR) << "sync base write failed for task " << task.id << ": "
+                         << st.message();
+            }
+          }
+        }
         continue;
       }
       // Cap the run so the next kill / checkpoint fires at its exact count.
       uint64_t cap = static_cast<uint64_t>(log.size() - replay_pos);
       if (!kills.empty()) cap = std::min(cap, kills.front() - executed_total);
       if (ckpt_interval > 0) {
-        cap = std::min(cap, ckpt.executed + ckpt_interval - executed_total);
+        cap = std::min(cap, freeze_anchor + ckpt_interval - executed_total);
       }
       const size_t run = static_cast<size_t>(cap);
       batch.clear();
@@ -1289,6 +1454,13 @@ bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
   const auto handle_marker = [&](uint64_t marker_id) -> MarkerOutcome {
     const uint32_t migration_id = static_cast<uint32_t>(marker_id);
     collector.FlushAll();
+    if (async_store) {
+      // No checkpoint write may race the handoff. The migration blob is a
+      // full self-contained snapshot; the next incarnation (here or on the
+      // target) truncates and reseeds the chain.
+      ckpt_service->Barrier(task.id);
+      confirm_durable();
+    }
     MigrationState st;
     st.task_id = static_cast<uint32_t>(task.id);
     st.executed_total = executed_total;
@@ -1450,6 +1622,12 @@ bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
     collector.FlushAll();
     collector.SendEosAll();  // downstream still needs to terminate
   } else {
+    if (async_store) {
+      // Settle in-flight checkpoints so end-of-run counters and spill
+      // segment GC are deterministic before Finish publishes stats.
+      ckpt_service->Barrier(task.id);
+      confirm_durable();
+    }
     task.bolt->Finish(collector);
     collector.FlushAll();
     collector.SendEosAll();
@@ -2057,6 +2235,12 @@ TopologyBuilder& TopologyBuilder::SetSupervision(SupervisorOptions options) {
   return *this;
 }
 
+TopologyBuilder& TopologyBuilder::SetStore(store::StoreOptions options) {
+  CHECK(options.enabled()) << "SetStore requires a non-empty directory";
+  impl_->store_opts = std::move(options);
+  return *this;
+}
+
 TopologyBuilder& TopologyBuilder::SetFaultScript(FaultScript script) {
   impl_->fault_script = std::move(script);
   if (!impl_->fault_script.empty()) {
@@ -2179,6 +2363,27 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
   }
 
   t.ever_hosted = t.hosted;  // migrations extend this; Build placement seeds it
+
+  if (t.store_opts.enabled()) {
+    CHECK(t.supervised) << "SetStore requires SetSupervision";
+    Status st = store::EnsureDir(t.store_opts.dir);
+    CHECK(st.ok()) << "cannot create store dir " << t.store_opts.dir << ": "
+                   << st.message();
+    t.task_stores.resize(t.tasks.size());
+    for (Task& task : t.tasks) {
+      if (task.bolt == nullptr || !t.Hosted(task.id)) continue;
+      // Per-task chain directories are disjoint, so multi-rank runs over a
+      // shared filesystem never race each other; stale contents are
+      // truncated when the executor starts its incarnation.
+      const std::string dir = t.store_opts.dir + "/task_" + std::to_string(task.id);
+      st = store::EnsureDir(dir);
+      CHECK(st.ok()) << "cannot create task store dir " << dir << ": " << st.message();
+      t.task_stores[task.id] = std::make_unique<store::StateStore>(dir);
+    }
+    if (t.store_opts.async()) {
+      t.ckpt_service = std::make_unique<store::CheckpointService>();
+    }
+  }
 
   if (t.overload_active) {
     t.task_exited = std::make_unique<std::atomic<uint8_t>[]>(t.tasks.size());
@@ -2382,6 +2587,11 @@ void Topology::Wait() {
     }
     if (adopted.empty()) break;
     for (std::thread& th : adopted) th.join();
+  }
+  if (t.ckpt_service != nullptr) {
+    // Every executor is done; drain the checkpoint queue so the metric
+    // shipping below sees final counter values. Stop is idempotent.
+    t.ckpt_service->Stop();
   }
   t.StopWatchdog();
   if (t.transport != nullptr && !t.finish_done) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "store/options.h"
 #include "stream/channel.h"
 #include "stream/component.h"
 #include "stream/fault.h"
@@ -217,6 +218,23 @@ class TopologyBuilder {
   /// TaskContext::queue_health (e.g. the distributed join's JoinerBolt);
   /// the substrate never drops tuples on its own.
   TopologyBuilder& SetOverload(OverloadOptions options);
+
+  /// Attaches a tiered state store (docs/INTERNALS.md §13). Requires
+  /// supervision. Checkpoints then persist to `options.dir` instead of
+  /// living only in the supervisor's memory: in kSync mode each
+  /// checkpoint writes a full base image inline (durability without new
+  /// moving parts); in kAsync mode the executor freezes a cheap
+  /// copy-on-write view at the checkpoint boundary and a dedicated
+  /// checkpoint thread encodes and writes it — deltas between full bases
+  /// every `delta_base_interval` checkpoints — so the hot path never
+  /// blocks on serialization or I/O. Recovery composes newest intact
+  /// base + contiguous delta chain; a torn or corrupt newest checkpoint
+  /// falls back to the previous consistent chain. Bolts under a memory
+  /// budget additionally spill cold window state to checksummed segments
+  /// in the same directory (see JoinerBolt). Each task owns a disjoint
+  /// subdirectory, truncated when its executor starts — one topology run
+  /// at a time owns the tree.
+  TopologyBuilder& SetStore(store::StoreOptions options);
 
   /// Installs a deterministic fault schedule (task kills, link
   /// drop/duplicate/delay/disconnect); implies supervision (with default

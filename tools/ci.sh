@@ -41,6 +41,33 @@ echo "== elastic migration scenarios =="
 # kept as its own stage so a migration regression is named in CI output.
 (cd build && ctest -L migration --output-on-failure)
 
+echo "== tiered state store =="
+# Durable-state surface (docs/INTERNALS.md §13): checkpoint/segment file
+# formats with torn-write + bit-flip fuzz, spill GC life cycle, checkpoint
+# service ordering/wedging, and the recovery-equivalence suite (sync full
+# vs async base+delta vs spilled windows, kills landing mid-checkpoint).
+(cd build && ctest -L store --output-on-failure)
+
+echo "== torn-write fuzz repetition (N=20) =="
+# The fuzz seeds inside store_test are fixed for reproducibility; repeated
+# runs re-explore the corruption space (truncation point, flipped bit, and
+# file choice all re-randomize per iteration within a run, so repetition
+# multiplies coverage). A failure here means a corrupt chain was read back
+# as valid — the worst silent failure the store can have.
+(cd build && ctest -R store_test --repeat until-fail:20 --output-on-failure)
+
+echo "== store tmpdir hygiene =="
+# Every store/spill test routes its files through a mkdtemp dir under the
+# gtest TempDir and removes it in the fixture dtor; litter here means a
+# ScopedTempDir leak (or a checkpoint path escaping its store root), which
+# would accumulate across CI runs.
+LITTER=$(find "${TMPDIR:-/tmp}" -maxdepth 1 -name 'dssj_*' 2>/dev/null | head -5)
+if [[ -n "$LITTER" ]]; then
+  echo "store tests littered the temp dir:" >&2
+  echo "$LITTER" >&2
+  exit 1
+fi
+
 if [[ "$RUN_SANITIZE" == "1" ]]; then
   # Each sanitizer gets its own build tree; only the `tsan_safe`-labeled
   # tests (the queue/executor/supervision concurrency surface) are built and
@@ -72,13 +99,24 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   ASAN_TARGETS=("${TSAN_SAFE_TARGETS[@]}"
                 net_wire_test net_transport_test net_smoke_test
                 wire_codec_equivalence_test wire_borrow_test
-                migration_test dssj_cli dssj_worker)
+                migration_test store_test checkpoint_equivalence_test
+                dssj_cli dssj_worker)
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
   cmake --build build-asan -j --target "${ASAN_TARGETS[@]}"
   (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
     ctest -L 'tsan_safe|net' --output-on-failure)
+
+  echo "== tiered state store (ASan) =="
+  # The store suite's failure modes are exactly ASan's beat: torn-write
+  # fuzz walks ReadCheckpoint/segment parsers over truncated and bit-flipped
+  # files (out-of-bounds reads on corrupt varints), and the spill read-back
+  # path hands borrowed frame bytes across the probe boundary. Includes the
+  # recovery-equivalence suite so restore-time buffer handling runs
+  # instrumented too.
+  (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
+    ctest -L store --output-on-failure)
 
   echo "== wire fuzz + borrow lifetime (ASan) =="
   # The fuzz battery (>= 5000 structured mutations over all three codecs,
