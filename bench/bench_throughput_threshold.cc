@@ -26,6 +26,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -35,6 +36,8 @@
 #include "core/record_joiner.h"
 #include "core/verify.h"
 #include "store/format.h"
+#include "text/corpus.h"
+#include "text/tokenizer.h"
 
 namespace dssj::bench {
 namespace {
@@ -349,6 +352,112 @@ DistMeasurement MeasureSerialDispatchOnce(stream::QueueImpl impl) {
   const DistributedJoinResult r = RunDistributedJoin(stream, options);
   return {r.throughput_rps, r.scaled_throughput_rps, r.result_count};
 }
+
+struct FrontEndMeasurement {
+  double wall_rps = 0.0;
+  double scaled_rps = 0.0;
+  uint64_t results = 0;
+  std::vector<DistributedJoinResult::StageTime> stage_times;
+};
+
+/// One sharded-front-end run: the serial_dispatch configuration (length
+/// routing, t=0.8, 8 joiners, batch 1, pinned) with the ingestion front end
+/// split into `lanes` partner lanes. Strict per-tuple transport keeps the
+/// reader/router tier the bottleneck — the exact regime the serial_dispatch
+/// cell shows saturating — so the sweep measures how far lanes push it.
+FrontEndMeasurement MeasureFrontEndOnce(int lanes) {
+  const size_t n = RecordsFor(DatasetPreset::kTweet);
+  const auto& stream = CachedStream(DatasetPreset::kTweet, n);
+  DistributedJoinOptions options = BaseJoinOptions(800, kJoiners);
+  options.strategy = DistributionStrategy::kLengthBased;
+  options.window = WindowSpec::ByCount(n / 2);
+  options.batch_size = 1;
+  options.pin_threads = true;
+  options.ingest_lanes = lanes;
+  options.length_partition = PlanLengthPartition(
+      stream, options.sim, kJoiners, PartitionMethod::kLoadAwareGreedy);
+  const DistributedJoinResult r = RunDistributedJoin(stream, options);
+  FrontEndMeasurement m;
+  m.wall_rps = r.throughput_rps;
+  m.scaled_rps = r.scaled_throughput_rps;
+  m.results = r.result_count;
+  m.stage_times = r.stage_times;
+  return m;
+}
+
+/// Per-stage busy/idle/blocked breakdown for one front-end cell, to stderr.
+/// `idle` is executor wall starved on an empty inbound queue; `blocked` is
+/// collector wall pushing downstream (backpressure included).
+void PrintStageTable(const char* label,
+                     const std::vector<DistributedJoinResult::StageTime>& stages) {
+  std::fprintf(stderr, "[front_end %s] pipeline breakdown:\n", label);
+  std::fprintf(stderr, "  %-12s %5s %10s %10s %10s\n", "component", "tasks",
+               "busy_ms", "idle_ms", "blocked_ms");
+  for (const DistributedJoinResult::StageTime& st : stages) {
+    std::fprintf(stderr, "  %-12s %5d %10.1f %10.1f %10.1f\n", st.component.c_str(),
+                 st.tasks, st.busy_micros / 1000.0, st.idle_micros / 1000.0,
+                 st.blocked_micros / 1000.0);
+  }
+}
+
+struct CorpusLoadMeasurement {
+  double serial_ms = 0.0;
+  double sharded_ms = 0.0;
+  size_t lines = 0;
+  size_t bytes = 0;
+};
+
+/// Times the sharded corpus load (reader + tokenizer + dictionary stitch)
+/// at 1 vs 4 lanes over a synthetic on-disk corpus. Results are verified
+/// byte-identical in text_test; here we only time them.
+CorpusLoadMeasurement MeasureCorpusLoad() {
+  const char* path = "/tmp/dssj_bench_corpus.txt";
+  CorpusLoadMeasurement out;
+  {
+    std::string blob;
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (int line = 0; line < 60000; ++line) {
+      const int words = 4 + static_cast<int>(rng % 12);
+      for (int w = 0; w < words; ++w) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        blob += "tok" + std::to_string((rng >> 33) % 5000);
+        blob += w + 1 < words ? ' ' : '\n';
+      }
+      ++out.lines;
+    }
+    out.bytes = blob.size();
+    std::FILE* f = std::fopen(path, "wb");
+    if (f == nullptr) return out;
+    std::fwrite(blob.data(), 1, blob.size(), f);
+    std::fclose(f);
+  }
+  const WordTokenizer tokenizer;
+  const auto time_load = [&](int lanes) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto corpus = LoadCorpusFromFileSharded(path, tokenizer, lanes);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!corpus.ok()) return 0.0;
+    return std::chrono::duration<double, std::milli>(stop - start).count();
+  };
+  time_load(1);  // warm the page cache so both cells read warm
+  out.serial_ms = time_load(1);
+  out.sharded_ms = time_load(4);
+  std::remove(path);
+  return out;
+}
+
+void BM_FrontEnd_Lanes(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  FrontEndMeasurement m;
+  for (auto _ : state) m = MeasureFrontEndOnce(lanes);
+  state.SetItemsProcessed(static_cast<int64_t>(RecordsFor(DatasetPreset::kTweet)) *
+                          static_cast<int64_t>(state.iterations()));
+  state.counters["rec_per_s_wall"] = m.wall_rps;
+  state.counters["rec_per_s_scaled"] = m.scaled_rps;
+  state.counters["results"] = static_cast<double>(m.results);
+}
+BENCHMARK(BM_FrontEnd_Lanes)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
 
 struct CheckpointMeasurement {
   double wall_rps = 0.0;
@@ -868,6 +977,91 @@ int EmitJson(const std::string& path, int runs) {
                  kJoiners, ms, rs, ms > 0.0 ? rs / ms : 0.0);
   }
   std::fprintf(f, "  },\n");
+
+  // Sharded ingestion front end (docs/INTERNALS.md §14): the serial_dispatch
+  // configuration with the reader/router tier split into N partner lanes.
+  // On this host wall clock cannot beat 1 lane (the sweep records the honest
+  // number); rec_per_s_scaled divides the front-end work across lanes and is
+  // the cluster-model speedup. Result counts must match across lanes — the
+  // byte-identity proof lives in ingest_lanes_test.
+  std::fprintf(f,
+               "  \"front_end\": {\n"
+               "    \"preset\": \"tweet\", \"records\": %zu,\n"
+               "    \"strategy\": \"length\", \"threshold_permille\": 800, "
+               "\"joiners\": %d,\n"
+               "    \"batch_size\": 1, \"pinned\": true, \"host_cores\": %u,\n"
+               "    \"sweep\": [\n",
+               RecordsFor(DatasetPreset::kTweet), kJoiners,
+               std::thread::hardware_concurrency());
+  {
+    const int lane_counts[] = {1, 2, 4, 8};
+    const size_t num_lanes = sizeof(lane_counts) / sizeof(lane_counts[0]);
+    double wall_1 = 0.0, scaled_1 = 0.0;
+    uint64_t results_1 = 0;
+    for (size_t k = 0; k < num_lanes; ++k) {
+      std::vector<double> wall, scaled;
+      FrontEndMeasurement last;
+      for (int i = 0; i < runs; ++i) {
+        last = MeasureFrontEndOnce(lane_counts[k]);
+        wall.push_back(last.wall_rps);
+        scaled.push_back(last.scaled_rps);
+      }
+      const double w = Median(wall), s = Median(scaled);
+      if (lane_counts[k] == 1) {
+        wall_1 = w;
+        scaled_1 = s;
+        results_1 = last.results;
+      } else if (last.results != results_1) {
+        std::fprintf(stderr,
+                     "[front_end lanes=%d] RESULT MISMATCH: %llu vs %llu at 1 lane\n",
+                     lane_counts[k], static_cast<unsigned long long>(last.results),
+                     static_cast<unsigned long long>(results_1));
+      }
+      std::fprintf(f,
+                   "      {\"lanes\": %d, \"rec_per_s_wall\": %.1f, "
+                   "\"rec_per_s_scaled\": %.1f,\n"
+                   "       \"results\": %llu, \"wall_speedup_vs_lanes_1\": %.3f, "
+                   "\"scaled_speedup_vs_lanes_1\": %.3f,\n"
+                   "       \"stages\": [",
+                   lane_counts[k], w, s, static_cast<unsigned long long>(last.results),
+                   wall_1 > 0.0 ? w / wall_1 : 0.0, scaled_1 > 0.0 ? s / scaled_1 : 0.0);
+      for (size_t j = 0; j < last.stage_times.size(); ++j) {
+        const DistributedJoinResult::StageTime& st = last.stage_times[j];
+        std::fprintf(f,
+                     "\n         {\"component\": \"%s\", \"tasks\": %d, "
+                     "\"busy_ms\": %.1f, \"idle_ms\": %.1f, \"blocked_ms\": %.1f}%s",
+                     st.component.c_str(), st.tasks, st.busy_micros / 1000.0,
+                     st.idle_micros / 1000.0, st.blocked_micros / 1000.0,
+                     j + 1 < last.stage_times.size() ? "," : "");
+      }
+      std::fprintf(f, "]}%s\n", k + 1 < num_lanes ? "," : "");
+      std::fprintf(stderr,
+                   "[front_end lanes=%d] %.0f rec/s wall (%.2fx), %.0f rec/s scaled "
+                   "(%.2fx); results %llu\n",
+                   lane_counts[k], w, wall_1 > 0.0 ? w / wall_1 : 0.0, s,
+                   scaled_1 > 0.0 ? s / scaled_1 : 0.0,
+                   static_cast<unsigned long long>(last.results));
+      if (lane_counts[k] == 1 || lane_counts[k] == 4) {
+        const std::string label = "lanes=" + std::to_string(lane_counts[k]);
+        PrintStageTable(label.c_str(), last.stage_times);
+      }
+    }
+    std::fprintf(f, "    ],\n");
+  }
+  {
+    const CorpusLoadMeasurement c = MeasureCorpusLoad();
+    std::fprintf(f,
+                 "    \"sharded_corpus_load\": {\"lines\": %zu, \"bytes\": %zu, "
+                 "\"serial_ms\": %.1f, \"lanes4_ms\": %.1f, "
+                 "\"wall_speedup\": %.3f}\n  },\n",
+                 c.lines, c.bytes, c.serial_ms, c.sharded_ms,
+                 c.sharded_ms > 0.0 ? c.serial_ms / c.sharded_ms : 0.0);
+    std::fprintf(stderr,
+                 "[front_end corpus_load] serial %.1f ms, 4 lanes %.1f ms (%.2fx) "
+                 "over %zu lines\n",
+                 c.serial_ms, c.sharded_ms,
+                 c.sharded_ms > 0.0 ? c.serial_ms / c.sharded_ms : 0.0, c.lines);
+  }
 
   // Offered-load sweep: arrival rate as a multiple of the measured
   // unthrottled capacity, with and without probe shedding (overload model,

@@ -5,6 +5,7 @@
 //       [--threshold=800] [--joiners=4]
 //       [--strategy=length|prefix|broadcast] [--local=record|bundle]
 //       [--window=N] [--qgram=Q] [--max-pairs=20] [--batch_size=32]
+//       [--ingest_lanes=N]
 //       [--transport=inproc|loopback|tcp] [--workers=N]
 //       [--connect=host:port,...] [--listen=host:port]
 //       [--checkpoint_interval=N] [--max_restarts=N] [--fault_script=SCRIPT]
@@ -79,7 +80,10 @@ int main(int argc, char** argv) {
   } else {
     tokenizer = std::make_unique<dssj::WordTokenizer>();
   }
-  auto corpus = dssj::LoadCorpusFromFile(cfg.corpus_path, *tokenizer);
+  // The corpus load shards along with the ingestion front end: one reader +
+  // tokenizer thread per lane, stitched back to the serial-identical result.
+  auto corpus =
+      dssj::LoadCorpusFromFileSharded(cfg.corpus_path, *tokenizer, options.ingest_lanes);
   if (!corpus.ok()) {
     std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
     return 1;

@@ -29,7 +29,7 @@ inline const char* JoinFlagsUsage() {
   return "          [--function=jaccard|cosine|dice] [--threshold=permille]\n"
          "          [--joiners=N] [--strategy=length|prefix|broadcast]\n"
          "          [--local=record|bundle] [--window=N] [--qgram=Q]\n"
-         "          [--batch_size=N] [--queue=mutex|ring]\n"
+         "          [--batch_size=N] [--queue=mutex|ring] [--ingest_lanes=N]\n"
          "          [--transport=inproc|loopback|tcp] [--workers=N]\n"
          "          [--wire_codec=raw|delta|delta+lz]\n"
          "          [--connect=host:port,host:port,...] [--listen=host:port]\n"
@@ -63,6 +63,15 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
   const int64_t batch_size = flags.GetInt("batch_size", 32);
   if (batch_size < 1) {
     std::fprintf(stderr, "--batch_size must be >= 1\n");
+    return false;
+  }
+  const int64_t ingest_lanes = flags.GetInt("ingest_lanes", 1);
+  if (ingest_lanes < 1) {
+    std::fprintf(stderr, "--ingest_lanes must be >= 1\n");
+    return false;
+  }
+  if (ingest_lanes > 1 && cfg->strategy == "broadcast") {
+    std::fprintf(stderr, "--ingest_lanes needs a stateless strategy (length|prefix)\n");
     return false;
   }
 
@@ -192,6 +201,7 @@ inline bool ParseJoinFlags(const dssj::Flags& flags, JoinCliConfig* cfg) {
   options.num_joiners = joiners;
   options.collect_results = true;
   options.batch_size = static_cast<size_t>(batch_size);
+  options.ingest_lanes = static_cast<int>(ingest_lanes);
   options.store_dir = store_dir;
   options.delta_base_interval = static_cast<uint32_t>(delta_base_interval);
   options.spill_watermark = spill_watermark;

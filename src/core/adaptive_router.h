@@ -1,8 +1,10 @@
 #ifndef DSSJ_CORE_ADAPTIVE_ROUTER_H_
 #define DSSJ_CORE_ADAPTIVE_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/repartition.h"
@@ -27,6 +29,64 @@ struct AdaptiveRouterOptions {
   size_t max_epochs = 8;
 };
 
+/// One partition epoch (see AdaptiveLengthRouter).
+struct PartitionEpoch {
+  LengthPartition partition;
+  /// Stream time when this epoch stopped receiving stores (close time);
+  /// meaningful for all but the last epoch.
+  int64_t closed_at = 0;
+};
+
+/// Shared, lane-shardable core of the adaptive router. The live epoch list
+/// is an *immutable snapshot* published through an atomic shared_ptr:
+/// Route() readers (one per ingestion lane) load it without taking a lock,
+/// while replans and retirements build a fresh epoch vector and publish it
+/// with a compare-exchange. Observation statistics fold into the advisor
+/// under a mutex; lanes that lose the race buffer their lengths locally
+/// (see AdaptiveLengthRouter) so the hot path never blocks on it.
+class AdaptiveRouterState {
+ public:
+  using Snapshot = std::vector<PartitionEpoch>;
+
+  AdaptiveRouterState(const SimilaritySpec& sim, LengthPartition initial,
+                      AdaptiveRouterOptions options = {});
+
+  /// The current epoch list (lock-free acquire load).
+  std::shared_ptr<const Snapshot> Load() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Folds the caller's backlog (`pending`, drained in order on success)
+  /// plus the newest observation into the advisor, running the retire and
+  /// replan checks per observed record exactly as a single-lane router
+  /// would. Returns false without observing anything when another lane
+  /// holds the fold lock — the caller buffers `length` and retries with
+  /// its next record.
+  bool TryObserve(std::vector<size_t>* pending, size_t length, int64_t now);
+
+  const SimilaritySpec& sim() const { return sim_; }
+  int num_partitions() const { return num_partitions_; }
+  uint64_t replans() const { return replans_.load(std::memory_order_relaxed); }
+  size_t live_epochs() const { return Load()->size(); }
+  LengthPartition current_partition() const { return Load()->back().partition; }
+
+ private:
+  // All *Locked helpers run under mu_ and publish via PublishLocked.
+  void ObserveOneLocked(size_t length, int64_t now);
+  void MaybeRetireLocked(int64_t now);
+  void MaybeReplanLocked(int64_t now);
+  void PublishLocked(Snapshot next);
+
+  SimilaritySpec sim_;
+  int num_partitions_;
+  AdaptiveRouterOptions options_;
+  std::mutex mu_;               ///< serializes advisor folds + publishes
+  RepartitionAdvisor advisor_;  ///< guarded by mu_
+  uint64_t since_replan_ = 0;   ///< guarded by mu_
+  std::atomic<uint64_t> replans_{0};
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+};
+
 /// Length-based router that *adapts to drift without state migration*.
 /// Replans create a new partition **epoch**: records arriving afterwards
 /// are stored under the new partition, while records stored under earlier
@@ -37,40 +97,31 @@ struct AdaptiveRouterOptions {
 /// scheme's no-replication property (each record is still stored exactly
 /// once) at the temporary cost of a wider probe fan-out after a replan.
 ///
-/// Requires a single dispatcher (epochs are router-local state; parallel
-/// dispatchers would diverge) — enforced by the join topology facade.
+/// One instance per dispatcher lane. A single lane may own its state
+/// outright (first constructor); sharded ingestion passes the same
+/// AdaptiveRouterState to every lane so all lanes route against one
+/// coherent epoch list. Routing stays exact either way, but with several
+/// lanes the *timing* of replans depends on lane interleaving, so adaptive
+/// runs are excluded from the byte-identical lane-equivalence guarantee
+/// (docs/INTERNALS.md §14).
 class AdaptiveLengthRouter : public Router {
  public:
   AdaptiveLengthRouter(const SimilaritySpec& sim, LengthPartition initial,
                        AdaptiveRouterOptions options = {});
+  explicit AdaptiveLengthRouter(std::shared_ptr<AdaptiveRouterState> state);
 
   void Route(const Record& r, std::vector<RouteTarget>& out) override;
-  int num_partitions() const override { return num_partitions_; }
+  int num_partitions() const override { return state_->num_partitions(); }
 
-  /// Introspection.
-  uint64_t replans() const { return replans_; }
-  size_t live_epochs() const { return epochs_.size(); }
-  const LengthPartition& current_partition() const { return epochs_.back().partition; }
+  /// Introspection (shared across lanes when the state is shared).
+  uint64_t replans() const { return state_->replans(); }
+  size_t live_epochs() const { return state_->live_epochs(); }
+  LengthPartition current_partition() const { return state_->current_partition(); }
 
  private:
-  struct Epoch {
-    LengthPartition partition;
-    /// Stream time when this epoch stopped receiving stores (close time);
-    /// meaningful for all but the last epoch.
-    int64_t closed_at = 0;
-  };
-
-  void MaybeRetire(int64_t now);
-  void MaybeReplan(const Record& r);
-
-  SimilaritySpec sim_;
-  int num_partitions_;
-  AdaptiveRouterOptions options_;
-  std::deque<Epoch> epochs_;
-  RepartitionAdvisor advisor_;
-  uint64_t since_replan_ = 0;
-  uint64_t replans_ = 0;
-  std::vector<bool> probe_mask_;  // scratch
+  std::shared_ptr<AdaptiveRouterState> state_;
+  std::vector<size_t> pending_lengths_;  ///< backlog from contended folds
+  std::vector<bool> probe_mask_;         ///< scratch
 };
 
 }  // namespace dssj

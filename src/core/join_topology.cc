@@ -3,8 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <variant>
 
 #include "common/logging.h"
 #include "common/serialize.h"
@@ -20,6 +22,16 @@ namespace {
 
 constexpr int64_t kFlagStore = 1;
 constexpr int64_t kFlagProbe = 2;
+/// Lane id rides in the flag word's upper bits (data tuples under sharded
+/// ingestion). Bits 0-1 stay the store/probe flags.
+constexpr int kFlagLaneShift = 2;
+
+/// Records between lane-frontier watermarks (sharded ingestion). Each
+/// dispatcher lane broadcasts its frontier to every joiner at this cadence
+/// so merge buffers drain even when the lane routes nothing to a joiner
+/// for a while. Checkpointed (cadence counter), so recovery replays the
+/// identical emission pattern.
+constexpr uint64_t kWatermarkEvery = 32;
 
 const char* kSourceName = "source";
 const char* kDispatcherName = "dispatcher";
@@ -55,18 +67,29 @@ struct SharedState {
 
 /// Replays a pre-built record vector as a stream, optionally paced to an
 /// arrival rate. Tuple layout: [record payload, emit-time micros].
+///
+/// Under sharded ingestion (spout parallelism N > 1) lane i replays the
+/// records at global indices ≡ i (mod N): a round-robin stripe, so the N
+/// lane streams interleave finely and the joiners' merge buffers stay
+/// shallow. Pacing targets use the *global* index, keeping the aggregate
+/// arrival rate at `rate_per_sec` regardless of the lane count.
 class RecordStreamSpout : public stream::Spout {
  public:
   RecordStreamSpout(std::shared_ptr<const std::vector<RecordPtr>> input, double rate_per_sec)
       : input_(std::move(input)), rate_(rate_per_sec) {}
 
-  void Open(const stream::TaskContext& /*ctx*/) override { start_us_ = NowMicros(); }
+  void Open(const stream::TaskContext& ctx) override {
+    lane_ = ctx.task_index;
+    lanes_ = std::max(1, ctx.parallelism);
+    start_us_ = NowMicros();
+  }
 
   bool NextTuple(stream::OutputCollector& out) override {
-    if (pos_ >= input_->size()) return false;
+    const size_t idx = static_cast<size_t>(lane_) + pos_ * static_cast<size_t>(lanes_);
+    if (idx >= input_->size()) return false;
     if (rate_ > 0.0) {
       const int64_t target_us =
-          start_us_ + static_cast<int64_t>(static_cast<double>(pos_) * 1e6 / rate_);
+          start_us_ + static_cast<int64_t>(static_cast<double>(idx) * 1e6 / rate_);
       int64_t now = NowMicros();
       while (now < target_us) {
         if (target_us - now > 200) {
@@ -75,7 +98,8 @@ class RecordStreamSpout : public stream::Spout {
         now = NowMicros();
       }
     }
-    const RecordPtr& r = (*input_)[pos_++];
+    const RecordPtr& r = (*input_)[idx];
+    ++pos_;
     stream::Tuple t = stream::MakeTuple(std::shared_ptr<const void>(r),
                                         static_cast<int64_t>(NowMicros()));
     t.set_payload_bytes(r->SerializedBytes());
@@ -83,10 +107,11 @@ class RecordStreamSpout : public stream::Spout {
     return true;
   }
 
-  /// Checkpoint = replay offset. A restored spout continues from the next
-  /// unread record; pacing restarts from the new Open time (emit timestamps
-  /// shift, but they only feed the latency histogram, which is documented
-  /// as distorted under faults).
+  /// Checkpoint = lane-local replay offset (the lane/stripe layout is a
+  /// pure function of the task context, so it is not serialized). A
+  /// restored spout continues from the next unread record; pacing restarts
+  /// from the new Open time (emit timestamps shift, but they only feed the
+  /// latency histogram, which is documented as distorted under faults).
   bool SupportsSnapshot() const override { return true; }
   void Snapshot(std::string* out) const override { BinaryWriter(out).WriteU64(pos_); }
   void Restore(const std::string& blob) override {
@@ -97,19 +122,46 @@ class RecordStreamSpout : public stream::Spout {
  private:
   std::shared_ptr<const std::vector<RecordPtr>> input_;
   double rate_;
-  size_t pos_ = 0;
+  size_t pos_ = 0;  ///< lane-local stripe position
+  int lane_ = 0;
+  int lanes_ = 1;
   int64_t start_us_ = 0;
 };
 
 /// Routes each record to joiner partitions per the configured strategy.
+///
+/// Under sharded ingestion (dispatcher parallelism N > 1, one-to-one with
+/// the source lanes) each lane tags its data tuples with its lane id (in
+/// the flag word) and broadcasts a frontier *watermark* to every joiner
+/// every kWatermarkEvery records: "this lane will emit no record with seq
+/// below W". Watermarks advance even for records that route nowhere, so
+/// the joiners' lane merge never stalls on a quiet lane. Watermark tuples
+/// are [lane, frontier] int pairs — joiners tell them apart from data
+/// tuples by the type of field 0.
 class DispatcherBolt : public stream::Bolt {
  public:
-  DispatcherBolt(const DistributedJoinOptions* options, std::shared_ptr<SharedState> shared)
-      : options_(options), shared_(std::move(shared)) {}
+  DispatcherBolt(const DistributedJoinOptions* options, std::shared_ptr<SharedState> shared,
+                 std::shared_ptr<AdaptiveRouterState> adaptive_state = nullptr)
+      : options_(options),
+        shared_(std::move(shared)),
+        adaptive_state_(std::move(adaptive_state)) {}
 
-  void Prepare(const stream::TaskContext& /*ctx*/) override { router_ = MakeRouter(*options_); }
+  void Prepare(const stream::TaskContext& ctx) override {
+    lane_ = ctx.task_index;
+    // Not ctx.parallelism: multi-dispatcher runs (num_dispatchers > 1,
+    // lanes == 1) must not emit watermarks — joiners only merge when the
+    // run was configured with ingest lanes.
+    lanes_ = std::max(1, options_->ingest_lanes);
+    router_ = MakeRouter(*options_, adaptive_state_);
+  }
 
-  void Finish(stream::OutputCollector& /*out*/) override {
+  void Finish(stream::OutputCollector& out) override {
+    if (lanes_ > 1) {
+      // Terminal watermark: this lane is done; joiners may drain whatever
+      // they buffered for it. Precedes EOS (the executor broadcasts EOS
+      // after Finish + flush).
+      EmitWatermarks(out, std::numeric_limits<int64_t>::max());
+    }
     if (const auto* adaptive = dynamic_cast<const AdaptiveLengthRouter*>(router_.get())) {
       shared_->router_replans.store(adaptive->replans(), std::memory_order_relaxed);
       shared_->router_live_epochs.store(adaptive->live_epochs(), std::memory_order_relaxed);
@@ -127,33 +179,66 @@ class DispatcherBolt : public stream::Bolt {
   }
 
   /// The static routers are pure functions of the options, so a fresh
-  /// Prepare fully recovers the dispatcher: the snapshot is empty. The
-  /// adaptive router is excluded — its epoch state evolves with wall time,
-  /// so a replayed run may route differently; it recovers by full replay
-  /// only and is not covered by the exact-recovery guarantee.
+  /// Prepare almost fully recovers the dispatcher; the snapshot carries
+  /// only the lane-watermark cadence state so a replayed lane re-emits
+  /// watermarks at the identical points (the per-link sequence guard
+  /// suppresses the duplicates). The adaptive router is excluded — its
+  /// epoch state evolves with wall time, so a replayed run may route
+  /// differently; it recovers by full replay only and is not covered by
+  /// the exact-recovery guarantee.
   bool SupportsSnapshot() const override { return !options_->adaptive; }
-  void Snapshot(std::string* /*out*/) const override {}
-  void Restore(const std::string& /*blob*/) override {}
+  void Snapshot(std::string* out) const override {
+    BinaryWriter w(out);
+    w.WriteU64(since_watermark_);
+    w.WriteU64(static_cast<uint64_t>(last_seq_));
+  }
+  void Restore(const std::string& blob) override {
+    BinaryReader r(blob);
+    since_watermark_ = r.ReadU64();
+    last_seq_ = static_cast<int64_t>(r.ReadU64());
+  }
 
  private:
   void Dispatch(stream::Tuple& tuple, stream::OutputCollector& out) {
     const auto record = tuple.Ptr<Record>(0);
     const int64_t emit_us = tuple.Int(1);
     router_->Route(*record, targets_);
+    const int64_t lane_bits = static_cast<int64_t>(lane_) << kFlagLaneShift;
     for (const RouteTarget& target : targets_) {
-      int64_t flags = 0;
+      int64_t flags = lane_bits;
       if (target.store) flags |= kFlagStore;
       if (target.probe) flags |= kFlagProbe;
       stream::Tuple t = stream::MakeTuple(std::shared_ptr<const void>(record), flags, emit_us);
       t.set_payload_bytes(record->SerializedBytes());
       out.EmitDirect(kJoinerName, target.partition, std::move(t));
     }
+    if (lanes_ > 1) {
+      // Frontier advances on every routed record — including ones with no
+      // targets — so degenerate records never stall the merge.
+      last_seq_ = static_cast<int64_t>(record->seq);
+      if (++since_watermark_ >= kWatermarkEvery) {
+        since_watermark_ = 0;
+        EmitWatermarks(out, last_seq_ + 1);
+      }
+    }
+  }
+
+  void EmitWatermarks(stream::OutputCollector& out, int64_t frontier) {
+    for (int p = 0; p < options_->num_joiners; ++p) {
+      out.EmitDirect(kJoinerName, p,
+                     stream::MakeTuple(static_cast<int64_t>(lane_), frontier));
+    }
   }
 
   const DistributedJoinOptions* options_;
   std::shared_ptr<SharedState> shared_;
+  std::shared_ptr<AdaptiveRouterState> adaptive_state_;
   std::unique_ptr<Router> router_;
   std::vector<RouteTarget> targets_;
+  int lane_ = 0;
+  int lanes_ = 1;
+  uint64_t since_watermark_ = 0;
+  int64_t last_seq_ = -1;
 };
 
 /// Runs one local joiner partition; applies the seq-order emission rule and
@@ -170,6 +255,11 @@ class JoinerBolt : public stream::Bolt {
     shed_threshold_ = std::max<size_t>(
         1, static_cast<size_t>(options_->shed_watermark *
                                static_cast<double>(options_->queue_capacity)));
+    lanes_ = std::max(1, options_->ingest_lanes);
+    if (lanes_ > 1) {
+      lane_buf_.assign(static_cast<size_t>(lanes_), {});
+      lane_frontier_.assign(static_cast<size_t>(lanes_), 0);
+    }
     joiner_ = MakeLocalJoiner(*options_, partition_);
     if (!options_->store_dir.empty() && options_->spill_watermark > 0.0 &&
         options_->max_index_bytes > 0 && joiner_->SupportsSpill()) {
@@ -210,7 +300,15 @@ class JoinerBolt : public stream::Bolt {
     for (stream::Tuple& tuple : batch) Process(tuple, out);
   }
 
-  void Finish(stream::OutputCollector& /*out*/) override {
+  void Finish(stream::OutputCollector& out) override {
+    if (lanes_ > 1) {
+      // EOS from every dispatcher lane implies every lane is complete.
+      // Normally the lanes' terminal watermarks have already drained the
+      // merge buffers; release the frontiers and drain defensively so a
+      // fault-path reordering can never swallow buffered tuples.
+      for (uint64_t& f : lane_frontier_) f = std::numeric_limits<uint64_t>::max();
+      DrainMerge(out);
+    }
     // Side effects stay bolt-local until here so a crashed incarnation's
     // half-done work dies with it (the supervisor replays into a fresh
     // instance); the surviving incarnation publishes once.
@@ -238,14 +336,18 @@ class JoinerBolt : public stream::Bolt {
     }
   }
 
-  /// Checkpoint = emission-rule result count + shed accounting + the
-  /// joiner's own snapshot. Shed state rides in the checkpoint so a
-  /// recovered task's counters stay exactly consistent with its emitted
-  /// results (sheds during replay may differ from the crashed run's — queue
-  /// pressure is not replayed — but count and seq list always move
-  /// together). The latency histogram is deliberately not checkpointed:
-  /// replayed probes re-measure, so under injected faults the latency
-  /// distribution is approximate (result sets stay exact).
+  /// Checkpoint = emission-rule result count + shed accounting + (under
+  /// sharded ingestion) the lane-merge state + the joiner's own snapshot.
+  /// Merge-buffered tuples were consumed from the inbound queue *before*
+  /// the checkpoint boundary and are never replayed, so they must ride in
+  /// the checkpoint; lane frontiers ride along so the drain rule resumes
+  /// exactly. Shed state rides in the checkpoint so a recovered task's
+  /// counters stay exactly consistent with its emitted results (sheds
+  /// during replay may differ from the crashed run's — queue pressure is
+  /// not replayed — but count and seq list always move together). The
+  /// latency histogram is deliberately not checkpointed: replayed probes
+  /// re-measure, so under injected faults the latency distribution is
+  /// approximate (result sets stay exact).
   bool SupportsSnapshot() const override { return joiner_->SupportsSnapshot(); }
   void Snapshot(std::string* out) const override {
     BinaryWriter w(out);
@@ -256,6 +358,7 @@ class JoinerBolt : public stream::Bolt {
     w.WriteU32(shed_active_ ? 1 : 0);
     w.WriteU64(shed_seqs_.size());
     for (const uint64_t seq : shed_seqs_) w.WriteU64(seq);
+    WriteMergeState(w);
     std::string joiner_blob;
     joiner_->Snapshot(&joiner_blob);
     w.WriteBytes(joiner_blob);
@@ -271,6 +374,7 @@ class JoinerBolt : public stream::Bolt {
     const uint64_t n = r.ReadU64();
     shed_seqs_.reserve(n);
     for (uint64_t i = 0; i < n; ++i) shed_seqs_.push_back(r.ReadU64());
+    ReadMergeState(r);
     std::string joiner_blob;
     r.ReadBytes(&joiner_blob);
     joiner_->Restore(joiner_blob);
@@ -302,6 +406,9 @@ class JoinerBolt : public stream::Bolt {
       w.WriteU32(shed_active_ ? 1 : 0);
       w.WriteU64(shed_seqs_.size());
       for (const uint64_t seq : shed_seqs_) w.WriteU64(seq);
+      // Merge buffers mutate with the very next tuple, so they are copied
+      // eagerly into the header rather than deferred to the freeze view.
+      WriteMergeState(w);
     }
     store::FrozenBlob inner = want_delta ? joiner_->FreezeDelta() : joiner_->FreezeBase();
     if (!inner.is_delta && spill_ != nullptr &&
@@ -333,6 +440,7 @@ class JoinerBolt : public stream::Bolt {
     const uint64_t n = r.ReadU64();
     shed_seqs_.reserve(n);
     for (uint64_t i = 0; i < n; ++i) shed_seqs_.push_back(r.ReadU64());
+    ReadMergeState(r);
     std::string joiner_blob;
     r.ReadBytes(&joiner_blob);
     joiner_->RestoreDelta(joiner_blob);
@@ -389,10 +497,111 @@ class JoinerBolt : public stream::Bolt {
     return false;
   }
 
+  /// A data tuple queued behind the lane merge (sharded ingestion).
+  struct PendingTuple {
+    RecordPtr record;
+    int64_t flags = 0;
+    int64_t emit_us = 0;
+  };
+
   void Process(stream::Tuple& tuple, stream::OutputCollector& out) {
-    const auto record = tuple.Ptr<Record>(0);
-    const int64_t flags = tuple.Int(1);
-    const int64_t emit_us = tuple.Int(2);
+    if (lanes_ > 1) {
+      if (std::holds_alternative<int64_t>(tuple.field(0))) {
+        // Watermark [lane, frontier]: the lane promises no record below
+        // `frontier` from now on.
+        const auto lane = static_cast<size_t>(tuple.Int(0));
+        const auto frontier = static_cast<uint64_t>(tuple.Int(1));
+        lane_frontier_[lane] = std::max(lane_frontier_[lane], frontier);
+      } else {
+        PendingTuple p{tuple.Ptr<Record>(0), tuple.Int(1), tuple.Int(2)};
+        lane_buf_[static_cast<size_t>(p.flags >> kFlagLaneShift)].push_back(std::move(p));
+      }
+      DrainMerge(out);
+      return;
+    }
+    ProcessInOrder(tuple.Ptr<Record>(0), tuple.Int(1), tuple.Int(2), out);
+  }
+
+  /// Releases merge-buffered tuples in global seq order: the next tuple to
+  /// process is the minimum head seq across lane buffers, and it is safe
+  /// to process once every *empty* lane's frontier has passed it (a lane's
+  /// tuples arrive in ascending seq order, so a non-empty buffer's head
+  /// already bounds that lane). This reproduces the per-joiner arrival
+  /// order of a single-lane run, which the exactly-once emission rule and
+  /// count-window eviction both depend on.
+  void DrainMerge(stream::OutputCollector& out) {
+    for (;;) {
+      int best = -1;
+      uint64_t best_seq = 0;
+      uint64_t bound = std::numeric_limits<uint64_t>::max();
+      for (int l = 0; l < lanes_; ++l) {
+        const auto& buf = lane_buf_[static_cast<size_t>(l)];
+        if (!buf.empty()) {
+          const uint64_t head = buf.front().record->seq;
+          if (best < 0 || head < best_seq) {
+            best = l;
+            best_seq = head;
+          }
+        } else {
+          bound = std::min(bound, lane_frontier_[static_cast<size_t>(l)]);
+        }
+      }
+      if (best < 0 || best_seq >= bound) return;
+      PendingTuple p = std::move(lane_buf_[static_cast<size_t>(best)].front());
+      lane_buf_[static_cast<size_t>(best)].pop_front();
+      lane_frontier_[static_cast<size_t>(best)] =
+          std::max(lane_frontier_[static_cast<size_t>(best)], best_seq + 1);
+      ProcessInOrder(p.record, p.flags, p.emit_us, out);
+    }
+  }
+
+  /// Serializes lane frontiers + buffered tuples (records re-encoded in
+  /// full — buffered payloads may borrow frame arenas that do not survive
+  /// an incarnation). No-op layout when sharding is off, keeping
+  /// single-lane checkpoint blobs byte-identical to earlier builds.
+  void WriteMergeState(BinaryWriter& w) const {
+    if (lanes_ <= 1) return;
+    w.WriteU32(static_cast<uint32_t>(lanes_));
+    std::string encoded;
+    for (int l = 0; l < lanes_; ++l) {
+      w.WriteU64(lane_frontier_[static_cast<size_t>(l)]);
+      const auto& buf = lane_buf_[static_cast<size_t>(l)];
+      w.WriteU64(buf.size());
+      for (const PendingTuple& p : buf) {
+        w.WriteU64(static_cast<uint64_t>(p.flags));
+        w.WriteU64(static_cast<uint64_t>(p.emit_us));
+        encoded.clear();
+        EncodeRecord(*p.record, &encoded);
+        w.WriteBytes(encoded);
+      }
+    }
+  }
+  void ReadMergeState(BinaryReader& r) {
+    if (lanes_ <= 1) return;
+    const uint32_t lanes = r.ReadU32();
+    CHECK_EQ(static_cast<int>(lanes), lanes_) << "checkpoint from a different lane count";
+    for (int l = 0; l < lanes_; ++l) {
+      lane_frontier_[static_cast<size_t>(l)] = r.ReadU64();
+      auto& buf = lane_buf_[static_cast<size_t>(l)];
+      buf.clear();
+      const uint64_t n = r.ReadU64();
+      for (uint64_t i = 0; i < n; ++i) {
+        PendingTuple p;
+        p.flags = static_cast<int64_t>(r.ReadU64());
+        p.emit_us = static_cast<int64_t>(r.ReadU64());
+        std::string encoded;
+        r.ReadBytes(&encoded);
+        auto record = std::make_shared<Record>();
+        CHECK(DecodeRecord(encoded.data(), encoded.size(), record.get()))
+            << "corrupt merge-buffer record in checkpoint";
+        p.record = std::move(record);
+        buf.push_back(std::move(p));
+      }
+    }
+  }
+
+  void ProcessInOrder(const RecordPtr& record, int64_t flags, int64_t emit_us,
+                      stream::OutputCollector& out) {
     const bool store = (flags & kFlagStore) != 0;
     bool probe = (flags & kFlagProbe) != 0;
     if (probe && ShouldShedProbe()) {
@@ -431,6 +640,14 @@ class JoinerBolt : public stream::Bolt {
   const DistributedJoinOptions* options_;
   std::shared_ptr<SharedState> shared_;
   int partition_ = 0;
+  /// Lane merge (sharded ingestion; inert at lanes_ == 1). frontier[l] is
+  /// the smallest seq lane l may still deliver; buffers hold tuples whose
+  /// global turn has not come. Memory is bounded by how far lanes drift
+  /// apart (kWatermarkEvery bounds the quiet-lane case; a genuinely slow
+  /// lane can back up the others' buffers — see docs/INTERNALS.md §14).
+  int lanes_ = 1;
+  std::vector<std::deque<PendingTuple>> lane_buf_;
+  std::vector<uint64_t> lane_frontier_;
   stream::TaskMetrics* metrics_ = nullptr;
   std::function<stream::QueueHealth()> queue_health_;
   std::unique_ptr<LocalJoiner> joiner_;
@@ -620,7 +837,14 @@ LengthPartition PlanLengthPartition(const std::vector<RecordPtr>& sample,
   return PartitionUniform(1, 256, k);
 }
 
-std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options) {
+std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options,
+                                   std::shared_ptr<AdaptiveRouterState> adaptive_state) {
+  if (adaptive_state != nullptr) {
+    // Lane-sharded adaptive routing: every dispatcher lane routes against
+    // the same CAS-published epoch list.
+    CHECK(options.adaptive);
+    return std::make_unique<AdaptiveLengthRouter>(std::move(adaptive_state));
+  }
   switch (options.strategy) {
     case DistributionStrategy::kLengthBased: {
       LengthPartition partition = options.length_partition;
@@ -693,6 +917,41 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
                                          const DistributedJoinOptions& options) {
   CHECK_GE(options.num_joiners, 1);
   CHECK_GE(options.num_dispatchers, 1);
+  const int lanes = std::max(1, options.ingest_lanes);
+  std::shared_ptr<AdaptiveRouterState> adaptive_state;
+  if (lanes > 1) {
+    CHECK_EQ(options.num_dispatchers, 1)
+        << "--ingest_lanes shards the single logical dispatcher; "
+           "num_dispatchers must stay 1";
+    CHECK(options.strategy == DistributionStrategy::kLengthBased ||
+          options.strategy == DistributionStrategy::kPrefixBased)
+        << "--ingest_lanes requires a stateless routing strategy "
+           "(length or prefix); " << DistributionStrategyName(options.strategy)
+        << " keeps per-dispatcher round-robin state";
+    // The joiners' lane merge orders by record seq, so the interleaved
+    // stream is only well defined when seqs strictly increase in input
+    // order (the corpus loader guarantees this).
+    for (size_t i = 1; i < input.size(); ++i) {
+      CHECK_LT(input[i - 1]->seq, input[i]->seq)
+          << "--ingest_lanes requires strictly increasing record seqs";
+    }
+    if (options.adaptive && options.strategy == DistributionStrategy::kLengthBased) {
+      // All lanes must share one epoch list; build the state here and hand
+      // it to every lane's router (mirrors MakeRouter's defaults).
+      LengthPartition partition = options.length_partition;
+      if (partition.bounds().empty()) {
+        partition = PartitionUniform(1, 256, options.num_joiners);
+      }
+      CHECK_EQ(partition.num_partitions(), options.num_joiners)
+          << "length partition size must match num_joiners";
+      AdaptiveRouterOptions adaptive = options.adaptive_options;
+      if (options.window.kind == WindowSpec::Kind::kTime) {
+        adaptive.window_span_micros = options.window.span_micros;
+      }
+      adaptive_state = std::make_shared<AdaptiveRouterState>(
+          options.sim, std::move(partition), adaptive);
+    }
+  }
   int workers = options.num_workers > 0 ? options.num_workers : options.num_joiners;
 
   std::shared_ptr<stream::Transport> transport;
@@ -755,21 +1014,28 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   if (overload.enabled()) builder.SetOverload(overload);
   if (transport != nullptr) builder.SetTransport(transport);
   const bool pin = transport != nullptr;
+  // Sharded front end: `lanes` spout/dispatcher pairs, wired one-to-one so
+  // lane i's stripe of the input flows through lane i's router instance.
   stream::SpoutDeclarer source = builder.SetSpout(
       kSourceName,
       [input_copy, &options] {
         return std::make_unique<RecordStreamSpout>(input_copy, options.arrival_rate_per_sec);
       },
-      1);
-  if (pin) source.SetPlacement({0});
-  stream::BoltDeclarer dispatcher =
-      builder
-          .SetBolt(
-              kDispatcherName,
-              [&options, shared] { return std::make_unique<DispatcherBolt>(&options, shared); },
-              options.num_dispatchers)
-          .ShuffleGrouping(kSourceName);
-  if (pin) dispatcher.SetPlacement(std::vector<int>(options.num_dispatchers, 0));
+      lanes);
+  if (pin) source.SetPlacement(std::vector<int>(lanes, 0));
+  const int dispatcher_tasks = lanes > 1 ? lanes : options.num_dispatchers;
+  stream::BoltDeclarer dispatcher = builder.SetBolt(
+      kDispatcherName,
+      [&options, shared, adaptive_state] {
+        return std::make_unique<DispatcherBolt>(&options, shared, adaptive_state);
+      },
+      dispatcher_tasks);
+  if (lanes > 1) {
+    dispatcher.PartnerGrouping(kSourceName);
+  } else {
+    dispatcher.ShuffleGrouping(kSourceName);
+  }
+  if (pin) dispatcher.SetPlacement(std::vector<int>(dispatcher_tasks, 0));
   stream::BoltDeclarer joiner =
       builder
           .SetBolt(
@@ -890,6 +1156,24 @@ DistributedJoinResult RunDistributedJoin(const std::vector<RecordPtr>& input,
   for (const stream::TaskStats& t : topology->TasksOf(kJoinerName)) {
     result.joiner_busy_micros.push_back(t.metrics->busy_nanos.Get() / 1000);
   }
+  // Pipeline breakdown: per-stage busy/idle/blocked sums for the bench's
+  // stage table (source idle is pacing sleep, not queue waiting).
+  const auto add_stage = [&result, &topology](const char* name) {
+    const std::vector<stream::TaskStats> tasks = topology->TasksOf(name);
+    if (tasks.empty()) return;
+    const stream::ComponentAggregate agg = stream::Aggregate(tasks);
+    DistributedJoinResult::StageTime st;
+    st.component = name;
+    st.tasks = static_cast<int>(tasks.size());
+    st.busy_micros = agg.busy_nanos_sum / 1000;
+    st.idle_micros = agg.idle_nanos_sum / 1000;
+    st.blocked_micros = agg.blocked_nanos_sum / 1000;
+    result.stage_times.push_back(std::move(st));
+  };
+  add_stage(kSourceName);
+  add_stage(kDispatcherName);
+  add_stage(kJoinerName);
+  if (options.collect_results) add_stage(kSinkName);
   // Critical path over the system's tasks. The source is the experiment
   // harness (its CPU includes pacing), so it is excluded.
   uint64_t bottleneck_ns = 0;

@@ -83,6 +83,19 @@ struct DistributedJoinOptions {
   /// never duplicate) pairs — measured in experiment E10.
   int num_dispatchers = 1;
 
+  /// Sharded ingestion front end (docs/INTERNALS.md §14). With N > 1 the
+  /// source and dispatcher tiers each run N partner lanes: source lane i
+  /// replays the records at input indices ≡ i (mod N) and feeds its own
+  /// dispatcher instance one-to-one. Joiners merge the lane streams back
+  /// into global sequence order before processing, so — unlike
+  /// num_dispatchers > 1 — results stay byte-identical to ingest_lanes=1.
+  /// Requires num_dispatchers == 1, a stateless routing strategy
+  /// (length/prefix), and strictly increasing record seqs in the input.
+  /// Adaptive routing works (lanes share one CAS-published epoch list) but
+  /// replan timing becomes interleaving-dependent, so adaptive runs are
+  /// excluded from the byte-identical guarantee.
+  int ingest_lanes = 1;
+
   /// Length partition for kLengthBased (from PlanLengthPartition). Ignored
   /// by the other strategies. Empty = uniform fallback over [1, 256].
   LengthPartition length_partition;
@@ -292,6 +305,19 @@ struct DistributedJoinResult {
   std::vector<JoinerStats> joiner_stats;
   std::vector<uint64_t> joiner_busy_micros;
 
+  /// Per-stage pipeline breakdown (source, dispatcher, joiner, sink): CPU
+  /// busy time, executor wall time starved on an empty inbound queue, and
+  /// collector wall time pushing downstream (includes backpressure). Sums
+  /// over the stage's tasks; micros.
+  struct StageTime {
+    std::string component;
+    int tasks = 0;
+    uint64_t busy_micros = 0;
+    uint64_t idle_micros = 0;
+    uint64_t blocked_micros = 0;
+  };
+  std::vector<StageTime> stage_times;
+
   /// Adaptive routing introspection (0 unless options.adaptive).
   uint64_t router_replans = 0;
   uint64_t router_live_epochs = 0;
@@ -352,8 +378,13 @@ std::vector<ResultPair> SingleNodeJoin(const std::vector<RecordPtr>& input,
 std::unique_ptr<LocalJoiner> MakeLocalJoiner(const DistributedJoinOptions& options,
                                              int partition);
 
-/// Constructs the configured router (one per dispatcher task).
-std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options);
+/// Constructs the configured router (one per dispatcher task). For
+/// adaptive routing across sharded dispatcher lanes, pass the run's shared
+/// AdaptiveRouterState so every lane routes against one coherent epoch
+/// list; with the default null state, adaptive routing requires a single
+/// dispatcher.
+std::unique_ptr<Router> MakeRouter(const DistributedJoinOptions& options,
+                                   std::shared_ptr<AdaptiveRouterState> adaptive_state = nullptr);
 
 }  // namespace dssj
 

@@ -19,6 +19,8 @@ ComponentAggregate Aggregate(const std::vector<TaskStats>& tasks) {
     const uint64_t busy = t.metrics->busy_nanos.Get();
     agg.busy_nanos_sum += busy;
     agg.busy_nanos_max = std::max(agg.busy_nanos_max, busy);
+    agg.idle_nanos_sum += t.metrics->idle_nanos.Get();
+    agg.blocked_nanos_sum += t.metrics->blocked_nanos.Get();
     agg.restarts += t.metrics->restarts.Get();
     agg.replayed_tuples += t.metrics->replayed_tuples.Get();
     agg.checkpoints += t.metrics->checkpoints.Get();
@@ -86,6 +88,10 @@ constexpr CounterField kCounterFields[] = {
     &TaskMetrics::base_checkpoint_bytes,
     &TaskMetrics::spilled_bytes,
     &TaskMetrics::spill_reads,
+    // Appended with the sharded ingestion front end (PR 10): pipeline
+    // breakdown counters for the bench's per-stage busy/idle/blocked table.
+    &TaskMetrics::idle_nanos,
+    &TaskMetrics::blocked_nanos,
 };
 constexpr size_t kNumCounterFields = sizeof(kCounterFields) / sizeof(kCounterFields[0]);
 

@@ -32,6 +32,14 @@ struct TaskMetrics {
   /// serialization cost (see TopologyBuilder::SetRemoteByteCostNanos).
   /// Finalized when the task finishes — read after Topology::Wait().
   Counter busy_nanos;
+  /// Wall nanoseconds the executor spent waiting on an empty inbound queue
+  /// (bolts only; spouts pace themselves and report 0). High idle with low
+  /// busy means the stage is starved by its upstream.
+  Counter idle_nanos;
+  /// Wall nanoseconds the output collector spent pushing into downstream
+  /// queues (includes backpressure blocking when a consumer is full). High
+  /// blocked means this stage is throttled by its downstream.
+  Counter blocked_nanos;
 
   // Fault tolerance (supervised executors; all zero in unsupervised runs).
   /// Times this task's component object was destroyed and re-created.
@@ -114,6 +122,8 @@ struct ComponentAggregate {
   uint64_t total_bytes = 0;
   uint64_t busy_nanos_max = 0;  ///< bottleneck task busy time
   uint64_t busy_nanos_sum = 0;
+  uint64_t idle_nanos_sum = 0;     ///< executor wall time starved upstream
+  uint64_t blocked_nanos_sum = 0;  ///< collector wall time pushing downstream
 
   // Fault tolerance (zero in unsupervised runs).
   uint64_t restarts = 0;

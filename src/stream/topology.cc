@@ -712,6 +712,9 @@ class CollectorImpl : public OutputCollector {
           }
           break;
         }
+        case GroupingType::kPartner:
+          Deliver(consumer.first_task + task_->local_index, tuple);
+          break;
         case GroupingType::kDirect:
           break;  // only EmitDirect reaches direct subscribers
       }
@@ -774,7 +777,9 @@ class CollectorImpl : public OutputCollector {
       // while this push parks, and the post-flip ChannelTo must see it.
       GateHold hold(topo_, task_id);
       Channel* ch = ChannelTo(task_id);
+      const int64_t push_t0 = NowNanos();
       const size_t depth = ch->Push(std::move(env));
+      task_->metrics->blocked_nanos.Add(static_cast<uint64_t>(NowNanos() - push_t0));
       // Remote channels report their send-buffer depth; only an in-process
       // push observes the consumer queue (remote highwater is tracked on
       // the receiving side by DeliverInbound).
@@ -857,7 +862,9 @@ class CollectorImpl : public OutputCollector {
     if (tracking_) delivered_[task_id] = buffer.back().link_seq;
     GateHold hold(topo_, task_id);
     Channel* ch = ChannelTo(task_id);
+    const int64_t push_t0 = NowNanos();
     const size_t depth = ch->PushBatch(&buffer);
+    task_->metrics->blocked_nanos.Add(static_cast<uint64_t>(NowNanos() - push_t0));
     if (ch->inproc()) topo_->tasks[task_id].metrics->queue_highwater.Update(depth);
     // A closed (failed-consumer) endpoint leaves a remainder; it has no
     // reader.
@@ -1562,7 +1569,10 @@ bool TopologyImpl::RunBoltIncarnation(Task& task, const MigrationState* restore,
 
   while (remaining > 0) {
     inbox.clear();
-    if (task.queue->PopBatch(&inbox, batch_size) == 0) break;  // closed
+    const int64_t pop_t0 = NowNanos();
+    const size_t popped = task.queue->PopBatch(&inbox, batch_size);
+    m.idle_nanos.Add(static_cast<uint64_t>(NowNanos() - pop_t0));
+    if (popped == 0) break;  // closed
     if (elastic) {
       bool has_marker = false;
       for (const Envelope& env : inbox) {
@@ -2134,6 +2144,10 @@ BoltDeclarer& BoltDeclarer::CustomGrouping(const std::string& source,
   AddInput(spec_, source, Grouping{GroupingType::kCustom, {}, std::move(partitioner)});
   return *this;
 }
+BoltDeclarer& BoltDeclarer::PartnerGrouping(const std::string& source) {
+  AddInput(spec_, source, Grouping{GroupingType::kPartner, {}, nullptr});
+  return *this;
+}
 BoltDeclarer& BoltDeclarer::SetPlacement(std::vector<int> workers) {
   spec_->placement = std::move(workers);
   return *this;
@@ -2277,6 +2291,11 @@ std::unique_ptr<Topology> TopologyBuilder::Build() {
       CHECK(it != t.comp_index.end())
           << comp.name << " subscribes to unknown component " << source;
       CHECK(static_cast<size_t>(it->second) != ci) << "self-loop on " << comp.name;
+      if (grouping.type == GroupingType::kPartner) {
+        CHECK_EQ(t.comps[it->second]->parallelism, comp.parallelism)
+            << "partner grouping " << source << " -> " << comp.name
+            << " requires matching parallelism";
+      }
       t.comps[it->second]->subs_out.push_back(
           Subscription{static_cast<int>(ci), grouping});
       comp.upstream_tasks += t.comps[it->second]->parallelism;

@@ -26,6 +26,7 @@ enum class GroupingType {
   kGlobal,   ///< all tuples go to consumer task 0
   kDirect,   ///< producer addresses tasks explicitly via EmitDirect
   kCustom,   ///< user partitioner maps each tuple to a set of tasks
+  kPartner,  ///< producer task i feeds consumer task i (parallelisms must match)
 };
 
 /// User partitioner for kCustom: append the consumer-local target indices
@@ -61,6 +62,11 @@ class BoltDeclarer {
   BoltDeclarer& GlobalGrouping(const std::string& source);
   BoltDeclarer& DirectGrouping(const std::string& source);
   BoltDeclarer& CustomGrouping(const std::string& source, CustomPartitioner partitioner);
+  /// One-to-one lane wiring: producer task i delivers only to consumer task
+  /// i. Build() rejects the edge unless both components have the same
+  /// parallelism. Used by the sharded ingestion front end, where each
+  /// source lane owns a partner dispatcher lane.
+  BoltDeclarer& PartnerGrouping(const std::string& source);
 
   /// Pins this component's tasks to explicit workers (one entry per task).
   BoltDeclarer& SetPlacement(std::vector<int> workers);

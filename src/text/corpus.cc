@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -150,6 +152,175 @@ StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& to
   Corpus corpus = BuildCorpusFromLines(lines, tokenizer);
   corpus.hygiene.overlong_lines = hygiene.overlong_lines;
   corpus.hygiene.invalid_utf8_lines = hygiene.invalid_utf8_lines;
+  return corpus;
+}
+
+std::vector<std::pair<size_t, size_t>> ShardLineRanges(std::string_view data, int shards) {
+  shards = std::max(1, shards);
+  const size_t n = data.size();
+  std::vector<size_t> starts(static_cast<size_t>(shards), n);
+  starts[0] = 0;
+  for (int s = 1; s < shards; ++s) {
+    // First line start at or after the even byte split. Targets are
+    // monotone in s, so starts are too (equal starts = empty shard).
+    const size_t target = n * static_cast<size_t>(s) / static_cast<size_t>(shards);
+    const size_t nl = data.find('\n', target == 0 ? 0 : target - 1);
+    starts[static_cast<size_t>(s)] = nl == std::string_view::npos ? n : nl + 1;
+  }
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    const size_t end = s + 1 < shards ? starts[static_cast<size_t>(s) + 1] : n;
+    ranges.emplace_back(starts[static_cast<size_t>(s)], end);
+  }
+  return ranges;
+}
+
+namespace {
+
+/// Everything one lane produces from its byte range; stitched serially
+/// afterwards.
+struct ShardScan {
+  std::vector<std::string> lines;  ///< sanitized (lenient mode)
+  CorpusHygiene hygiene;
+  /// Strict mode: 0-based local index of the first malformed line, or -1.
+  int64_t error_line = -1;
+  std::string error_what;  ///< message after "path:line: "
+  TokenDictionary dict;    ///< lane-local first-seen ids
+  std::vector<std::vector<TokenId>> raw;  ///< normalized, lane-local ids
+};
+
+/// Phase A+B of the sharded load: split `range` of `data` into lines,
+/// apply the hygiene policy, and tokenize against a lane-local dictionary.
+void ScanShard(std::string_view data, std::pair<size_t, size_t> range,
+               const Tokenizer& tokenizer, const CorpusOptions& options, ShardScan* scan) {
+  std::string_view rest = data.substr(range.first, range.second - range.first);
+  while (!rest.empty()) {
+    const size_t nl = rest.find('\n');
+    // getline semantics: '\n' is stripped, and a trailing segment with no
+    // '\n' (only possible in the last shard) still counts as a line.
+    std::string line(rest.substr(0, nl));
+    rest = nl == std::string_view::npos ? std::string_view{} : rest.substr(nl + 1);
+    if (line.size() > options.max_line_bytes) {
+      if (options.strict) {
+        scan->error_line = static_cast<int64_t>(scan->lines.size());
+        scan->error_what = "line of " + std::to_string(line.size()) +
+                           " bytes exceeds max_line_bytes";
+        return;
+      }
+      line.resize(options.max_line_bytes);
+      ++scan->hygiene.overlong_lines;
+    }
+    if (!IsValidUtf8(line)) {
+      if (options.strict) {
+        scan->error_line = static_cast<int64_t>(scan->lines.size());
+        scan->error_what = "invalid UTF-8";
+        return;
+      }
+      ReplaceInvalidUtf8(&line);
+      ++scan->hygiene.invalid_utf8_lines;
+    }
+    scan->lines.push_back(std::move(line));
+  }
+  std::vector<std::string> scratch;
+  scan->raw.reserve(scan->lines.size());
+  for (const std::string& line : scan->lines) {
+    scratch.clear();
+    tokenizer.Tokenize(line, scratch);
+    std::vector<TokenId> ids;
+    ids.reserve(scratch.size());
+    for (const std::string& tok : scratch) ids.push_back(scan->dict.GetOrAdd(tok));
+    NormalizeTokens(ids);
+    for (TokenId id : ids) scan->dict.CountDocumentOccurrence(id);
+    if (ids.empty()) ++scan->hygiene.empty_records;
+    scan->raw.push_back(std::move(ids));
+  }
+}
+
+}  // namespace
+
+StatusOr<Corpus> LoadCorpusFromFileSharded(const std::string& path, const Tokenizer& tokenizer,
+                                           int lanes, const CorpusOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open corpus file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = std::move(buf).str();
+
+  const std::vector<std::pair<size_t, size_t>> ranges = ShardLineRanges(data, lanes);
+  const size_t shards = ranges.size();
+  std::vector<ShardScan> scans(shards);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      threads.emplace_back([&, s] {
+        ScanShard(data, ranges[s], tokenizer, options, &scans[s]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Per-shard line (= record) bases: prefix sums of shard line counts.
+  std::vector<uint64_t> base(shards, 0);
+  for (size_t s = 1; s < shards; ++s) base[s] = base[s - 1] + scans[s - 1].lines.size();
+  // Strict mode: the earliest shard with an error holds the globally first
+  // malformed line (earlier shards scanned clean or they would have
+  // errored too), so this reproduces the serial load's error exactly.
+  for (size_t s = 0; s < shards; ++s) {
+    if (scans[s].error_line < 0) continue;
+    const uint64_t line_no = base[s] + static_cast<uint64_t>(scans[s].error_line) + 1;
+    return Status::InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                                   scans[s].error_what);
+  }
+
+  Corpus corpus;
+  // Stitch lane dictionaries in shard order: a token first seen globally in
+  // shard s enters after every token first seen in shards < s and in
+  // shard-local first-seen order within s — exactly the serial first-seen
+  // id assignment. Frequencies sum; the (freq, first-seen id) remap is
+  // therefore identical to the serial load's.
+  std::vector<std::vector<TokenId>> to_global(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    to_global[s].resize(scans[s].dict.size());
+    for (TokenId local = 0; local < scans[s].dict.size(); ++local) {
+      const TokenId global = corpus.dictionary.GetOrAdd(scans[s].dict.TokenString(local));
+      to_global[s][local] = global;
+      corpus.dictionary.AddDocumentOccurrences(global,
+                                               scans[s].dict.DocumentFrequency(local));
+    }
+  }
+  const std::vector<TokenId> remap = corpus.dictionary.ReorderByFrequency();
+  corpus.dictionary.ApplyRemap(remap);
+  for (size_t s = 0; s < shards; ++s) {
+    // Compose lane-local -> global-first-seen -> frequency-ranked.
+    for (TokenId& g : to_global[s]) g = remap[g];
+  }
+
+  const size_t total = base.back() + scans.back().lines.size();
+  corpus.records.resize(total);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      threads.emplace_back([&, s] {
+        ShardScan& scan = scans[s];
+        for (size_t i = 0; i < scan.raw.size(); ++i) {
+          std::vector<TokenId> ids = std::move(scan.raw[i]);
+          RemapTokens(to_global[s], ids);
+          const uint64_t seq = base[s] + i;
+          corpus.records[seq] =
+              std::make_shared<const Record>(/*id=*/seq, seq, /*timestamp=*/0, std::move(ids));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const ShardScan& scan : scans) {
+    corpus.hygiene.overlong_lines += scan.hygiene.overlong_lines;
+    corpus.hygiene.invalid_utf8_lines += scan.hygiene.invalid_utf8_lines;
+    corpus.hygiene.empty_records += scan.hygiene.empty_records;
+  }
   return corpus;
 }
 

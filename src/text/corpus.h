@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -67,6 +68,26 @@ Corpus BuildCorpusFromLines(const std::vector<std::string>& lines, const Tokeniz
 /// sanitizes and counts instead of failing).
 StatusOr<Corpus> LoadCorpusFromFile(const std::string& path, const Tokenizer& tokenizer,
                                     const CorpusOptions& options = {});
+
+/// Splits `data` into up to `shards` newline-aligned byte ranges
+/// [first, second): every line falls wholly inside one range and the
+/// ranges concatenate back to the full buffer. Small inputs may yield
+/// empty ranges. Exposed for the sharding equivalence tests.
+std::vector<std::pair<size_t, size_t>> ShardLineRanges(std::string_view data, int shards);
+
+/// Sharded front-end variant of LoadCorpusFromFile: splits the file into
+/// `lanes` newline-aligned byte ranges and scans + tokenizes each range on
+/// its own thread against a lane-local dictionary, then stitches the lane
+/// dictionaries in shard order (reproducing the serial first-seen id
+/// order), sums the lane document frequencies, and applies the global
+/// frequency remap. Record seqs come from the per-shard record base
+/// (prefix sums of shard line counts), so the result — records, ids,
+/// seqs, dictionary, hygiene counters, and strict-mode errors with their
+/// global line numbers — is byte-identical to LoadCorpusFromFile for every
+/// lane count. `tokenizer` must tolerate concurrent Tokenize calls (both
+/// bundled tokenizers do).
+StatusOr<Corpus> LoadCorpusFromFileSharded(const std::string& path, const Tokenizer& tokenizer,
+                                           int lanes, const CorpusOptions& options = {});
 
 /// True iff `text` is well-formed UTF-8 (ASCII included).
 bool IsValidUtf8(std::string_view text);

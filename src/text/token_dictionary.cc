@@ -27,6 +27,11 @@ void TokenDictionary::CountDocumentOccurrence(TokenId id) {
   ++doc_freq_[id];
 }
 
+void TokenDictionary::AddDocumentOccurrences(TokenId id, uint64_t count) {
+  CHECK_LT(id, doc_freq_.size());
+  doc_freq_[id] += count;
+}
+
 const std::string& TokenDictionary::TokenString(TokenId id) const {
   CHECK_LT(id, strings_.size());
   return strings_[id];

@@ -40,6 +40,11 @@ class TokenDictionary {
   /// token per document.
   void CountDocumentOccurrence(TokenId id);
 
+  /// Bumps the document frequency of `id` by `count` at once — used when a
+  /// sharded corpus load folds lane-local frequency counts into the
+  /// stitched global dictionary.
+  void AddDocumentOccurrences(TokenId id, uint64_t count);
+
   /// Number of distinct tokens.
   size_t size() const { return strings_.size(); }
 

@@ -1,38 +1,100 @@
 #include "text/tokenizer.h"
 
 #include <cctype>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
 
 #include "common/logging.h"
 
 namespace dssj {
 namespace {
 
-bool IsTokenChar(unsigned char c) { return std::isalnum(c) != 0; }
+/// Locale-independent ASCII [0-9A-Za-z] — NOT std::isalnum, whose answer
+/// for bytes >= 0x80 depends on the process locale. The wide classify pass
+/// below must agree with this byte-for-byte.
+bool IsTokenChar(unsigned char c) {
+  return (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+}
 
 char ToLowerAscii(unsigned char c) {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : static_cast<char>(c);
 }
 
+/// Reusable per-thread scratch for the classify pass. A batched corpus
+/// load tokenizes millions of lines on each shard thread; the arena is
+/// sized to the longest line seen and then never reallocates.
+struct TokenizeScratch {
+  std::vector<char> lowered;        ///< text with A-Z folded to a-z
+  std::vector<unsigned char> cls;   ///< nonzero iff token byte
+};
+
+/// Fills `lowered`/`cls` for text[0..n). SSE2 classifies and case-folds 16
+/// bytes per step: all four token-byte ranges sit below 0x80, so signed
+/// byte compares are exact and bytes >= 0x80 (negative) classify as
+/// separators, matching IsTokenChar.
+void ClassifyAndLower(const char* text, size_t n, char* lowered, unsigned char* cls) {
+  size_t i = 0;
+#if defined(__SSE2__)
+  const __m128i digit_lo = _mm_set1_epi8('0' - 1);
+  const __m128i digit_hi = _mm_set1_epi8('9' + 1);
+  const __m128i upper_lo = _mm_set1_epi8('A' - 1);
+  const __m128i upper_hi = _mm_set1_epi8('Z' + 1);
+  const __m128i lower_lo = _mm_set1_epi8('a' - 1);
+  const __m128i lower_hi = _mm_set1_epi8('z' + 1);
+  const __m128i case_bit = _mm_set1_epi8(0x20);
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(text + i));
+    const __m128i digit =
+        _mm_and_si128(_mm_cmpgt_epi8(v, digit_lo), _mm_cmplt_epi8(v, digit_hi));
+    const __m128i upper =
+        _mm_and_si128(_mm_cmpgt_epi8(v, upper_lo), _mm_cmplt_epi8(v, upper_hi));
+    const __m128i lower =
+        _mm_and_si128(_mm_cmpgt_epi8(v, lower_lo), _mm_cmplt_epi8(v, lower_hi));
+    // A-Z have the 0x20 bit clear; OR-ing it in under the upper mask is
+    // exactly the +32 fold.
+    const __m128i folded = _mm_or_si128(v, _mm_and_si128(upper, case_bit));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lowered + i), folded);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(cls + i),
+                     _mm_or_si128(digit, _mm_or_si128(upper, lower)));
+  }
+#endif
+  for (; i < n; ++i) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    lowered[i] = ToLowerAscii(c);
+    cls[i] = IsTokenChar(c) ? 1 : 0;
+  }
+}
+
 }  // namespace
 
 void WordTokenizer::Tokenize(std::string_view text, std::vector<std::string>& out) const {
-  std::string current;
-  for (unsigned char c : text) {
-    if (IsTokenChar(c)) {
-      // Cap pathological runs (e.g. a megabyte of base64 with no
-      // separators): split into max-length tokens instead of building one
-      // unbounded dictionary key.
-      if (current.size() == kMaxTokenBytes) {
-        out.push_back(std::move(current));
-        current.clear();
-      }
-      current.push_back(ToLowerAscii(c));
-    } else if (!current.empty()) {
-      out.push_back(std::move(current));
-      current.clear();
-    }
+  const size_t n = text.size();
+  if (n == 0) return;
+  thread_local TokenizeScratch scratch;
+  if (scratch.lowered.size() < n) {
+    scratch.lowered.resize(n);
+    scratch.cls.resize(n);
   }
-  if (!current.empty()) out.push_back(std::move(current));
+  ClassifyAndLower(text.data(), n, scratch.lowered.data(), scratch.cls.data());
+  size_t i = 0;
+  while (i < n) {
+    if (scratch.cls[i] == 0) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n && scratch.cls[j] != 0) ++j;
+    // Cap pathological runs (e.g. a megabyte of base64 with no
+    // separators): split into max-length tokens instead of building one
+    // unbounded dictionary key.
+    for (size_t s = i; s < j; s += kMaxTokenBytes) {
+      out.emplace_back(scratch.lowered.data() + s, std::min(kMaxTokenBytes, j - s));
+    }
+    i = j;
+  }
 }
 
 QGramTokenizer::QGramTokenizer(int q) : q_(q) { CHECK_GE(q, 1); }

@@ -281,5 +281,151 @@ TEST(CorpusTest, FileRoundTripThroughLoadCorpusFromFile) {
   std::remove(path.c_str());
 }
 
+// --- Sharded front-end loading (LoadCorpusFromFileSharded) ---------------
+
+/// Deterministic messy corpus: duplicates, empty lines, punctuation, an
+/// invalid-UTF-8 line, an overlong line, and no trailing newline — the
+/// cases where a sharded scan could diverge from the serial one.
+std::string WriteMessyCorpus(const std::string& name, bool trailing_newline) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 500; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int words = static_cast<int>(rng >> 60);
+    for (int w = 0; w < words; ++w) {
+      std::fprintf(f, "word%llu ",
+                   static_cast<unsigned long long>((rng >> (w * 4)) % 97));
+    }
+    if (i % 31 == 7) std::fputs("\xff\xfe", f);          // invalid UTF-8
+    if (i % 47 == 11) std::fputs(std::string(300, 'z').c_str(), f);  // overlong
+    if (i % 13 == 5) std::fputs("Punct,u-ation!", f);
+    if (i != 499 || trailing_newline) std::fputs("\n", f);
+  }
+  std::fclose(f);
+  return path;
+}
+
+void ExpectCorpusIdentical(const Corpus& a, const Corpus& b, const std::string& label) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i]->id, b.records[i]->id) << label << " record " << i;
+    EXPECT_EQ(a.records[i]->seq, b.records[i]->seq) << label << " record " << i;
+    ASSERT_EQ(a.records[i]->tokens, b.records[i]->tokens) << label << " record " << i;
+  }
+  ASSERT_EQ(a.dictionary.size(), b.dictionary.size()) << label;
+  for (TokenId id = 0; id < a.dictionary.size(); ++id) {
+    EXPECT_EQ(a.dictionary.TokenString(id), b.dictionary.TokenString(id)) << label;
+    EXPECT_EQ(a.dictionary.DocumentFrequency(id), b.dictionary.DocumentFrequency(id))
+        << label;
+  }
+  EXPECT_EQ(a.hygiene.overlong_lines, b.hygiene.overlong_lines) << label;
+  EXPECT_EQ(a.hygiene.invalid_utf8_lines, b.hygiene.invalid_utf8_lines) << label;
+  EXPECT_EQ(a.hygiene.empty_records, b.hygiene.empty_records) << label;
+}
+
+TEST(ShardedCorpusTest, ByteIdenticalToSerialLoadForEveryLaneCount) {
+  for (bool trailing : {true, false}) {
+    const std::string path = WriteMessyCorpus(
+        trailing ? "sharded_nl.txt" : "sharded_nonl.txt", trailing);
+    WordTokenizer tokenizer;
+    CorpusOptions options;
+    options.max_line_bytes = 200;
+    auto serial = LoadCorpusFromFile(path, tokenizer, options);
+    ASSERT_TRUE(serial.ok());
+    for (int lanes : {1, 2, 3, 4, 7}) {
+      auto sharded = LoadCorpusFromFileSharded(path, tokenizer, lanes, options);
+      ASSERT_TRUE(sharded.ok()) << "lanes=" << lanes;
+      ExpectCorpusIdentical(serial.value(), sharded.value(),
+                            "lanes=" + std::to_string(lanes) +
+                                (trailing ? " (trailing \\n)" : " (no trailing \\n)"));
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ShardedCorpusTest, StrictModeErrorsMatchSerialLoad) {
+  const std::string path = WriteMessyCorpus("sharded_strict.txt", true);
+  WordTokenizer tokenizer;
+  CorpusOptions options;
+  options.max_line_bytes = 200;
+  options.strict = true;
+  auto serial = LoadCorpusFromFile(path, tokenizer, options);
+  ASSERT_FALSE(serial.ok());
+  for (int lanes : {1, 3, 5}) {
+    auto sharded = LoadCorpusFromFileSharded(path, tokenizer, lanes, options);
+    ASSERT_FALSE(sharded.ok()) << "lanes=" << lanes;
+    EXPECT_EQ(sharded.status().code(), serial.status().code()) << "lanes=" << lanes;
+    // Same first malformed line, same global line number, same reason.
+    EXPECT_EQ(sharded.status().message(), serial.status().message()) << "lanes=" << lanes;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardedCorpusTest, ShardLineRangesConcatenateAndAlign) {
+  const std::string data = "one\ntwo\nthree\nfour\nfive\nsix\nseven no newline";
+  for (int shards : {1, 2, 3, 5, 20}) {
+    const auto ranges = ShardLineRanges(data, shards);
+    ASSERT_EQ(ranges.size(), static_cast<size_t>(shards));
+    EXPECT_EQ(ranges.front().first, 0u);
+    EXPECT_EQ(ranges.back().second, data.size());
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      EXPECT_LE(ranges[s].first, ranges[s].second);
+      if (s > 0) EXPECT_EQ(ranges[s].first, ranges[s - 1].second);
+      // Every non-degenerate boundary starts right after a newline.
+      const size_t start = ranges[s].first;
+      if (start > 0 && start < data.size()) EXPECT_EQ(data[start - 1], '\n');
+    }
+  }
+  EXPECT_TRUE(ShardLineRanges("", 4).size() == 4u);
+}
+
+// The SIMD classify pass must agree with the scalar definition on every
+// byte value, including the sign-bit range and chunk boundaries.
+TEST(WordTokenizerTest, WideClassifyMatchesScalarReference) {
+  WordTokenizer tokenizer;
+  // Reference: the documented semantics, written scalar.
+  const auto reference = [](std::string_view text) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (unsigned char c : text) {
+      const bool tok = (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') ||
+                       (c >= 'a' && c <= 'z');
+      if (tok) {
+        if (cur.size() == WordTokenizer::kMaxTokenBytes) {
+          out.push_back(cur);
+          cur.clear();
+        }
+        cur.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32)
+                                             : static_cast<char>(c));
+      } else if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+  };
+  // All 256 byte values straddling 16-byte chunk boundaries.
+  std::string all;
+  for (int c = 0; c < 256; ++c) {
+    all.push_back(static_cast<char>(c));
+    all.push_back(static_cast<char>(255 - c));
+  }
+  uint64_t rng = 12345;
+  std::vector<std::string> cases = {all, "", "a", "Hello, World!", std::string(40, 'Q')};
+  for (int i = 0; i < 200; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::string s;
+    const size_t len = (rng >> 48) % 70;
+    for (size_t k = 0; k < len; ++k) s.push_back(static_cast<char>((rng >> (k % 56)) & 0xff));
+    cases.push_back(std::move(s));
+  }
+  for (const std::string& text : cases) {
+    EXPECT_EQ(tokenizer.Tokenize(text), reference(text)) << "input bytes: " << text.size();
+  }
+}
+
 }  // namespace
 }  // namespace dssj

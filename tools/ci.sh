@@ -75,7 +75,8 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   TSAN_SAFE_TARGETS=(queue_test ring_queue_test queue_equivalence_test
                      topology_test topology_stress_test
                      stream_substrate_misc_test fault_recovery_test
-                     distributed_join_test)
+                     distributed_join_test adaptive_router_test
+                     ingest_lanes_test)
 
   echo "== thread sanitizer =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -83,6 +84,18 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j --target "${TSAN_SAFE_TARGETS[@]}"
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ctest -L tsan_safe --output-on-failure)
+
+  echo "== sharded router snapshot-publish repetition (TSan, N=20) =="
+  # With ingest lanes every lane's router reads the adaptive epoch list as
+  # an immutable snapshot while the replanner CAS-publishes replacements
+  # and folds observations under a try-lock (docs/INTERNALS.md §14). That
+  # publish/read edge is the newest lock-free surface in the repo; repeat
+  # the router unit tests and the shared-router lanes scenario so a torn
+  # read or lost-observation schedule has real odds of surfacing.
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+    ctest -R 'adaptive_router_test' --repeat until-fail:20 --output-on-failure)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" GTEST_FILTER='*SharedAdaptiveRouter*' \
+    ctest -R 'ingest_lanes_test' --repeat until-fail:10 --output-on-failure)
 
   echo "== ring-queue race repetition (TSan, N=200) =="
   # The close/wake interleavings in the lock-free rings are the raciest
@@ -107,6 +120,61 @@ if [[ "$RUN_SANITIZE" == "1" ]]; then
   cmake --build build-asan -j --target "${ASAN_TARGETS[@]}"
   (cd build-asan && ASAN_OPTIONS="detect_leaks=1" \
     ctest -L 'tsan_safe|net' --output-on-failure)
+
+  echo "== sharded ingestion multi-process smoke (ASan, lanes=4) =="
+  # A real two-process TCP cluster with the ingestion front end split into
+  # four lanes, both binaries ASan-instrumented: the coordinator's pair set
+  # must equal a single-lane in-process run over the same corpus
+  # (docs/INTERNALS.md §14, exercised end-to-end through the CLI). Pair
+  # *sets* are compared sorted — the sink's collection order is
+  # interleaving-dependent; the set is not. Skips without localhost sockets.
+  LANES_CLUSTER=$(python3 - <<'PYEOF'
+import socket
+try:
+    a, b = socket.socket(), socket.socket()
+    a.bind(("127.0.0.1", 0)); b.bind(("127.0.0.1", 0))
+    print("127.0.0.1:%d,127.0.0.1:%d" % (a.getsockname()[1], b.getsockname()[1]))
+    a.close(); b.close()
+except OSError:
+    pass
+PYEOF
+)
+  if [[ -z "$LANES_CLUSTER" ]]; then
+    echo "no localhost sockets; skipping lanes smoke"
+  else
+    LANES_TMP=$(mktemp -d "${TMPDIR:-/tmp}/ci_lanes.XXXXXX")
+    python3 - "$LANES_TMP/corpus.txt" <<'PYEOF'
+import sys
+rng = 0x243F6A8885A308D3
+lines = []
+for i in range(2000):
+    rng = (rng * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    if i % 3 == 2 and i >= 2:  # near-duplicate of a recent line
+        base = lines[i - 1 - (rng % 2)].split()
+        base[rng % len(base)] = "w%d" % ((rng >> 33) % 400)
+        lines.append(" ".join(base))
+        continue
+    words = []
+    for _ in range(3 + rng % 9):
+        rng = (rng * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        words.append("w%d" % ((rng >> 33) % 400))
+    lines.append(" ".join(words))
+open(sys.argv[1], "w").write("\n".join(lines) + "\n")
+PYEOF
+    LANES_FLAGS=(--threshold=600 --joiners=4 --max-pairs=100000)
+    ASAN_OPTIONS="detect_leaks=1" ./build-asan/examples/dssj_cli \
+        "$LANES_TMP/corpus.txt" "${LANES_FLAGS[@]}" | grep '~' | sort > "$LANES_TMP/ref.txt"
+    [[ -s "$LANES_TMP/ref.txt" ]]  # a pair-free corpus would make this vacuous
+    ASAN_OPTIONS="detect_leaks=1" ./build-asan/examples/dssj_worker --rank=1 \
+        --transport=tcp --connect="$LANES_CLUSTER" --ingest_lanes=4 "${LANES_FLAGS[@]}" &
+    LANES_WORKER=$!
+    ASAN_OPTIONS="detect_leaks=1" ./build-asan/examples/dssj_cli "$LANES_TMP/corpus.txt" \
+        --transport=tcp --connect="$LANES_CLUSTER" --ingest_lanes=4 "${LANES_FLAGS[@]}" \
+        | grep '~' | sort > "$LANES_TMP/lanes4.txt"
+    wait "$LANES_WORKER"
+    diff -u "$LANES_TMP/ref.txt" "$LANES_TMP/lanes4.txt"
+    rm -rf "$LANES_TMP"
+  fi
 
   echo "== tiered state store (ASan) =="
   # The store suite's failure modes are exactly ASan's beat: torn-write
